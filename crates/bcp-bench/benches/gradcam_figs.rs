@@ -1,0 +1,61 @@
+//! Figs. 3–9: Grad-CAM regeneration — prints one bench-scale figure and
+//! measures the Grad-CAM computation itself (forward + partial backward +
+//! channel reduction + upsampling) per architecture.
+//!
+//! The full three-column figures (CNV / n-CNV / FP32) come from
+//! `experiments gradcam`; at bench scale we exercise n-CNV.
+
+use bcp_bench::deployable;
+use binarycop::arch::ArchKind;
+use binarycop::experiments::{figure_rows, gradcam_figure_report};
+use bcp_gradcam::gradcam;
+use bcp_nn::Sequential;
+use bcp_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_gradcam(c: &mut Criterion) {
+    // Regenerate a figure (untrained-but-deployable net: the bench measures
+    // the mechanism; trained-figure semantics live in `experiments`).
+    let (mut net, _) = deployable(ArchKind::NCnv, 1);
+    {
+        let mut models: Vec<(&str, &mut Sequential, &str)> =
+            vec![("BCoP-n-CNV", &mut net, "conv4")];
+        let report = gradcam_figure_report(6, 32, 1006, &mut models);
+        println!("{report}");
+        assert!(report.contains("Fig. 6"));
+    }
+
+    // Inputs for all 7 figures exist and render.
+    for fig in 3..=9u8 {
+        let (_, rows) = figure_rows(fig, 32, fig as u64);
+        assert_eq!(rows.len(), 3);
+    }
+
+    let (_, rows) = figure_rows(3, 32, 3);
+    let batch = Tensor::stack(&[rows[0].image.clone()]);
+    let norm = batch.map(|v| 2.0 * v - 1.0);
+
+    let mut group = c.benchmark_group("gradcam_single_image");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kind in [ArchKind::NCnv, ArchKind::MicroCnv] {
+        let (mut net, arch) = deployable(kind, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(gradcam(&mut net, &norm, &[0], "conv4", 32));
+            })
+        });
+    }
+    group.finish();
+
+    // Figure-input generation cost (procedural rendering).
+    let mut group = c.benchmark_group("gradcam_figure_inputs");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("figure_rows_fig9", |b| {
+        b.iter(|| std::hint::black_box(figure_rows(9, 32, 9)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradcam);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table I: architecture definitions + per-prototype single-frame
+//! inference through the deployed pipeline.
+//!
+//! Regenerates the table (printed once) and measures what the architecture
+//! choice costs at inference time in the functional simulator — the
+//! software proxy for the CNV / n-CNV / μ-CNV trade-off.
+
+use bcp_bench::{frame, pipeline_for};
+use binarycop::arch::ArchKind;
+use binarycop::experiments::table1_report;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1_report());
+
+    let mut group = c.benchmark_group("table1_single_frame_inference");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in ArchKind::ALL {
+        let (pipeline, arch) = pipeline_for(kind, 1);
+        let f = frame(9);
+        // Sanity: geometry survived the export.
+        assert_eq!(pipeline.forward(&f).len(), 4);
+        group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {
+            b.iter(|| std::hint::black_box(pipeline.forward(&f)))
+        });
+    }
+    group.finish();
+
+    // Export cost: binarize + fold thresholds + pack weights.
+    let mut group = c.benchmark_group("table1_deploy_export");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in [ArchKind::NCnv, ArchKind::MicroCnv] {
+        let (net, arch) = bcp_bench::deployable(kind, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {
+            b.iter(|| std::hint::black_box(binarycop::deploy::deploy(&net, &arch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

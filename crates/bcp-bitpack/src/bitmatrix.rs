@@ -1,0 +1,237 @@
+//! Row-major packed binary matrix.
+
+use crate::bitvec64::{low_mask, words_for, BitVec64, WORD_BITS};
+use serde::{Deserialize, Serialize};
+
+/// A `rows × cols` matrix of ±1 entries, each row packed into its own run of
+/// `u64` words (rows start word-aligned so row kernels can slice cheaply).
+///
+/// Padding bits at the end of each row are always zero.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-(−1) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let wpr = words_for(cols);
+        BitMatrix { rows, cols, words_per_row: wpr, words: vec![0; rows * wpr] }
+    }
+
+    /// Build from row bit-vectors; all rows must share a length.
+    pub fn from_rows(rows: &[BitVec64]) -> Self {
+        assert!(!rows.is_empty(), "BitMatrix needs at least one row");
+        let cols = rows[0].len();
+        let mut m = BitMatrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {r} length mismatch");
+            let dst = r * m.words_per_row;
+            m.words[dst..dst + m.words_per_row].copy_from_slice(row.words());
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (valid bits per row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Packed words per row (incl. padding).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Raw packed storage.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from raw storage; validates dimensions and padding hygiene.
+    pub fn from_words(rows: usize, cols: usize, words: Vec<u64>) -> Self {
+        let wpr = words_for(cols);
+        assert_eq!(words.len(), rows * wpr, "word buffer size mismatch");
+        let m = BitMatrix { rows, cols, words_per_row: wpr, words };
+        let tail = cols % WORD_BITS;
+        if tail != 0 {
+            for r in 0..rows {
+                let last = m.words[r * wpr + wpr - 1];
+                assert!(
+                    last & !low_mask(tail) == 0,
+                    "row {r} has set padding bits beyond col {cols}"
+                );
+            }
+        }
+        m
+    }
+
+    /// Packed words of row `r`.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Element accessor (`true` = +1).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.cols, "col {c} out of range ({} cols)", self.cols);
+        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
+        let w = &mut self.words[r * self.words_per_row + c / WORD_BITS];
+        let m = 1u64 << (c % WORD_BITS);
+        if value {
+            *w |= m;
+        } else {
+            *w &= !m;
+        }
+    }
+
+    /// Toggle one bit (fault-injection support).
+    pub fn flip(&mut self, r: usize, c: usize) {
+        let cur = self.get(r, c);
+        self.set(r, c, !cur);
+    }
+
+    /// Copy row `r` out as a [`BitVec64`].
+    pub fn row(&self, r: usize) -> BitVec64 {
+        BitVec64::from_words(self.cols, self.row_words(r).to_vec())
+    }
+
+    /// XNOR-popcount ±1 dot product between row `r` and a packed vector of
+    /// matching length.
+    pub fn row_dot(&self, r: usize, v: &BitVec64) -> i32 {
+        assert_eq!(v.len(), self.cols, "vector length {} vs cols {}", v.len(), self.cols);
+        let a = self.row_words(r);
+        let b = v.words();
+        let full = self.cols / WORD_BITS;
+        let mut agree = 0u32;
+        for i in 0..full {
+            agree += (!(a[i] ^ b[i])).count_ones();
+        }
+        let tail = self.cols % WORD_BITS;
+        if tail != 0 {
+            agree += ((!(a[full] ^ b[full])) & low_mask(tail)).count_ones();
+        }
+        2 * agree as i32 - self.cols as i32
+    }
+
+    /// Transpose (used to pre-pack activation matrices for the GEMM kernel).
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row_words(r);
+            for c in 0..self.cols {
+                if (row[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1 {
+                    t.set(c, r, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// Decode to a dense ±1 f32 buffer (row-major), for tests and export.
+    pub fn to_signs(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(if self.get(r, c) { 1.0 } else { -1.0 });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = BitMatrix::zeros(3, 70);
+        assert_eq!(m.words_per_row(), 2);
+        m.set(2, 69, true);
+        assert!(m.get(2, 69));
+        assert!(!m.get(2, 68));
+        assert!(!m.get(0, 69));
+    }
+
+    #[test]
+    fn from_rows_and_row_roundtrip() {
+        let r0 = BitVec64::from_bools(&[true, false, true]);
+        let r1 = BitVec64::from_bools(&[false, true, false]);
+        let m = BitMatrix::from_rows(&[r0.clone(), r1.clone()]);
+        assert_eq!(m.row(0), r0);
+        assert_eq!(m.row(1), r1);
+    }
+
+    #[test]
+    fn row_dot_matches_bitvec_dot() {
+        let r0 = BitVec64::from_bools(&[true, true, false, true, false]);
+        let v = BitVec64::from_bools(&[true, false, false, true, true]);
+        let m = BitMatrix::from_rows(std::slice::from_ref(&r0));
+        assert_eq!(m.row_dot(0, &v), r0.dot(&v));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut m = BitMatrix::zeros(5, 130);
+        m.set(0, 0, true);
+        m.set(4, 129, true);
+        m.set(2, 64, true);
+        let t = m.transpose();
+        assert!(t.get(0, 0) && t.get(129, 4) && t.get(64, 2));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding bits")]
+    fn from_words_rejects_dirty_padding() {
+        BitMatrix::from_words(1, 3, vec![0b1111]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_row_dot_equals_naive(rows in 1usize..5, cols in 1usize..150, seed in any::<u64>()) {
+            let mut m = BitMatrix::zeros(rows, cols);
+            let mut v = BitVec64::zeros(cols);
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33 & 1 == 1
+            };
+            for r in 0..rows {
+                for c in 0..cols {
+                    if next() { m.set(r, c, true); }
+                }
+            }
+            for c in 0..cols {
+                if next() { v.set(c, true); }
+            }
+            for r in 0..rows {
+                let naive: i32 = (0..cols)
+                    .map(|c| {
+                        let a = if m.get(r, c) { 1i32 } else { -1 };
+                        let b = if v.get(c) { 1i32 } else { -1 };
+                        a * b
+                    })
+                    .sum();
+                prop_assert_eq!(m.row_dot(r, &v), naive);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Bit-packed binary (±1) linear algebra for BinaryCoP.
+//!
+//! The paper (Sec. III-A, Eq. 3) replaces every multiply-accumulate of a
+//! binarized layer with XNOR + popcount: encoding −1 as bit 0 and +1 as
+//! bit 1, the dot product of two ±1 vectors of length `n` with `p` matching
+//! positions is `2p − n`. This crate provides that arithmetic:
+//!
+//! - [`BitVec64`]: a packed bit vector over `u64` words with masked
+//!   popcount (padding bits never leak into counts).
+//! - [`BitMatrix`]: row-major packed matrix, one padded word row each.
+//! - [`xnor`]: rayon-parallel XNOR-popcount GEMM returning integer ±1 dot
+//!   products — the simulator's MVTU arithmetic and the fast inference path.
+//! - [`pack`]: `sign()` packing of float tensors (ties at 0 → +1, Eq. 1).
+//! - [`threshold`]: per-channel integer threshold units, the hardware form
+//!   of batch-norm + sign (Sec. III-A).
+//! - [`serialize`]: compact bitstream framing via `bytes` for checkpointing
+//!   deployed (binarized) weights.
+
+pub mod bitmatrix;
+pub mod bitvec64;
+pub mod pack;
+pub mod serialize;
+pub mod threshold;
+pub mod xnor;
+
+pub use bitmatrix::BitMatrix;
+pub use bitvec64::BitVec64;
+pub use threshold::{ThresholdChannel, ThresholdUnit};

@@ -1,0 +1,103 @@
+//! `sign()` packing of float data into bit vectors/matrices.
+//!
+//! Eq. 1 of the paper: `sign(w) = +1 if w ≥ 0, −1 otherwise`. The tie at
+//! exactly 0 maps to +1; every packer here implements that convention, and
+//! `bcp-nn`'s float binarization uses the same rule, so both inference paths
+//! agree bit-for-bit.
+
+use crate::bitmatrix::BitMatrix;
+use crate::bitvec64::BitVec64;
+
+/// The paper's sign convention as a bit: `x ≥ 0 → true (+1)`.
+#[inline]
+pub fn sign_bit(x: f32) -> bool {
+    x >= 0.0
+}
+
+/// The paper's sign convention as a float.
+#[inline]
+pub fn sign_f32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Pack a float slice into a bit vector via [`sign_bit`].
+pub fn pack_signs(xs: &[f32]) -> BitVec64 {
+    let mut v = BitVec64::zeros(xs.len());
+    for (i, &x) in xs.iter().enumerate() {
+        if sign_bit(x) {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+/// Pack a row-major `rows × cols` float buffer into a [`BitMatrix`].
+pub fn pack_matrix(rows: usize, cols: usize, xs: &[f32]) -> BitMatrix {
+    assert_eq!(xs.len(), rows * cols, "buffer does not match {rows}×{cols}");
+    let mut m = BitMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if sign_bit(xs[r * cols + c]) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+/// Unpack a bit vector back to ±1 floats (inverse of [`pack_signs`] up to
+/// the sign quantization).
+pub fn unpack_signs(v: &BitVec64) -> Vec<f32> {
+    v.to_signs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_ties_to_plus_one() {
+        assert!(sign_bit(0.0));
+        assert!(sign_bit(-0.0)); // -0.0 >= 0.0 is true in IEEE754
+        assert_eq!(sign_f32(0.0), 1.0);
+        assert_eq!(sign_f32(-0.0), 1.0);
+    }
+
+    #[test]
+    fn pack_known() {
+        let v = pack_signs(&[1.5, -0.2, 0.0, -7.0]);
+        assert_eq!(v.to_signs(), vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn pack_matrix_layout() {
+        let m = pack_matrix(2, 3, &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        assert!(m.get(0, 0) && !m.get(0, 1) && m.get(0, 2));
+        assert!(!m.get(1, 0) && m.get(1, 1) && !m.get(1, 2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip_is_sign(xs in proptest::collection::vec(-100.0f32..100.0, 0..300)) {
+            let packed = pack_signs(&xs);
+            let back = unpack_signs(&packed);
+            for (orig, b) in xs.iter().zip(back) {
+                prop_assert_eq!(sign_f32(*orig), b);
+            }
+        }
+
+        #[test]
+        fn prop_pack_idempotent(xs in proptest::collection::vec(-10.0f32..10.0, 1..100)) {
+            // Packing already-binarized values is the identity.
+            let once = unpack_signs(&pack_signs(&xs));
+            let twice = unpack_signs(&pack_signs(&once));
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Compact bitstream framing for deployed (binarized) weights.
+//!
+//! The whole point of a BNN on an embedded device is the ×32 memory
+//! reduction (paper Sec. II-B), so checkpoints of *deployed* weights should
+//! be packed bits, not JSON floats. Frame layout (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x42_43_6F_50  ("BCoP")
+//! rows   u64
+//! cols   u64
+//! words  u64 · rows·ceil(cols/64)
+//! ```
+
+use crate::bitmatrix::BitMatrix;
+use crate::bitvec64::words_for;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: ASCII "BCoP".
+pub const MAGIC: u32 = 0x42_43_6F_50;
+
+/// Errors produced when decoding a bitstream frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer ended before the fixed header.
+    Truncated,
+    /// Header magic did not match [`MAGIC`].
+    BadMagic(u32),
+    /// Payload shorter than `rows × words_per_row` words.
+    ShortPayload { expected_words: usize, got_words: usize },
+    /// A row had set bits beyond `cols`.
+    DirtyPadding,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "bitstream truncated before header end"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}, expected {MAGIC:#010x}"),
+            DecodeError::ShortPayload { expected_words, got_words } => {
+                write!(f, "payload has {got_words} words, expected {expected_words}")
+            }
+            DecodeError::DirtyPadding => write!(f, "row padding bits set"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a [`BitMatrix`] into a framed bitstream.
+pub fn encode_matrix(m: &BitMatrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 16 + m.words().len() * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &w in m.words() {
+        buf.put_u64_le(w);
+    }
+    buf.freeze()
+}
+
+/// Decode a framed bitstream back into a [`BitMatrix`].
+pub fn decode_matrix(mut buf: impl Buf) -> Result<BitMatrix, DecodeError> {
+    if buf.remaining() < 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let expected = rows * words_for(cols);
+    let got = buf.remaining() / 8;
+    if got < expected {
+        return Err(DecodeError::ShortPayload { expected_words: expected, got_words: got });
+    }
+    let mut words = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        words.push(buf.get_u64_le());
+    }
+    // from_words panics on dirty padding; surface it as an error instead.
+    let tail = cols % 64;
+    if tail != 0 {
+        let mask = !((1u64 << tail) - 1);
+        let wpr = words_for(cols);
+        for r in 0..rows {
+            if words[r * wpr + wpr - 1] & mask != 0 {
+                return Err(DecodeError::DirtyPadding);
+            }
+        }
+    }
+    Ok(BitMatrix::from_words(rows, cols, words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        let mut m = BitMatrix::zeros(rows, cols);
+        let mut s = seed | 1;
+        for r in 0..rows {
+            for c in 0..cols {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if s >> 60 & 1 == 1 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample_matrix(5, 77, 1);
+        let bytes = encode_matrix(&m);
+        let back = decode_matrix(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn frame_size_is_packed() {
+        // 128 columns → 2 words/row: 4 + 16 + rows·16 bytes. A float matrix
+        // would take rows·cols·4 bytes — the ×32 claim in the paper.
+        let m = sample_matrix(10, 128, 2);
+        let bytes = encode_matrix(&m);
+        assert_eq!(bytes.len(), 20 + 10 * 2 * 8);
+        let float_bytes = 10 * 128 * 4;
+        assert!(float_bytes / (bytes.len() - 20) == 32);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let m = sample_matrix(2, 10, 3);
+        let mut bytes = encode_matrix(&m).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_matrix(&bytes[..]),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = sample_matrix(2, 100, 4);
+        let bytes = encode_matrix(&m);
+        assert_eq!(decode_matrix(&bytes[..10]), Err(DecodeError::Truncated));
+        assert!(matches!(
+            decode_matrix(&bytes[..bytes.len() - 8]),
+            Err(DecodeError::ShortPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dirty_padding() {
+        let m = sample_matrix(1, 3, 5);
+        let mut bytes = encode_matrix(&m).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80; // set a padding bit in the single payload word
+        assert_eq!(decode_matrix(&bytes[..]), Err(DecodeError::DirtyPadding));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_roundtrip(rows in 1usize..8, cols in 1usize..200, seed in any::<u64>()) {
+            let m = sample_matrix(rows, cols, seed);
+            prop_assert_eq!(decode_matrix(encode_matrix(&m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Integer threshold units — the hardware form of batch-norm + sign.
+//!
+//! Sec. III-A of the paper: because batch-norm is immediately followed by
+//! `sign()`, the full affine computation is wasteful on hardware. From the
+//! training-time statistics a per-channel threshold `τ` is derived such that
+//! comparing the integer XNOR accumulator against `τ` reproduces
+//! `sign(BatchNorm(a))` exactly:
+//!
+//! `sign(γ·(a−μ)/σ + β) = +1  ⟺  a ≥ τ` (γ > 0), `a ≤ τ` (γ < 0),
+//! constant when γ = 0. Thresholds are computed in f64, so the comparison is
+//! exact for every integer accumulator the MVTU can produce.
+
+use serde::{Deserialize, Serialize};
+
+/// One channel's threshold decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdChannel {
+    /// Output +1 iff the accumulator is ≥ τ (the γ > 0 case).
+    Ge(i64),
+    /// Output +1 iff the accumulator is ≤ τ (the γ < 0 case).
+    Le(i64),
+    /// Output is a constant regardless of the accumulator (γ = 0).
+    Const(bool),
+}
+
+impl ThresholdChannel {
+    /// Derive from batch-norm parameters. `var` is the (biased) running
+    /// variance; `eps` the numerical-stability constant used at training.
+    pub fn from_batchnorm(gamma: f64, beta: f64, mean: f64, var: f64, eps: f64) -> Self {
+        assert!(var >= 0.0 && eps > 0.0, "invalid batch-norm statistics");
+        let sigma = (var + eps).sqrt();
+        if gamma == 0.0 {
+            // sign(β): β ≥ 0 → +1 (paper Eq. 1 tie rule).
+            return ThresholdChannel::Const(beta >= 0.0);
+        }
+        let tau = mean - beta * sigma / gamma;
+        if gamma > 0.0 {
+            // a ≥ τ over integers ⟺ a ≥ ⌈τ⌉.
+            ThresholdChannel::Ge(tau.ceil() as i64)
+        } else {
+            // a ≤ τ over integers ⟺ a ≤ ⌊τ⌋.
+            ThresholdChannel::Le(tau.floor() as i64)
+        }
+    }
+
+    /// Evaluate the comparison on an integer accumulator.
+    #[inline]
+    pub fn apply(&self, acc: i64) -> bool {
+        match *self {
+            ThresholdChannel::Ge(t) => acc >= t,
+            ThresholdChannel::Le(t) => acc <= t,
+            ThresholdChannel::Const(b) => b,
+        }
+    }
+}
+
+/// A bank of per-channel thresholds — one MVTU's threshold memory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdUnit {
+    channels: Vec<ThresholdChannel>,
+}
+
+impl ThresholdUnit {
+    /// Build from per-channel decisions.
+    pub fn new(channels: Vec<ThresholdChannel>) -> Self {
+        ThresholdUnit { channels }
+    }
+
+    /// Derive a whole bank from per-channel batch-norm parameter slices.
+    pub fn from_batchnorm(
+        gamma: &[f32],
+        beta: &[f32],
+        mean: &[f32],
+        var: &[f32],
+        eps: f32,
+    ) -> Self {
+        assert!(
+            gamma.len() == beta.len() && beta.len() == mean.len() && mean.len() == var.len(),
+            "batch-norm parameter slices must share a length"
+        );
+        ThresholdUnit {
+            channels: (0..gamma.len())
+                .map(|c| {
+                    ThresholdChannel::from_batchnorm(
+                        gamma[c] as f64,
+                        beta[c] as f64,
+                        mean[c] as f64,
+                        var[c] as f64,
+                        eps as f64,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True when the bank has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Per-channel decisions.
+    pub fn channels(&self) -> &[ThresholdChannel] {
+        &self.channels
+    }
+
+    /// Threshold channel `c`'s accumulator.
+    #[inline]
+    pub fn apply(&self, c: usize, acc: i64) -> bool {
+        self.channels[c].apply(acc)
+    }
+
+    /// Threshold a full accumulator vector (one per channel) to bits.
+    pub fn apply_all(&self, accs: &[i64]) -> Vec<bool> {
+        assert_eq!(accs.len(), self.channels.len(), "accumulator count mismatch");
+        accs.iter()
+            .zip(&self.channels)
+            .map(|(&a, t)| t.apply(a))
+            .collect()
+    }
+}
+
+/// Reference float evaluation of batch-norm + sign, in f64 — the semantic
+/// the threshold must reproduce. Public so equivalence tests in other crates
+/// compare against the same definition.
+pub fn batchnorm_sign_reference(
+    acc: i64,
+    gamma: f64,
+    beta: f64,
+    mean: f64,
+    var: f64,
+    eps: f64,
+) -> bool {
+    let sigma = (var + eps).sqrt();
+    gamma * (acc as f64 - mean) / sigma + beta >= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn positive_gamma_is_ge() {
+        // γ=1, β=0, μ=3.2, σ≈1 → fire at a ≥ 4.
+        let t = ThresholdChannel::from_batchnorm(1.0, 0.0, 3.2, 1.0 - 1e-5, 1e-5);
+        assert_eq!(t, ThresholdChannel::Ge(4));
+        assert!(!t.apply(3));
+        assert!(t.apply(4));
+    }
+
+    #[test]
+    fn negative_gamma_flips_direction() {
+        let t = ThresholdChannel::from_batchnorm(-1.0, 0.0, 3.2, 1.0 - 1e-5, 1e-5);
+        assert_eq!(t, ThresholdChannel::Le(3));
+        assert!(t.apply(3));
+        assert!(!t.apply(4));
+    }
+
+    #[test]
+    fn zero_gamma_is_constant_sign_of_beta() {
+        assert_eq!(
+            ThresholdChannel::from_batchnorm(0.0, 0.5, 10.0, 1.0, 1e-5),
+            ThresholdChannel::Const(true)
+        );
+        assert_eq!(
+            ThresholdChannel::from_batchnorm(0.0, -0.5, 10.0, 1.0, 1e-5),
+            ThresholdChannel::Const(false)
+        );
+        // β = 0 ties to +1 per Eq. 1.
+        assert_eq!(
+            ThresholdChannel::from_batchnorm(0.0, 0.0, 10.0, 1.0, 1e-5),
+            ThresholdChannel::Const(true)
+        );
+    }
+
+    #[test]
+    fn integer_tau_boundary_inclusive() {
+        // τ_real exactly integer: γ=1, β=−2, μ=0, σ=1 → τ=2, fire at a ≥ 2.
+        let t = ThresholdChannel::from_batchnorm(1.0, -2.0, 0.0, 1.0 - 1e-5, 1e-5);
+        assert_eq!(t, ThresholdChannel::Ge(2));
+        assert!(t.apply(2), "boundary must be inclusive (sign(0) = +1)");
+        assert!(!t.apply(1));
+    }
+
+    #[test]
+    fn unit_applies_bank() {
+        let u = ThresholdUnit::from_batchnorm(
+            &[1.0, -1.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            1e-5,
+        );
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.apply_all(&[5, 5]), vec![true, false]);
+        assert_eq!(u.apply_all(&[-5, -5]), vec![false, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn prop_threshold_equals_float_batchnorm_sign(
+            gamma in -4.0f64..4.0,
+            beta in -4.0f64..4.0,
+            mean in -50.0f64..50.0,
+            var in 0.0f64..30.0,
+            acc in -600i64..600,
+        ) {
+            let eps = 1e-5f64;
+            let t = ThresholdChannel::from_batchnorm(gamma, beta, mean, var, eps);
+            prop_assert_eq!(
+                t.apply(acc),
+                batchnorm_sign_reference(acc, gamma, beta, mean, var, eps),
+                "γ={} β={} μ={} var={} a={} → {:?}", gamma, beta, mean, var, acc, t
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Label-preserving augmentations (Sec. IV-A): contrast, brightness,
+//! Gaussian noise, horizontal flip, rotation.
+//!
+//! Every op takes and returns a CHW tensor on the 8-bit grid; outputs are
+//! re-quantized so augmented data keeps the camera-interface contract.
+
+use crate::canvas::quantize_u8;
+use bcp_tensor::Tensor;
+use rand::Rng;
+
+fn chw_dims(img: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(img.shape().rank(), 3, "augment expects CHW, got {}", img.shape());
+    (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2))
+}
+
+/// Additive brightness shift (clamped, re-quantized).
+pub fn brightness(img: &Tensor, delta: f32) -> Tensor {
+    img.map(|v| quantize_u8(v + delta))
+}
+
+/// Contrast scaling about mid-gray: `0.5 + k·(v − 0.5)`.
+pub fn contrast(img: &Tensor, k: f32) -> Tensor {
+    img.map(|v| quantize_u8(0.5 + k * (v - 0.5)))
+}
+
+/// Additive Gaussian pixel noise with standard deviation `std`.
+pub fn gaussian_noise(img: &Tensor, std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut out = img.clone();
+    for v in out.as_mut_slice() {
+        // Box–Muller from two uniforms.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        *v = quantize_u8(*v + n * std);
+    }
+    out
+}
+
+/// Horizontal mirror.
+pub fn hflip(img: &Tensor) -> Tensor {
+    let (c, h, w) = chw_dims(img);
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    for ci in 0..c {
+        for y in 0..h {
+            let base = (ci * h + y) * w;
+            for x in 0..w {
+                out[base + x] = src[base + (w - 1 - x)];
+            }
+        }
+    }
+    Tensor::from_vec(img.shape().clone(), out)
+}
+
+/// Rotate about the image center by `degrees` (nearest-neighbour sampling,
+/// clamp-to-edge for out-of-bounds source coordinates). Small rotations
+/// keep the mask/landmark relationship — and therefore the label — intact.
+pub fn rotate(img: &Tensor, degrees: f32) -> Tensor {
+    let (c, h, w) = chw_dims(img);
+    let rad = degrees.to_radians();
+    let (sin, cos) = rad.sin_cos();
+    let (cx, cy) = ((w as f32 - 1.0) / 2.0, (h as f32 - 1.0) / 2.0);
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                // Inverse rotation: destination → source.
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                let sx = (cos * dx + sin * dy + cx).round();
+                let sy = (-sin * dx + cos * dy + cy).round();
+                let sx = (sx.max(0.0) as usize).min(w - 1);
+                let sy = (sy.max(0.0) as usize).min(h - 1);
+                out[(ci * h + y) * w + x] = src[(ci * h + sy) * w + sx];
+            }
+        }
+    }
+    Tensor::from_vec(img.shape().clone(), out)
+}
+
+/// Apply the paper's random augmentation combination: each op fires
+/// independently with moderate strength.
+pub fn random_augment(img: &Tensor, rng: &mut impl Rng) -> Tensor {
+    let mut out = img.clone();
+    if rng.gen_bool(0.5) {
+        out = brightness(&out, rng.gen_range(-0.15..0.15));
+    }
+    if rng.gen_bool(0.5) {
+        out = contrast(&out, rng.gen_range(0.7..1.3));
+    }
+    if rng.gen_bool(0.5) {
+        out = hflip(&out);
+    }
+    if rng.gen_bool(0.3) {
+        out = rotate(&out, rng.gen_range(-12.0..12.0));
+    }
+    if rng.gen_bool(0.4) {
+        out = gaussian_noise(&out, rng.gen_range(0.005..0.03), rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::Shape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn img() -> Tensor {
+        let data: Vec<f32> = (0..3 * 4 * 4).map(|i| quantize_u8(i as f32 / 48.0)).collect();
+        Tensor::from_vec(Shape::d3(3, 4, 4), data)
+    }
+
+    fn on_u8_grid(t: &Tensor) -> bool {
+        t.as_slice().iter().all(|&v| {
+            let k = (v * 255.0).round();
+            (v - k / 255.0).abs() < 1e-6 && (0.0..=1.0).contains(&v)
+        })
+    }
+
+    #[test]
+    fn brightness_shifts_and_clamps() {
+        let b = brightness(&img(), 2.0);
+        assert!(b.as_slice().iter().all(|&v| v == 1.0));
+        let d = brightness(&img(), -2.0);
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+        assert!(on_u8_grid(&brightness(&img(), 0.07)));
+    }
+
+    #[test]
+    fn contrast_identity_at_one() {
+        let c = contrast(&img(), 1.0);
+        assert_eq!(c, img());
+        // Zero contrast collapses to mid-gray.
+        let z = contrast(&img(), 0.0);
+        let mid = quantize_u8(0.5);
+        assert!(z.as_slice().iter().all(|&v| v == mid));
+    }
+
+    #[test]
+    fn hflip_is_involution() {
+        let f = hflip(&img());
+        assert_ne!(f, img());
+        assert_eq!(hflip(&f), img());
+        // Row contents preserved as sets.
+        let orig: f32 = img().as_slice().iter().sum();
+        let flip: f32 = f.as_slice().iter().sum();
+        assert!((orig - flip).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotate_zero_is_identity() {
+        assert_eq!(rotate(&img(), 0.0), img());
+    }
+
+    #[test]
+    fn rotate_360_is_identity() {
+        assert_eq!(rotate(&img(), 360.0), img());
+    }
+
+    #[test]
+    fn rotate_90_moves_pixels() {
+        let r = rotate(&img(), 90.0);
+        assert_ne!(r, img());
+        assert_eq!(r.shape(), img().shape());
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_on_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = gaussian_noise(&img(), 0.05, &mut rng);
+        assert_ne!(n, img());
+        assert!(on_u8_grid(&n));
+    }
+
+    #[test]
+    fn random_augment_deterministic_per_seed() {
+        let a = random_augment(&img(), &mut StdRng::seed_from_u64(3));
+        let b = random_augment(&img(), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert!(on_u8_grid(&a));
+        assert_eq!(a.shape(), img().shape());
+    }
+}

@@ -1,0 +1,305 @@
+//! Supersampled RGB raster with simple fill primitives.
+
+use bcp_tensor::{Shape, Tensor};
+
+/// An RGB color with components in [0, 1].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rgb(pub f32, pub f32, pub f32);
+
+impl Rgb {
+    /// Componentwise scale (for shading), clamped to [0, 1].
+    pub fn scale(self, k: f32) -> Rgb {
+        Rgb(
+            (self.0 * k).clamp(0.0, 1.0),
+            (self.1 * k).clamp(0.0, 1.0),
+            (self.2 * k).clamp(0.0, 1.0),
+        )
+    }
+
+    /// Linear blend toward `other` by `t ∈ [0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        Rgb(
+            self.0 + (other.0 - self.0) * t,
+            self.1 + (other.1 - self.1) * t,
+            self.2 + (other.2 - self.2) * t,
+        )
+    }
+}
+
+/// A square RGB canvas, pixel-major (row-major, 3 floats per pixel).
+///
+/// Faces are drawn in *normalized* coordinates — (0,0) top-left to (1,1)
+/// bottom-right — at a supersampled resolution, then box-downsampled to the
+/// network input size so 32×32 images keep smooth feature edges.
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    size: usize,
+    data: Vec<f32>, // size·size·3, rgb interleaved
+}
+
+impl Canvas {
+    /// New canvas filled with `background`.
+    pub fn new(size: usize, background: Rgb) -> Self {
+        assert!(size > 0, "canvas size must be positive");
+        let mut data = Vec::with_capacity(size * size * 3);
+        for _ in 0..size * size {
+            data.extend_from_slice(&[background.0, background.1, background.2]);
+        }
+        Canvas { size, data }
+    }
+
+    /// Canvas edge length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Read pixel (x, y).
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        let i = (y * self.size + x) * 3;
+        Rgb(self.data[i], self.data[i + 1], self.data[i + 2])
+    }
+
+    /// Write pixel (x, y); out-of-bounds writes are ignored (drawing
+    /// primitives clip naturally).
+    pub fn put(&mut self, x: isize, y: isize, c: Rgb) {
+        if x < 0 || y < 0 || x as usize >= self.size || y as usize >= self.size {
+            return;
+        }
+        let i = (y as usize * self.size + x as usize) * 3;
+        self.data[i] = c.0;
+        self.data[i + 1] = c.1;
+        self.data[i + 2] = c.2;
+    }
+
+    fn px(&self, v: f32) -> isize {
+        (v * self.size as f32).round() as isize
+    }
+
+    /// Fill an axis-aligned ellipse given center and radii in normalized
+    /// coordinates.
+    pub fn fill_ellipse(&mut self, cx: f32, cy: f32, rx: f32, ry: f32, c: Rgb) {
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        let (x0, x1) = (self.px(cx - rx), self.px(cx + rx));
+        let (y0, y1) = (self.px(cy - ry), self.px(cy + ry));
+        let s = self.size as f32;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let fx = (x as f32 + 0.5) / s;
+                let fy = (y as f32 + 0.5) / s;
+                let dx = (fx - cx) / rx;
+                let dy = (fy - cy) / ry;
+                if dx * dx + dy * dy <= 1.0 {
+                    self.put(x, y, c);
+                }
+            }
+        }
+    }
+
+    /// Fill an axis-aligned rectangle in normalized coordinates.
+    pub fn fill_rect(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, c: Rgb) {
+        let (px0, px1) = (self.px(x0.min(x1)), self.px(x0.max(x1)));
+        let (py0, py1) = (self.px(y0.min(y1)), self.px(y0.max(y1)));
+        for y in py0..py1 {
+            for x in px0..px1 {
+                self.put(x, y, c);
+            }
+        }
+    }
+
+    /// Fill a convex polygon given normalized vertices (winding either way),
+    /// by point-in-convex-polygon scanline testing.
+    pub fn fill_convex_polygon(&mut self, verts: &[(f32, f32)], c: Rgb) {
+        assert!(verts.len() >= 3, "polygon needs ≥ 3 vertices");
+        let min_x = verts.iter().map(|v| v.0).fold(f32::INFINITY, f32::min);
+        let max_x = verts.iter().map(|v| v.0).fold(f32::NEG_INFINITY, f32::max);
+        let min_y = verts.iter().map(|v| v.1).fold(f32::INFINITY, f32::min);
+        let max_y = verts.iter().map(|v| v.1).fold(f32::NEG_INFINITY, f32::max);
+        let s = self.size as f32;
+        for y in self.px(min_y)..=self.px(max_y) {
+            for x in self.px(min_x)..=self.px(max_x) {
+                let fx = (x as f32 + 0.5) / s;
+                let fy = (y as f32 + 0.5) / s;
+                if point_in_convex(verts, fx, fy) {
+                    self.put(x, y, c);
+                }
+            }
+        }
+    }
+
+    /// Draw a thick line segment (normalized endpoints + thickness).
+    pub fn draw_line(&mut self, x0: f32, y0: f32, x1: f32, y1: f32, thickness: f32, c: Rgb) {
+        let steps = (self.size as f32 * ((x1 - x0).abs() + (y1 - y0).abs()).max(0.01)) as usize + 1;
+        let r = thickness / 2.0;
+        for i in 0..=steps {
+            let t = i as f32 / steps as f32;
+            let cx = x0 + (x1 - x0) * t;
+            let cy = y0 + (y1 - y0) * t;
+            self.fill_ellipse(cx, cy, r, r, c);
+        }
+    }
+
+    /// Box-filter downsample to `target` × `target` and emit as a CHW tensor
+    /// with values quantized to the 8-bit grid (`k/255`).
+    pub fn downsample_to_tensor(&self, target: usize) -> Tensor {
+        assert!(target > 0 && self.size.is_multiple_of(target),
+            "canvas size {} must be a multiple of target {target}", self.size);
+        let factor = self.size / target;
+        let area = (factor * factor) as f32;
+        let mut out = vec![0.0f32; 3 * target * target];
+        for ty in 0..target {
+            for tx in 0..target {
+                let mut acc = [0.0f32; 3];
+                for dy in 0..factor {
+                    for dx in 0..factor {
+                        let p = self.get(tx * factor + dx, ty * factor + dy);
+                        acc[0] += p.0;
+                        acc[1] += p.1;
+                        acc[2] += p.2;
+                    }
+                }
+                for ch in 0..3 {
+                    let v = acc[ch] / area;
+                    out[ch * target * target + ty * target + tx] = quantize_u8(v);
+                }
+            }
+        }
+        Tensor::from_vec(Shape::d3(3, target, target), out)
+    }
+}
+
+/// Snap a `[0,1]` value to the 8-bit grid: `round(v·255)/255`.
+#[inline]
+pub fn quantize_u8(v: f32) -> f32 {
+    (v.clamp(0.0, 1.0) * 255.0).round() / 255.0
+}
+
+/// Point-in-convex-polygon: the point must be on a consistent side of every
+/// edge.
+fn point_in_convex(verts: &[(f32, f32)], px: f32, py: f32) -> bool {
+    let n = verts.len();
+    let mut sign = 0i32;
+    for i in 0..n {
+        let (x0, y0) = verts[i];
+        let (x1, y1) = verts[(i + 1) % n];
+        let cross = (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0);
+        let s = if cross > 0.0 {
+            1
+        } else if cross < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if s != 0 {
+            if sign == 0 {
+                sign = s;
+            } else if s != sign {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_canvas_is_background() {
+        let c = Canvas::new(4, Rgb(0.5, 0.25, 1.0));
+        assert_eq!(c.get(3, 3), Rgb(0.5, 0.25, 1.0));
+    }
+
+    #[test]
+    fn put_clips_out_of_bounds() {
+        let mut c = Canvas::new(4, Rgb(0.0, 0.0, 0.0));
+        c.put(-1, 2, Rgb(1.0, 1.0, 1.0));
+        c.put(4, 0, Rgb(1.0, 1.0, 1.0));
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(c.get(x, y), Rgb(0.0, 0.0, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn ellipse_center_filled_corner_not() {
+        let mut c = Canvas::new(32, Rgb(0.0, 0.0, 0.0));
+        c.fill_ellipse(0.5, 0.5, 0.25, 0.25, Rgb(1.0, 0.0, 0.0));
+        assert_eq!(c.get(16, 16), Rgb(1.0, 0.0, 0.0));
+        assert_eq!(c.get(0, 0), Rgb(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rect_covers_expected_pixels() {
+        let mut c = Canvas::new(8, Rgb(0.0, 0.0, 0.0));
+        c.fill_rect(0.25, 0.25, 0.75, 0.75, Rgb(0.0, 1.0, 0.0));
+        assert_eq!(c.get(4, 4), Rgb(0.0, 1.0, 0.0));
+        assert_eq!(c.get(0, 0), Rgb(0.0, 0.0, 0.0));
+        assert_eq!(c.get(7, 7), Rgb(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn convex_polygon_fill() {
+        let mut c = Canvas::new(16, Rgb(0.0, 0.0, 0.0));
+        // A diamond around the center.
+        c.fill_convex_polygon(
+            &[(0.5, 0.1), (0.9, 0.5), (0.5, 0.9), (0.1, 0.5)],
+            Rgb(0.0, 0.0, 1.0),
+        );
+        assert_eq!(c.get(8, 8), Rgb(0.0, 0.0, 1.0));
+        assert_eq!(c.get(0, 0), Rgb(0.0, 0.0, 0.0));
+        assert_eq!(c.get(15, 0), Rgb(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn point_in_convex_both_windings() {
+        let cw = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        let ccw = [(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)];
+        assert!(point_in_convex(&cw, 0.5, 0.5));
+        assert!(point_in_convex(&ccw, 0.5, 0.5));
+        assert!(!point_in_convex(&cw, 1.5, 0.5));
+        assert!(!point_in_convex(&ccw, -0.1, 0.5));
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let mut c = Canvas::new(4, Rgb(0.0, 0.0, 0.0));
+        // Top-left 2×2 block fully red.
+        c.fill_rect(0.0, 0.0, 0.5, 0.5, Rgb(1.0, 0.0, 0.0));
+        let t = c.downsample_to_tensor(2);
+        assert_eq!(t.shape().dims(), &[3, 2, 2]);
+        assert_eq!(t.at(&[0, 0, 0]), 1.0); // R of top-left
+        assert_eq!(t.at(&[0, 0, 1]), 0.0);
+        assert_eq!(t.at(&[0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn downsample_output_is_u8_quantized() {
+        let mut c = Canvas::new(8, Rgb(0.3333, 0.777, 0.123));
+        c.fill_ellipse(0.5, 0.5, 0.3, 0.3, Rgb(0.9, 0.01, 0.5));
+        let t = c.downsample_to_tensor(4);
+        for &v in t.as_slice() {
+            let k = (v * 255.0).round();
+            assert!((v - k / 255.0).abs() < 1e-6, "{v} not on the u8 grid");
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of target")]
+    fn downsample_requires_divisible_sizes() {
+        Canvas::new(10, Rgb(0.0, 0.0, 0.0)).downsample_to_tensor(4);
+    }
+
+    #[test]
+    fn rgb_helpers() {
+        let c = Rgb(0.4, 0.8, 1.0).scale(2.0);
+        assert_eq!(c, Rgb(0.8, 1.0, 1.0));
+        let m = Rgb(0.0, 0.0, 0.0).lerp(Rgb(1.0, 0.5, 0.0), 0.5);
+        assert_eq!(m, Rgb(0.5, 0.25, 0.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! The four wear-position classes of Sec. IV-A.
+
+use serde::{Deserialize, Serialize};
+
+/// Mask wear/positioning class (the split of MaskedFace-Net into CMFD +
+/// three IMFD sub-classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaskClass {
+    /// CMFD: mask covers nose, mouth and chin.
+    CorrectlyMasked,
+    /// IMFD Nose: nose exposed, mouth and chin covered.
+    NoseExposed,
+    /// IMFD Nose and Mouth: mask pulled down to the chin.
+    NoseMouthExposed,
+    /// IMFD Chin: nose and mouth covered, chin exposed.
+    ChinExposed,
+}
+
+impl MaskClass {
+    /// All classes, in label order.
+    pub const ALL: [MaskClass; 4] = [
+        MaskClass::CorrectlyMasked,
+        MaskClass::NoseExposed,
+        MaskClass::NoseMouthExposed,
+        MaskClass::ChinExposed,
+    ];
+
+    /// Integer label (the network's output index).
+    pub fn label(self) -> usize {
+        match self {
+            MaskClass::CorrectlyMasked => 0,
+            MaskClass::NoseExposed => 1,
+            MaskClass::NoseMouthExposed => 2,
+            MaskClass::ChinExposed => 3,
+        }
+    }
+
+    /// Class from an integer label.
+    pub fn from_label(label: usize) -> MaskClass {
+        *Self::ALL
+            .get(label)
+            .unwrap_or_else(|| panic!("label {label} out of range for 4 classes"))
+    }
+
+    /// Short display name, matching Fig. 2's axis labels.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            MaskClass::CorrectlyMasked => "Correct",
+            MaskClass::NoseExposed => "Nose",
+            MaskClass::NoseMouthExposed => "N+M",
+            MaskClass::ChinExposed => "Chin",
+        }
+    }
+
+    /// Full display name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            MaskClass::CorrectlyMasked => "Correctly Masked",
+            MaskClass::NoseExposed => "Nose Exposed",
+            MaskClass::NoseMouthExposed => "Nose and Mouth Exposed",
+            MaskClass::ChinExposed => "Chin Exposed",
+        }
+    }
+
+    /// MaskedFace-Net's raw class share (Sec. IV-A: 51/39/5/5 %).
+    pub fn raw_share(self) -> f64 {
+        match self {
+            MaskClass::CorrectlyMasked => 0.51,
+            MaskClass::NoseExposed => 0.39,
+            MaskClass::NoseMouthExposed => 0.05,
+            MaskClass::ChinExposed => 0.05,
+        }
+    }
+
+    /// Which facial landmarks the mask must (not) cover for this class:
+    /// `(nose_covered, mouth_covered, chin_covered)`.
+    pub fn coverage(self) -> (bool, bool, bool) {
+        match self {
+            MaskClass::CorrectlyMasked => (true, true, true),
+            MaskClass::NoseExposed => (false, true, true),
+            MaskClass::NoseMouthExposed => (false, false, true),
+            MaskClass::ChinExposed => (true, true, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for c in MaskClass::ALL {
+            assert_eq!(MaskClass::from_label(c.label()), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        MaskClass::from_label(4);
+    }
+
+    #[test]
+    fn raw_shares_sum_to_one() {
+        let total: f64 = MaskClass::ALL.iter().map(|c| c.raw_share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_distinguishes_all_classes() {
+        let mut seen = std::collections::HashSet::new();
+        for c in MaskClass::ALL {
+            assert!(seen.insert(c.coverage()), "coverage patterns must be unique");
+        }
+    }
+
+    #[test]
+    fn names_match_fig2() {
+        assert_eq!(MaskClass::CorrectlyMasked.short_name(), "Correct");
+        assert_eq!(MaskClass::NoseMouthExposed.short_name(), "N+M");
+    }
+}

@@ -1,0 +1,424 @@
+//! Parametric face model.
+//!
+//! Faces are sampled over the generalization axes the paper's Grad-CAM
+//! analysis probes: skin tone (a wide tone ramp), face shape, age group
+//! (Fig. 7: infants and elderly), hair style/color and headgear — including
+//! hair in the same light blue as surgical masks (Fig. 8) — plus sunglasses
+//! and face paint (Fig. 9).
+
+use crate::canvas::{Canvas, Rgb};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Age group (affects facial proportions and default hair color).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgeGroup {
+    /// Larger forehead, smaller features, lower eye line.
+    Infant,
+    /// Reference proportions.
+    Adult,
+    /// Gray hair bias and wrinkle lines.
+    Elderly,
+}
+
+/// Hair style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HairStyle {
+    /// No hair drawn.
+    Bald,
+    /// Hair cap over the top of the head.
+    Short,
+    /// Hair falling alongside the face.
+    Long,
+}
+
+/// Headgear over the hair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Headgear {
+    /// None.
+    None,
+    /// A flat cap band across the forehead.
+    Cap,
+    /// A scarf wrapping the top and sides of the head.
+    Headscarf,
+}
+
+/// Facial landmark positions in normalized canvas coordinates. The mask
+/// renderer keys its four wear positions off these, exactly as
+/// MaskedFace-Net keys its deformable mask model off detected key-points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Landmarks {
+    /// Face center x.
+    pub cx: f32,
+    /// Face center y.
+    pub cy: f32,
+    /// Face half-width.
+    pub rx: f32,
+    /// Face half-height.
+    pub ry: f32,
+    /// Eye line y.
+    pub eye_y: f32,
+    /// Nose tip (x, y).
+    pub nose: (f32, f32),
+    /// Mouth center (x, y).
+    pub mouth: (f32, f32),
+    /// Chin point (x, y).
+    pub chin: (f32, f32),
+}
+
+/// A fully-specified synthetic face.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaceParams {
+    /// Skin tone.
+    pub skin: Rgb,
+    /// Face center (normalized).
+    pub center: (f32, f32),
+    /// Face radii (normalized half-width/half-height).
+    pub radii: (f32, f32),
+    /// Age group.
+    pub age: AgeGroup,
+    /// Hair style.
+    pub hair: HairStyle,
+    /// Hair color.
+    pub hair_color: Rgb,
+    /// Headgear.
+    pub headgear: Headgear,
+    /// Headgear color.
+    pub headgear_color: Rgb,
+    /// Eye/iris color.
+    pub eye_color: Rgb,
+    /// Sunglasses instead of visible eyes (Fig. 9).
+    pub sunglasses: bool,
+    /// Face-paint overlay color (Fig. 9).
+    pub face_paint: Option<Rgb>,
+    /// Background color.
+    pub background: Rgb,
+}
+
+/// The skin-tone ramp: a light-to-dark interpolation covering the range the
+/// paper's demographic-generalization claims address.
+pub fn skin_tone(t: f32) -> Rgb {
+    let light = Rgb(0.95, 0.80, 0.69);
+    let dark = Rgb(0.35, 0.22, 0.14);
+    light.lerp(dark, t)
+}
+
+/// The canonical surgical-mask light blue — also used for the confusable
+/// hair/headgear colors of Fig. 8.
+pub const MASK_BLUE: Rgb = Rgb(0.62, 0.78, 0.87);
+
+impl FaceParams {
+    /// Sample a face uniformly over the attribute space.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let age = match rng.gen_range(0..10) {
+            0..=1 => AgeGroup::Infant,
+            2..=7 => AgeGroup::Adult,
+            _ => AgeGroup::Elderly,
+        };
+        let hair = match rng.gen_range(0..10) {
+            0 => HairStyle::Bald,
+            1..=6 => HairStyle::Short,
+            _ => HairStyle::Long,
+        };
+        let hair_color = match age {
+            AgeGroup::Elderly if rng.gen_bool(0.7) => {
+                let g = rng.gen_range(0.65..0.9);
+                Rgb(g, g, g)
+            }
+            _ => match rng.gen_range(0..6) {
+                0 => Rgb(0.1, 0.08, 0.05),                     // black
+                1 => Rgb(0.35, 0.2, 0.08),                     // brown
+                2 => Rgb(0.85, 0.7, 0.3),                      // blond
+                3 => Rgb(0.55, 0.2, 0.1),                      // red
+                4 => MASK_BLUE,                                // Fig. 8 confuser
+                _ => Rgb(rng.gen(), rng.gen(), rng.gen()),     // dyed
+            },
+        };
+        let headgear = match rng.gen_range(0..10) {
+            0..=6 => Headgear::None,
+            7..=8 => Headgear::Cap,
+            _ => Headgear::Headscarf,
+        };
+        let headgear_color = if rng.gen_bool(0.3) {
+            MASK_BLUE
+        } else {
+            Rgb(rng.gen(), rng.gen(), rng.gen())
+        };
+        let base_ry = match age {
+            AgeGroup::Infant => rng.gen_range(0.26..0.32),
+            _ => rng.gen_range(0.32..0.40),
+        };
+        let aspect = match age {
+            AgeGroup::Infant => rng.gen_range(0.85..1.0), // rounder
+            _ => rng.gen_range(0.68..0.85),
+        };
+        FaceParams {
+            skin: skin_tone(rng.gen_range(0.0..1.0)),
+            center: (
+                0.5 + rng.gen_range(-0.04..0.04),
+                0.5 + rng.gen_range(-0.04..0.04),
+            ),
+            radii: (base_ry * aspect, base_ry),
+            age,
+            hair,
+            hair_color,
+            headgear,
+            headgear_color,
+            eye_color: Rgb(
+                rng.gen_range(0.05..0.5),
+                rng.gen_range(0.1..0.5),
+                rng.gen_range(0.1..0.7),
+            ),
+            sunglasses: rng.gen_bool(0.08),
+            face_paint: rng.gen_bool(0.05).then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
+            background: Rgb(
+                rng.gen_range(0.1..0.95),
+                rng.gen_range(0.1..0.95),
+                rng.gen_range(0.1..0.95),
+            ),
+        }
+    }
+
+    /// Landmark positions for this face.
+    pub fn landmarks(&self) -> Landmarks {
+        let (cx, cy) = self.center;
+        let (rx, ry) = self.radii;
+        // Infants carry their features lower (larger forehead).
+        let shift = match self.age {
+            AgeGroup::Infant => 0.10 * ry,
+            _ => 0.0,
+        };
+        Landmarks {
+            cx,
+            cy,
+            rx,
+            ry,
+            eye_y: cy - 0.18 * ry + shift,
+            nose: (cx, cy + 0.10 * ry + shift),
+            mouth: (cx, cy + 0.42 * ry + shift * 0.5),
+            chin: (cx, cy + 0.82 * ry),
+        }
+    }
+
+    /// Render the bare (unmasked) face onto a canvas. The mask renderer
+    /// draws on top afterwards.
+    pub fn render(&self, canvas: &mut Canvas) {
+        let lm = self.landmarks();
+        let (cx, cy) = self.center;
+        let (rx, ry) = self.radii;
+
+        // Long hair sits behind the face.
+        if self.hair == HairStyle::Long {
+            canvas.fill_ellipse(cx, cy + 0.05, rx * 1.35, ry * 1.2, self.hair_color);
+        }
+
+        // Head.
+        canvas.fill_ellipse(cx, cy, rx, ry, self.skin);
+
+        // Ears.
+        canvas.fill_ellipse(cx - rx, cy, rx * 0.14, ry * 0.16, self.skin.scale(0.95));
+        canvas.fill_ellipse(cx + rx, cy, rx * 0.14, ry * 0.16, self.skin.scale(0.95));
+
+        // Short hair / fringe on top.
+        match self.hair {
+            HairStyle::Short => {
+                canvas.fill_ellipse(cx, cy - 0.55 * ry, rx * 0.98, ry * 0.42, self.hair_color);
+            }
+            HairStyle::Long => {
+                canvas.fill_ellipse(cx, cy - 0.55 * ry, rx * 1.05, ry * 0.45, self.hair_color);
+            }
+            HairStyle::Bald => {}
+        }
+
+        // Elderly wrinkles: faint horizontal forehead lines.
+        if self.age == AgeGroup::Elderly {
+            let w = self.skin.scale(0.8);
+            canvas.draw_line(cx - rx * 0.5, cy - 0.45 * ry, cx + rx * 0.5, cy - 0.45 * ry, 0.006, w);
+            canvas.draw_line(cx - rx * 0.45, cy - 0.37 * ry, cx + rx * 0.45, cy - 0.37 * ry, 0.006, w);
+        }
+
+        // Eyes / eyebrows or sunglasses.
+        let eye_dx = rx * 0.42;
+        let eye_r = rx * match self.age {
+            AgeGroup::Infant => 0.17,
+            AgeGroup::Adult => 0.14,
+            AgeGroup::Elderly => 0.11,
+        };
+        if self.sunglasses {
+            let dark = Rgb(0.05, 0.05, 0.08);
+            canvas.fill_ellipse(cx - eye_dx, lm.eye_y, eye_r * 1.5, eye_r * 1.2, dark);
+            canvas.fill_ellipse(cx + eye_dx, lm.eye_y, eye_r * 1.5, eye_r * 1.2, dark);
+            canvas.draw_line(cx - eye_dx, lm.eye_y, cx + eye_dx, lm.eye_y, 0.008, dark);
+        } else {
+            let white = Rgb(0.98, 0.98, 0.98);
+            for side in [-1.0f32, 1.0] {
+                let ex = cx + side * eye_dx;
+                canvas.fill_ellipse(ex, lm.eye_y, eye_r, eye_r * 0.7, white);
+                canvas.fill_ellipse(ex, lm.eye_y, eye_r * 0.45, eye_r * 0.45, self.eye_color);
+                // Eyebrow.
+                canvas.draw_line(
+                    ex - eye_r,
+                    lm.eye_y - eye_r * 1.2,
+                    ex + eye_r,
+                    lm.eye_y - eye_r * 1.2,
+                    0.008,
+                    self.hair_color.scale(0.7),
+                );
+            }
+        }
+
+        // Nose: a small shaded wedge ending at the nose tip.
+        let nose_c = self.skin.scale(0.85);
+        canvas.fill_convex_polygon(
+            &[
+                (lm.nose.0, lm.nose.1 - 0.18 * ry),
+                (lm.nose.0 - 0.09 * rx, lm.nose.1 + 0.03 * ry),
+                (lm.nose.0 + 0.09 * rx, lm.nose.1 + 0.03 * ry),
+            ],
+            nose_c,
+        );
+
+        // Mouth.
+        canvas.fill_ellipse(lm.mouth.0, lm.mouth.1, rx * 0.30, ry * 0.07, Rgb(0.65, 0.25, 0.25));
+
+        // Face paint: a translucent-looking diagonal band (drawn opaque but
+        // thin, before the mask so it can also be occluded by it).
+        if let Some(paint) = self.face_paint {
+            canvas.draw_line(cx - rx * 0.7, cy - ry * 0.3, cx + rx * 0.5, cy + ry * 0.4, 0.02, paint);
+            canvas.draw_line(cx - rx * 0.5, cy - ry * 0.45, cx + rx * 0.7, cy + ry * 0.2, 0.015, paint);
+        }
+
+        // Headgear on top of hair.
+        match self.headgear {
+            Headgear::None => {}
+            Headgear::Cap => {
+                canvas.fill_rect(
+                    cx - rx * 1.02,
+                    cy - ry * 0.95,
+                    cx + rx * 1.02,
+                    cy - ry * 0.55,
+                    self.headgear_color,
+                );
+            }
+            Headgear::Headscarf => {
+                canvas.fill_ellipse(cx, cy - 0.5 * ry, rx * 1.15, ry * 0.55, self.headgear_color);
+                canvas.fill_rect(
+                    cx - rx * 1.15,
+                    cy - ry * 0.5,
+                    cx - rx * 0.85,
+                    cy + ry * 0.6,
+                    self.headgear_color,
+                );
+                canvas.fill_rect(
+                    cx + rx * 0.85,
+                    cy - ry * 0.5,
+                    cx + rx * 1.15,
+                    cy + ry * 0.6,
+                    self.headgear_color,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = FaceParams::sample(&mut StdRng::seed_from_u64(1));
+        let b = FaceParams::sample(&mut StdRng::seed_from_u64(1));
+        let c = FaceParams::sample(&mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn landmarks_ordered_top_to_bottom() {
+        for seed in 0..50 {
+            let f = FaceParams::sample(&mut StdRng::seed_from_u64(seed));
+            let lm = f.landmarks();
+            assert!(lm.eye_y < lm.nose.1, "eyes above nose");
+            assert!(lm.nose.1 < lm.mouth.1, "nose above mouth");
+            assert!(lm.mouth.1 < lm.chin.1, "mouth above chin");
+            // All landmarks inside the face ellipse vertically.
+            assert!(lm.chin.1 <= lm.cy + lm.ry + 1e-6);
+            assert!(lm.eye_y >= lm.cy - lm.ry);
+        }
+    }
+
+    #[test]
+    fn infant_faces_are_rounder_and_smaller() {
+        let mut infant_ry = Vec::new();
+        let mut adult_ry = Vec::new();
+        for seed in 0..400 {
+            let f = FaceParams::sample(&mut StdRng::seed_from_u64(seed));
+            match f.age {
+                AgeGroup::Infant => infant_ry.push(f.radii.1),
+                AgeGroup::Adult => adult_ry.push(f.radii.1),
+                _ => {}
+            }
+        }
+        assert!(!infant_ry.is_empty() && !adult_ry.is_empty());
+        let mi: f32 = infant_ry.iter().sum::<f32>() / infant_ry.len() as f32;
+        let ma: f32 = adult_ry.iter().sum::<f32>() / adult_ry.len() as f32;
+        assert!(mi < ma, "infant mean face height {mi} should be below adult {ma}");
+    }
+
+    #[test]
+    fn renders_skin_at_center() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = FaceParams::sample(&mut rng);
+        let mut c = Canvas::new(96, f.background);
+        f.render(&mut c);
+        // The nose region is skin-toned (possibly shaded), far from background.
+        let lm = f.landmarks();
+        let px = c.get(
+            (lm.nose.0 * 96.0) as usize,
+            ((lm.nose.1 - 0.05) * 96.0) as usize,
+        );
+        let dist = |a: Rgb, b: Rgb| {
+            (a.0 - b.0).abs() + (a.1 - b.1).abs() + (a.2 - b.2).abs()
+        };
+        assert!(
+            dist(px, f.skin) < dist(px, f.background) + 0.5,
+            "center pixel {px:?} should be closer to skin {:?}",
+            f.skin
+        );
+    }
+
+    #[test]
+    fn skin_tone_ramp_monotone_brightness() {
+        let light = skin_tone(0.0);
+        let mid = skin_tone(0.5);
+        let dark = skin_tone(1.0);
+        let lum = |c: Rgb| c.0 + c.1 + c.2;
+        assert!(lum(light) > lum(mid) && lum(mid) > lum(dark));
+    }
+
+    #[test]
+    fn attribute_space_is_covered() {
+        // Across many seeds we should see every age group, hair style,
+        // headgear kind, sunglasses and face paint.
+        let mut ages = std::collections::HashSet::new();
+        let mut hairs = std::collections::HashSet::new();
+        let mut gears = std::collections::HashSet::new();
+        let (mut sun, mut paint, mut blue_hair) = (false, false, false);
+        for seed in 0..2000 {
+            let f = FaceParams::sample(&mut StdRng::seed_from_u64(seed));
+            ages.insert(format!("{:?}", f.age));
+            hairs.insert(format!("{:?}", f.hair));
+            gears.insert(format!("{:?}", f.headgear));
+            sun |= f.sunglasses;
+            paint |= f.face_paint.is_some();
+            blue_hair |= f.hair_color == MASK_BLUE;
+        }
+        assert_eq!(ages.len(), 3);
+        assert_eq!(hairs.len(), 3);
+        assert_eq!(gears.len(), 3);
+        assert!(sun && paint && blue_hair);
+    }
+}

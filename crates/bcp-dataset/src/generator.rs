@@ -1,0 +1,163 @@
+//! Seeded sample generation and the raw MaskedFace-Net class imbalance.
+
+use crate::canvas::Canvas;
+use crate::classes::MaskClass;
+use crate::face::FaceParams;
+use crate::mask::{place_mask, MaskParams, PlacedMask};
+use bcp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rendering configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Final image edge length (the paper resizes to 32).
+    pub img_size: usize,
+    /// Supersampling factor for rendering (box-downsampled afterwards).
+    pub supersample: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { img_size: 32, supersample: 3 }
+    }
+}
+
+impl GeneratorConfig {
+    /// Canvas resolution before downsampling.
+    pub fn canvas_size(&self) -> usize {
+        self.img_size * self.supersample
+    }
+}
+
+/// Full provenance of one generated sample — everything needed to
+/// re-render it or to reason about it (Grad-CAM figure selection keys off
+/// these attributes).
+#[derive(Clone, Debug)]
+pub struct SampleSpec {
+    /// The face that was drawn.
+    pub face: FaceParams,
+    /// The mask appearance.
+    pub mask: MaskParams,
+    /// The placed mask geometry.
+    pub placed: PlacedMask,
+    /// Ground-truth class.
+    pub class: MaskClass,
+}
+
+/// Render a (face, mask, class) triple into a CHW tensor.
+pub fn render_sample(cfg: &GeneratorConfig, spec: &SampleSpec) -> Tensor {
+    let mut canvas = Canvas::new(cfg.canvas_size(), spec.face.background);
+    spec.face.render(&mut canvas);
+    let lm = spec.face.landmarks();
+    spec.placed.render(&mut canvas, &lm, &spec.mask);
+    canvas.downsample_to_tensor(cfg.img_size)
+}
+
+/// Generate one sample of a given class from a seed. The returned spec's
+/// placed-mask coverage is asserted to match the class — the generator
+/// never emits a mislabeled image.
+pub fn generate_sample(cfg: &GeneratorConfig, class: MaskClass, seed: u64) -> (Tensor, SampleSpec) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let face = FaceParams::sample(&mut rng);
+    generate_from_face(cfg, class, face, &mut rng)
+}
+
+/// Generate with a caller-chosen face (the Grad-CAM figures pin specific
+/// attributes: infants, blue hair, sunglasses, …).
+pub fn generate_from_face(
+    cfg: &GeneratorConfig,
+    class: MaskClass,
+    face: FaceParams,
+    rng: &mut impl Rng,
+) -> (Tensor, SampleSpec) {
+    let mask = MaskParams::sample(rng);
+    let lm = face.landmarks();
+    let placed = place_mask(class, &lm, &mask, rng);
+    assert_eq!(
+        placed.landmark_coverage(&lm),
+        class.coverage(),
+        "generator produced geometry inconsistent with {class:?}"
+    );
+    let spec = SampleSpec { face, mask, placed, class };
+    let img = render_sample(cfg, &spec);
+    (img, spec)
+}
+
+/// Draw a class according to MaskedFace-Net's raw 51/39/5/5 % distribution.
+pub fn raw_class_sample(rng: &mut impl Rng) -> MaskClass {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for class in MaskClass::ALL {
+        acc += class.raw_share();
+        if u < acc {
+            return class;
+        }
+    }
+    MaskClass::ChinExposed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let (a, _) = generate_sample(&cfg, MaskClass::NoseExposed, 5);
+        let (b, _) = generate_sample(&cfg, MaskClass::NoseExposed, 5);
+        assert_eq!(a, b);
+        let (c, _) = generate_sample(&cfg, MaskClass::NoseExposed, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_shape_and_range() {
+        let cfg = GeneratorConfig::default();
+        let (img, spec) = generate_sample(&cfg, MaskClass::CorrectlyMasked, 1);
+        assert_eq!(img.shape().dims(), &[3, 32, 32]);
+        assert_eq!(spec.class, MaskClass::CorrectlyMasked);
+        for &v in img.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+            let k = (v * 255.0).round();
+            assert!((v - k / 255.0).abs() < 1e-6, "pixels must sit on the u8 grid");
+        }
+    }
+
+    #[test]
+    fn classes_differ_visually() {
+        // Same seed (same face), different classes → different pixels.
+        let cfg = GeneratorConfig::default();
+        let (a, _) = generate_sample(&cfg, MaskClass::CorrectlyMasked, 9);
+        let (b, _) = generate_sample(&cfg, MaskClass::NoseMouthExposed, 9);
+        let diff: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1.0, "class placement must change the image (diff {diff})");
+    }
+
+    #[test]
+    fn raw_distribution_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 40_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[raw_class_sample(&mut rng).label()] += 1;
+        }
+        let shares: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((shares[0] - 0.51).abs() < 0.02, "CMFD share {}", shares[0]);
+        assert!((shares[1] - 0.39).abs() < 0.02, "Nose share {}", shares[1]);
+        assert!((shares[2] - 0.05).abs() < 0.01, "N+M share {}", shares[2]);
+        assert!((shares[3] - 0.05).abs() < 0.01, "Chin share {}", shares[3]);
+    }
+
+    #[test]
+    fn bigger_config_scales_resolution() {
+        let cfg = GeneratorConfig { img_size: 64, supersample: 2 };
+        let (img, _) = generate_sample(&cfg, MaskClass::ChinExposed, 2);
+        assert_eq!(img.shape().dims(), &[3, 64, 64]);
+    }
+}

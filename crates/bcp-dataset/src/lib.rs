@@ -1,0 +1,40 @@
+//! Synthetic MaskedFace-Net substitute.
+//!
+//! The paper trains on MaskedFace-Net [Cabani et al. 2020]: natural face
+//! photos with a deformable surgical-mask model applied at detected facial
+//! key-points, split into four classes — correctly masked, nose exposed,
+//! nose+mouth exposed, chin exposed. That dataset (133,783 real photographs)
+//! is not available here, so this crate generates the closest synthetic
+//! equivalent procedurally:
+//!
+//! - [`canvas`]: a supersampled RGB raster with ellipse/polygon/strip
+//!   primitives and box-filter downsampling to the paper's 32×32 input.
+//! - [`face`]: a parametric face model — skin tone, face shape, age group
+//!   (infant/adult/elderly), eyes, eyebrows, hair style & color (including
+//!   the mask-colored light-blue hair of Fig. 8), headgear, sunglasses and
+//!   face paint (Fig. 9).
+//! - [`mask`]: a deformable key-point mask renderer that produces the four
+//!   wear positions of Sec. IV-A, plus double-masking.
+//! - [`generator`]: seeded sampling, the raw 51/39/5/5 % class imbalance of
+//!   MaskedFace-Net, and the balancing-by-subsampling step of Sec. IV-A.
+//! - [`augment`]: the paper's augmentation set — contrast, brightness,
+//!   Gaussian noise, flip, rotate — all label-preserving.
+//! - [`dataset`]: in-memory dataset with splits, batching and class stats.
+//!
+//! Every image is quantized to the 8-bit grid (`k/255`), matching the
+//! camera→accelerator interface the FINN first layer consumes.
+
+pub mod augment;
+pub mod canvas;
+pub mod classes;
+pub mod dataset;
+pub mod face;
+pub mod generator;
+pub mod mask;
+pub mod ppm;
+pub mod scene;
+pub mod video;
+
+pub use classes::MaskClass;
+pub use dataset::Dataset;
+pub use generator::{GeneratorConfig, SampleSpec};

@@ -1,0 +1,265 @@
+//! Deformable key-point mask renderer.
+//!
+//! Mirrors the MaskedFace-Net generation process (Sec. II-A): a deformable
+//! mask model is positioned against facial key-points, and the *placement*
+//! chooses the class — full coverage, nose out, nose+mouth out, or chin out.
+//! The mask is a convex hexagon spanning the face width, with ear straps;
+//! a second, slightly smaller hexagon renders the double-mask case of
+//! Fig. 9.
+
+use crate::canvas::{Canvas, Rgb};
+use crate::classes::MaskClass;
+use crate::face::Landmarks;
+use rand::Rng;
+
+/// Visual mask parameters (placement comes from the class).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskParams {
+    /// Main mask color.
+    pub color: Rgb,
+    /// Second (outer) mask color for double-masking.
+    pub double_mask: Option<Rgb>,
+    /// Vertex jitter amplitude (normalized units) — the "deformable" part.
+    pub jitter: f32,
+}
+
+impl MaskParams {
+    /// Sample mask appearance: mostly surgical light-blue/white/black, with
+    /// occasional double-masking.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        let color = match rng.gen_range(0..10) {
+            0..=5 => crate::face::MASK_BLUE,
+            6..=7 => Rgb(0.93, 0.93, 0.95), // white
+            8 => Rgb(0.12, 0.12, 0.14),     // black
+            _ => Rgb(rng.gen(), rng.gen(), rng.gen()), // cloth
+        };
+        MaskParams {
+            color,
+            double_mask: rng.gen_bool(0.06).then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
+            jitter: 0.01,
+        }
+    }
+}
+
+/// The placed mask: a convex polygon in normalized canvas coordinates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacedMask {
+    /// Hexagon vertices (clockwise).
+    pub polygon: Vec<(f32, f32)>,
+    /// Class the placement encodes.
+    pub class: MaskClass,
+}
+
+/// Vertical mask span for a wear class, relative to the landmarks. Margins
+/// are ≥ 0.12·ry so the coverage predicate is robust to the vertex jitter.
+fn span_for_class(class: MaskClass, lm: &Landmarks) -> (f32, f32) {
+    let ry = lm.ry;
+    match class {
+        // Covers nose bridge to below the chin.
+        MaskClass::CorrectlyMasked => (lm.nose.1 - 0.24 * ry, lm.chin.1 + 0.12 * ry),
+        // Top edge between nose and mouth: nose pokes out.
+        MaskClass::NoseExposed => (lm.nose.1 + 0.14 * ry, lm.chin.1 + 0.12 * ry),
+        // Pulled down under the mouth: only the chin is covered.
+        MaskClass::NoseMouthExposed => (lm.mouth.1 + 0.14 * ry, lm.chin.1 + 0.12 * ry),
+        // Pulled up: nose+mouth covered but the chin pokes out.
+        MaskClass::ChinExposed => (lm.nose.1 - 0.24 * ry, lm.chin.1 - 0.14 * ry),
+    }
+}
+
+/// Place a mask for `class` on a face, with deformable jitter.
+pub fn place_mask(
+    class: MaskClass,
+    lm: &Landmarks,
+    params: &MaskParams,
+    rng: &mut impl Rng,
+) -> PlacedMask {
+    let (top, bottom) = span_for_class(class, lm);
+    let mid = (top + bottom) / 2.0;
+    let w_top = lm.rx * 0.80;
+    let w_mid = lm.rx * 1.00;
+    let w_bot = lm.rx * 0.55;
+    let j = params.jitter;
+    let mut jit = |v: f32| v + rng.gen_range(-j..=j);
+    let polygon = vec![
+        (jit(lm.cx - w_top), jit(top)),
+        (jit(lm.cx + w_top), jit(top)),
+        (jit(lm.cx + w_mid), jit(mid)),
+        (jit(lm.cx + w_bot), jit(bottom)),
+        (jit(lm.cx - w_bot), jit(bottom)),
+        (jit(lm.cx - w_mid), jit(mid)),
+    ];
+    PlacedMask { polygon, class }
+}
+
+impl PlacedMask {
+    /// Whether a normalized point lies under the mask.
+    pub fn covers(&self, p: (f32, f32)) -> bool {
+        point_in_convex(&self.polygon, p.0, p.1)
+    }
+
+    /// Coverage of the three decisive landmarks:
+    /// `(nose_covered, mouth_covered, chin_covered)`.
+    pub fn landmark_coverage(&self, lm: &Landmarks) -> (bool, bool, bool) {
+        (self.covers(lm.nose), self.covers(lm.mouth), self.covers(lm.chin))
+    }
+
+    /// Render the mask (and straps / double-mask layer) onto the canvas.
+    pub fn render(&self, canvas: &mut Canvas, lm: &Landmarks, params: &MaskParams) {
+        // Ear straps from the mask's top corners toward the ears.
+        let strap = params.color.scale(0.8);
+        let (tl, tr) = (self.polygon[0], self.polygon[1]);
+        canvas.draw_line(tl.0, tl.1, lm.cx - lm.rx, lm.cy, 0.008, strap);
+        canvas.draw_line(tr.0, tr.1, lm.cx + lm.rx, lm.cy, 0.008, strap);
+
+        canvas.fill_convex_polygon(&self.polygon, params.color);
+
+        // Pleats: two horizontal fold lines.
+        let top = tl.1.min(tr.1);
+        let bottom = self.polygon[3].1.max(self.polygon[4].1);
+        let shade = params.color.scale(0.85);
+        for t in [0.38f32, 0.62] {
+            let y = top + (bottom - top) * t;
+            canvas.draw_line(self.polygon[5].0 * 0.98 + 0.01, y, self.polygon[2].0 * 0.98, y, 0.004, shade);
+        }
+
+        // Double mask: a slightly inset second layer in a contrasting color.
+        if let Some(outer) = params.double_mask {
+            let inset: Vec<(f32, f32)> = self
+                .polygon
+                .iter()
+                .map(|&(x, y)| {
+                    let cx = lm.cx;
+                    let cyv = (top + bottom) / 2.0;
+                    (cx + (x - cx) * 0.85, cyv + (y - cyv) * 0.85)
+                })
+                .collect();
+            canvas.fill_convex_polygon(&inset, outer);
+        }
+    }
+}
+
+// Same predicate as the canvas fill uses, duplicated here so coverage
+// decisions and rendering can never disagree on the geometry.
+fn point_in_convex(verts: &[(f32, f32)], px: f32, py: f32) -> bool {
+    let n = verts.len();
+    let mut sign = 0i32;
+    for i in 0..n {
+        let (x0, y0) = verts[i];
+        let (x1, y1) = verts[(i + 1) % n];
+        let cross = (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0);
+        let s = if cross > 0.0 {
+            1
+        } else if cross < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if s != 0 {
+            if sign == 0 {
+                sign = s;
+            } else if s != sign {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::FaceParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn landmarks(seed: u64) -> Landmarks {
+        FaceParams::sample(&mut StdRng::seed_from_u64(seed)).landmarks()
+    }
+
+    #[test]
+    fn spans_are_ordered() {
+        let lm = landmarks(0);
+        for class in MaskClass::ALL {
+            let (top, bottom) = span_for_class(class, &lm);
+            assert!(top < bottom, "{class:?} span inverted");
+        }
+    }
+
+    #[test]
+    fn placement_coverage_matches_class_for_many_faces() {
+        // The central invariant: the placement geometry must realise exactly
+        // the coverage pattern the class name promises, for every sampled
+        // face and every jitter draw.
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..300 {
+            let lm = landmarks(seed);
+            for class in MaskClass::ALL {
+                let params = MaskParams::sample(&mut rng);
+                let placed = place_mask(class, &lm, &params, &mut rng);
+                assert_eq!(
+                    placed.landmark_coverage(&lm),
+                    class.coverage(),
+                    "face seed {seed}, class {class:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_renders_color_at_mouth_when_correct() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let face = FaceParams::sample(&mut rng);
+        let lm = face.landmarks();
+        let params = MaskParams { color: Rgb(0.0, 1.0, 0.0), double_mask: None, jitter: 0.0 };
+        let placed = place_mask(MaskClass::CorrectlyMasked, &lm, &params, &mut rng);
+        let mut canvas = Canvas::new(96, Rgb(0.0, 0.0, 0.0));
+        face.render(&mut canvas);
+        placed.render(&mut canvas, &lm, &params);
+        let px = canvas.get((lm.mouth.0 * 96.0) as usize, (lm.mouth.1 * 96.0) as usize);
+        assert_eq!(px, Rgb(0.0, 1.0, 0.0), "mouth must be under the mask color");
+    }
+
+    #[test]
+    fn nose_visible_when_nose_exposed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let face = FaceParams::sample(&mut rng);
+        let lm = face.landmarks();
+        let params = MaskParams { color: Rgb(0.0, 1.0, 0.0), double_mask: None, jitter: 0.0 };
+        let placed = place_mask(MaskClass::NoseExposed, &lm, &params, &mut rng);
+        let mut canvas = Canvas::new(96, Rgb(0.0, 0.0, 0.0));
+        face.render(&mut canvas);
+        placed.render(&mut canvas, &lm, &params);
+        // A point slightly above the nose tip is skin/nose, not mask green.
+        let px = canvas.get((lm.nose.0 * 96.0) as usize, ((lm.nose.1 - 0.04) * 96.0) as usize);
+        assert_ne!(px, Rgb(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn double_mask_draws_inner_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let face = FaceParams::sample(&mut rng);
+        let lm = face.landmarks();
+        let params = MaskParams {
+            color: Rgb(0.0, 1.0, 0.0),
+            double_mask: Some(Rgb(1.0, 0.0, 0.0)),
+            jitter: 0.0,
+        };
+        let placed = place_mask(MaskClass::CorrectlyMasked, &lm, &params, &mut rng);
+        let mut canvas = Canvas::new(96, Rgb(0.0, 0.0, 0.0));
+        face.render(&mut canvas);
+        placed.render(&mut canvas, &lm, &params);
+        // The mask-center pixel shows the outer (second) layer.
+        let cy = (placed.polygon[0].1 + placed.polygon[3].1) / 2.0;
+        let px = canvas.get((lm.cx * 96.0) as usize, (cy * 96.0) as usize);
+        assert_eq!(px, Rgb(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sampled_params_mostly_surgical_blue() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let blue = (0..1000)
+            .filter(|_| MaskParams::sample(&mut rng).color == crate::face::MASK_BLUE)
+            .count();
+        assert!(blue > 400, "expected majority light-blue masks, got {blue}/1000");
+    }
+}

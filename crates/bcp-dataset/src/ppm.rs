@@ -1,0 +1,240 @@
+//! PPM (P6) camera-frame input: parsing and resizing to the network input.
+//!
+//! The deployment CLI accepts binary PPM images — the simplest lossless
+//! RGB interchange format — and resizes them to the 32×32 accelerator
+//! input with box averaging, mirroring the paper's resize step
+//! (Sec. IV-A: "the images are resized to 32×32 pixels").
+
+use crate::canvas::quantize_u8;
+use bcp_tensor::{Shape, Tensor};
+
+/// PPM parsing failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PpmError {
+    /// Not a P6 file.
+    BadMagic,
+    /// Header malformed or truncated.
+    BadHeader(String),
+    /// Unsupported max value (only 255 accepted).
+    BadMaxval(u32),
+    /// Pixel payload shorter than width×height×3.
+    Truncated { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::BadMagic => write!(f, "not a binary PPM (P6) file"),
+            PpmError::BadHeader(msg) => write!(f, "malformed PPM header: {msg}"),
+            PpmError::BadMaxval(v) => write!(f, "unsupported PPM maxval {v} (need 255)"),
+            PpmError::Truncated { expected, got } => {
+                write!(f, "PPM payload truncated: {got} of {expected} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// Read one whitespace/comment-delimited ASCII token from the header.
+fn token(bytes: &[u8], pos: &mut usize) -> Result<u32, PpmError> {
+    // Skip whitespace and '#' comments.
+    loop {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < bytes.len() && bytes[*pos] == b'#' {
+            while *pos < bytes.len() && bytes[*pos] != b'\n' {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(PpmError::BadHeader("expected an integer".into()));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PpmError::BadHeader("integer out of range".into()))
+}
+
+/// Decode a binary PPM into a CHW tensor with values on the u8 grid.
+pub fn decode_ppm(bytes: &[u8]) -> Result<Tensor, PpmError> {
+    if bytes.len() < 2 || &bytes[0..2] != b"P6" {
+        return Err(PpmError::BadMagic);
+    }
+    let mut pos = 2usize;
+    let w = token(bytes, &mut pos)? as usize;
+    let h = token(bytes, &mut pos)? as usize;
+    let maxval = token(bytes, &mut pos)?;
+    if maxval != 255 {
+        return Err(PpmError::BadMaxval(maxval));
+    }
+    // Exactly one whitespace byte after maxval.
+    pos += 1;
+    let expected = w * h * 3;
+    let payload = &bytes[pos.min(bytes.len())..];
+    if payload.len() < expected {
+        return Err(PpmError::Truncated { expected, got: payload.len() });
+    }
+    let mut out = vec![0.0f32; 3 * h * w];
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..3 {
+                out[(ch * h + y) * w + x] = payload[(y * w + x) * 3 + ch] as f32 / 255.0;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(Shape::d3(3, h, w), out))
+}
+
+/// Box-average resize of a CHW image to `target × target` (handles
+/// non-divisible sizes by averaging the covered source box), re-quantized
+/// to the u8 grid.
+pub fn resize_to(img: &Tensor, target: usize) -> Tensor {
+    assert_eq!(img.shape().rank(), 3, "resize expects CHW");
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
+    assert!(target > 0 && h > 0 && w > 0);
+    let src = img.as_slice();
+    let mut out = vec![0.0f32; c * target * target];
+    for ch in 0..c {
+        for ty in 0..target {
+            let y0 = ty * h / target;
+            let y1 = ((ty + 1) * h / target).max(y0 + 1).min(h);
+            for tx in 0..target {
+                let x0 = tx * w / target;
+                let x1 = ((tx + 1) * w / target).max(x0 + 1).min(w);
+                let mut acc = 0.0f32;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        acc += src[(ch * h + y) * w + x];
+                    }
+                }
+                let area = ((y1 - y0) * (x1 - x0)) as f32;
+                out[(ch * target + ty) * target + tx] = quantize_u8(acc / area);
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d3(c, target, target), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ppm() -> Vec<u8> {
+        // 2×1 image: red pixel, blue pixel.
+        let mut b = b"P6\n2 1\n255\n".to_vec();
+        b.extend_from_slice(&[255, 0, 0, 0, 0, 255]);
+        b
+    }
+
+    #[test]
+    fn decode_roundtrip_with_writer() {
+        // bcp-gradcam's writer and this reader must agree.
+        let img = Tensor::from_vec(
+            Shape::d3(3, 2, 2),
+            [
+                1.0, 0.0, 0.5, 0.2, // R plane
+                0.0, 1.0, 0.5, 0.4, // G plane
+                0.0, 0.0, 0.5, 0.6, // B plane
+            ]
+            .iter()
+            .map(|&v| quantize_u8(v))
+            .collect(),
+        );
+        // Local writer replica (same layout as bcp_gradcam::render::image_ppm).
+        let (h, w) = (2usize, 2usize);
+        let mut ppm = format!("P6\n{w} {h}\n255\n").into_bytes();
+        let plane = h * w;
+        for i in 0..plane {
+            for ch in 0..3 {
+                ppm.push((img.as_slice()[ch * plane + i] * 255.0).round() as u8);
+            }
+        }
+        let decoded = decode_ppm(&ppm).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn decode_known_pixels() {
+        let img = decode_ppm(&tiny_ppm()).unwrap();
+        assert_eq!(img.shape().dims(), &[3, 1, 2]);
+        assert_eq!(img.at(&[0, 0, 0]), 1.0); // red of pixel 0
+        assert_eq!(img.at(&[2, 0, 1]), 1.0); // blue of pixel 1
+        assert_eq!(img.at(&[1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn decode_handles_comments() {
+        let mut b = b"P6\n# a camera comment\n2 1\n# another\n255\n".to_vec();
+        b.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let img = decode_ppm(&b).unwrap();
+        assert_eq!(img.shape().dims(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode_ppm(b"P5\n1 1\n255\nx"), Err(PpmError::BadMagic));
+        assert!(matches!(decode_ppm(b"P6\nxx"), Err(PpmError::BadHeader(_))));
+        assert_eq!(
+            decode_ppm(b"P6\n1 1\n65535\n\0\0"),
+            Err(PpmError::BadMaxval(65535))
+        );
+        assert!(matches!(
+            decode_ppm(b"P6\n2 2\n255\n\0\0\0"),
+            Err(PpmError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn resize_identity() {
+        let img = decode_ppm(&tiny_ppm()).unwrap();
+        let same = resize_to(&img, 1);
+        assert_eq!(same.shape().dims(), &[3, 1, 1]);
+        // Average of red and blue pixels.
+        assert!((same.at(&[0, 0, 0]) - quantize_u8(0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resize_downscale_averages() {
+        // 4×4 image, top half white, bottom half black → 2×2 resize keeps it.
+        let mut data = vec![0.0f32; 3 * 16];
+        for ch in 0..3 {
+            for y in 0..2 {
+                for x in 0..4 {
+                    data[(ch * 4 + y) * 4 + x] = 1.0;
+                }
+            }
+        }
+        let img = Tensor::from_vec(Shape::d3(3, 4, 4), data);
+        let small = resize_to(&img, 2);
+        assert_eq!(small.at(&[0, 0, 0]), 1.0);
+        assert_eq!(small.at(&[0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn resize_upscale_is_defined() {
+        let img = decode_ppm(&tiny_ppm()).unwrap();
+        let big = resize_to(&img, 4);
+        assert_eq!(big.shape().dims(), &[3, 4, 4]);
+        for &v in big.as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn resize_output_on_u8_grid() {
+        let img = decode_ppm(&tiny_ppm()).unwrap();
+        for &v in resize_to(&img, 3).as_slice() {
+            let k = (v * 255.0).round();
+            assert!((v - k / 255.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Weight-memory fault injection.
+//!
+//! A deployed edge accelerator keeps every parameter in on-chip SRAM;
+//! single-event upsets flip individual weight bits. Because a BNN weight
+//! *is* one bit, a flip is the worst-case per-parameter perturbation — a
+//! full sign change. This module injects deterministic, seedable bit
+//! flips into a pipeline's weight memories so robustness can be measured
+//! (see the `robustness` experiment), and is also the ablation backing the
+//! paper's redundancy argument: binarization's low information capacity
+//! means many weights are individually non-critical.
+
+use crate::pipeline::{Pipeline, Stage};
+use serde::{Deserialize, Serialize};
+
+/// Record of one injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Stage index within the pipeline.
+    pub stage: usize,
+    /// Weight row (output neuron).
+    pub row: usize,
+    /// Weight column (synapse).
+    pub col: usize,
+}
+
+/// Flip the weight bit described by a record (involutive: applying the
+/// same record twice restores the original weights).
+pub fn apply_fault(pipeline: &mut Pipeline, fault: FaultRecord) {
+    match pipeline.stage_mut(fault.stage) {
+        Stage::ConvFixed { mvtu, .. } => mvtu.flip_weight(fault.row, fault.col),
+        Stage::ConvBinary { mvtu, .. }
+        | Stage::DenseBinary { mvtu, .. }
+        | Stage::DenseLogits { mvtu, .. } => mvtu.flip_weight(fault.row, fault.col),
+        Stage::PoolOr { name, .. } => {
+            panic!("stage '{name}' (OR-pool) has no weight memory to fault")
+        }
+    }
+}
+
+fn stage_weight_dims(stage: &Stage) -> Option<(usize, usize)> {
+    match stage {
+        Stage::ConvFixed { mvtu, .. } => Some((mvtu.rows(), mvtu.cols())),
+        Stage::ConvBinary { mvtu, .. }
+        | Stage::DenseBinary { mvtu, .. }
+        | Stage::DenseLogits { mvtu, .. } => Some((mvtu.rows(), mvtu.cols())),
+        Stage::PoolOr { .. } => None,
+    }
+}
+
+/// Draw `n` distinct uniform faults over the pipeline's whole weight
+/// memory (every bit equally likely), deterministically from `seed`, and
+/// apply them. Returns the records (reapply them to undo).
+pub fn inject_random_faults(pipeline: &mut Pipeline, n: usize, seed: u64) -> Vec<FaultRecord> {
+    // Cumulative bit counts per weight-carrying stage.
+    let sizes: Vec<(usize, usize, usize)> = pipeline
+        .stages()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| stage_weight_dims(s).map(|(r, c)| (i, r, c)))
+        .collect();
+    let total_bits: u64 = sizes.iter().map(|&(_, r, c)| (r * c) as u64).sum();
+    assert!(
+        (n as u64) <= total_bits,
+        "cannot inject {n} distinct faults into {total_bits} weight bits"
+    );
+
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+
+    let mut chosen = std::collections::HashSet::new();
+    let mut records = Vec::with_capacity(n);
+    while records.len() < n {
+        let bit = next() % total_bits;
+        if !chosen.insert(bit) {
+            continue;
+        }
+        // Locate the bit within the stage list.
+        let mut offset = bit;
+        for &(stage, rows, cols) in &sizes {
+            let bits = (rows * cols) as u64;
+            if offset < bits {
+                let record = FaultRecord {
+                    stage,
+                    row: (offset / cols as u64) as usize,
+                    col: (offset % cols as u64) as usize,
+                };
+                apply_fault(pipeline, record);
+                records.push(record);
+                break;
+            }
+            offset -= bits;
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::QuantMap;
+    use crate::folding::Folding;
+    use crate::mvtu::{BinaryMvtu, FixedInputMvtu};
+    use bcp_bitpack::pack::pack_matrix;
+    use bcp_bitpack::{ThresholdChannel, ThresholdUnit};
+
+    fn pipeline() -> Pipeline {
+        let w = |r: usize, c: usize, seed: u64| {
+            let mut s = seed | 1;
+            let vals: Vec<f32> = (0..r * c)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(3);
+                    if s >> 60 & 1 == 1 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            pack_matrix(r, c, &vals)
+        };
+        let t = |r: usize| ThresholdUnit::new(vec![ThresholdChannel::Ge(0); r]);
+        Pipeline::new(
+            "fault-test",
+            vec![
+                Stage::ConvFixed {
+                    name: "conv1".into(),
+                    mvtu: FixedInputMvtu::new(w(4, 27, 1), t(4), Folding::new(4, 3)),
+                    k: 3,
+                    in_dims: (3, 8, 8),
+                },
+                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 6, 6) },
+                Stage::DenseLogits {
+                    name: "fc".into(),
+                    mvtu: BinaryMvtu::new(w(4, 36, 2), None, Folding::sequential()),
+                },
+            ],
+        )
+    }
+
+    fn frame(seed: u64) -> QuantMap {
+        let px: Vec<f32> = (0..192)
+            .map(|i| (((i as u64 * 37 + seed * 11) % 256) as f32) / 255.0)
+            .collect();
+        QuantMap::from_unit_floats(3, 8, 8, &px)
+    }
+
+    #[test]
+    fn faults_are_involutive() {
+        let clean = pipeline();
+        let mut faulty = pipeline();
+        let records = inject_random_faults(&mut faulty, 10, 7);
+        assert_eq!(records.len(), 10);
+        // Undo by reapplying the same records.
+        for r in records {
+            apply_fault(&mut faulty, r);
+        }
+        for s in 0..4 {
+            assert_eq!(faulty.forward(&frame(s)), clean.forward(&frame(s)));
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let mut a = pipeline();
+        let mut b = pipeline();
+        let ra = inject_random_faults(&mut a, 5, 42);
+        let rb = inject_random_faults(&mut b, 5, 42);
+        assert_eq!(ra, rb);
+        assert_eq!(a.forward(&frame(0)), b.forward(&frame(0)));
+    }
+
+    #[test]
+    fn faults_perturb_logits_eventually() {
+        let clean = pipeline();
+        let mut faulty = pipeline();
+        // Flipping a large share of the weights must change something.
+        inject_random_faults(&mut faulty, 60, 3);
+        let changed = (0..8).any(|s| faulty.forward(&frame(s)) != clean.forward(&frame(s)));
+        assert!(changed, "60/252 flipped bits should perturb some logits");
+    }
+
+    #[test]
+    fn faults_are_distinct_bits() {
+        let mut p = pipeline();
+        let records = inject_random_faults(&mut p, 50, 9);
+        let unique: std::collections::HashSet<_> = records.iter().collect();
+        assert_eq!(unique.len(), records.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn too_many_faults_rejected() {
+        let mut p = pipeline();
+        inject_random_faults(&mut p, 10_000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weight memory")]
+    fn pool_stage_has_no_weights() {
+        let mut p = pipeline();
+        apply_fault(&mut p, FaultRecord { stage: 1, row: 0, col: 0 });
+    }
+}

@@ -1,0 +1,117 @@
+//! PE × SIMD folding arithmetic.
+//!
+//! Each MVTU multiplies a `rows × cols` binary matrix (rows = output
+//! neurons, cols = fan-in synapses) against a stream of input vectors.
+//! With `pe` processing elements and `simd` lanes per PE, one input vector
+//! takes `⌈rows/pe⌉ · ⌈cols/simd⌉` cycles — the *fold*. A convolution's
+//! MVTU processes one vector per output pixel, so its per-frame cycle count
+//! is `fold · OH · OW`. The slowest stage sets the pipeline's initiation
+//! interval (Sec. III-B: "a single under-dimensioned MVTU could throttle
+//! the entire pipeline").
+
+use serde::{Deserialize, Serialize};
+
+/// An MVTU dimensioning choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Folding {
+    /// Processing elements (output-neuron parallelism).
+    pub pe: usize,
+    /// SIMD lanes per PE (synapse parallelism).
+    pub simd: usize,
+}
+
+impl Folding {
+    /// New folding; both factors must be positive.
+    pub fn new(pe: usize, simd: usize) -> Self {
+        assert!(pe > 0 && simd > 0, "folding factors must be positive");
+        Folding { pe, simd }
+    }
+
+    /// Fully sequential (1 PE, 1 lane).
+    pub fn sequential() -> Self {
+        Folding { pe: 1, simd: 1 }
+    }
+
+    /// Cycles to process one input vector of a `rows × cols` matrix.
+    pub fn fold(&self, rows: usize, cols: usize) -> u64 {
+        (rows.div_ceil(self.pe) as u64) * (cols.div_ceil(self.simd) as u64)
+    }
+
+    /// Cycles per frame for an MVTU fed `vectors` input vectors
+    /// (`OH·OW` for conv layers, 1 for dense layers).
+    pub fn cycles_per_frame(&self, rows: usize, cols: usize, vectors: usize) -> u64 {
+        self.fold(rows, cols) * vectors as u64
+    }
+
+    /// Hardware parallelism (synapse ops per cycle).
+    pub fn parallelism(&self) -> u64 {
+        (self.pe * self.simd) as u64
+    }
+
+    /// Whether the folding divides the matrix exactly (no padding waste).
+    pub fn is_exact(&self, rows: usize, cols: usize) -> bool {
+        rows.is_multiple_of(self.pe) && cols.is_multiple_of(self.simd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_exact_division() {
+        let f = Folding::new(16, 32);
+        // 64 rows / 16 PE = 4; 576 cols / 32 SIMD = 18.
+        assert_eq!(f.fold(64, 576), 72);
+        assert!(f.is_exact(64, 576));
+    }
+
+    #[test]
+    fn fold_rounds_up_on_ragged_division() {
+        let f = Folding::new(16, 32);
+        assert_eq!(f.fold(65, 576), 5 * 18);
+        assert!(!f.is_exact(65, 576));
+    }
+
+    #[test]
+    fn sequential_fold_is_matrix_size() {
+        let f = Folding::sequential();
+        assert_eq!(f.fold(10, 20), 200);
+    }
+
+    #[test]
+    fn conv_cycles_scale_with_output_pixels() {
+        let f = Folding::new(4, 8);
+        assert_eq!(f.cycles_per_frame(32, 144, 12 * 12), f.fold(32, 144) * 144);
+    }
+
+    #[test]
+    fn doubling_pe_halves_cycles_when_divisible() {
+        let rows = 64;
+        let cols = 128;
+        let a = Folding::new(4, 8).fold(rows, cols);
+        let b = Folding::new(8, 8).fold(rows, cols);
+        assert_eq!(a, 2 * b);
+    }
+
+    #[test]
+    fn paper_ncnv_bottleneck_supports_6400_fps() {
+        // n-CNV (Table I): with the published PE/SIMD vectors the slowest
+        // stage folds must allow ~6400 frames/s at 100 MHz, i.e. II ≲
+        // 100e6/6400 ≈ 15 625 cycles. Check the widest conv stage:
+        // conv2_2: 32×32 input chans→rows=32? rows=C_out=32, cols=32·9=288,
+        // 10×10 outputs, PE=16 SIMD=32 → fold=2·9=18 → 1800 cycles.
+        let f = Folding::new(16, 32);
+        assert!(f.cycles_per_frame(32, 288, 100) <= 15_625);
+        // conv1_2: rows=16, cols=144, 28×28 outputs, PE=16 SIMD=16 →
+        // fold=1·9=9 → 7056 cycles.
+        let f = Folding::new(16, 16);
+        assert!(f.cycles_per_frame(16, 144, 28 * 28) <= 15_625);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_folding_rejected() {
+        Folding::new(0, 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Matrix-vector-threshold units (MVTU) — Fig. 1's processing elements.
+//!
+//! A binary MVTU computes, for each output neuron, the XNOR-popcount dot
+//! product of its weight row with the input vector (Eq. 3), then compares
+//! the integer accumulator against the neuron's threshold (the folded
+//! batch-norm + sign, Sec. III-A). The first-layer variant accumulates
+//! 8-bit fixed-point pixels against binary weights — ±add instead of
+//! XNOR — as FINN's first layer does.
+
+use bcp_bitpack::xnor::xnor_dot_words;
+use bcp_bitpack::{BitMatrix, BitVec64, ThresholdUnit};
+
+use crate::folding::Folding;
+use serde::{Deserialize, Serialize};
+
+/// MVTU over binary inputs and binary weights.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BinaryMvtu {
+    /// Weight matrix: rows = output neurons, cols = fan-in.
+    weights: BitMatrix,
+    /// Per-neuron thresholds; `None` for the final logits layer.
+    thresholds: Option<ThresholdUnit>,
+    /// PE×SIMD dimensioning (timing model only — functional results are
+    /// fold-invariant, which the tests assert).
+    pub folding: Folding,
+}
+
+impl BinaryMvtu {
+    /// Build; validates threshold bank size.
+    pub fn new(weights: BitMatrix, thresholds: Option<ThresholdUnit>, folding: Folding) -> Self {
+        if let Some(t) = &thresholds {
+            assert_eq!(
+                t.len(),
+                weights.rows(),
+                "threshold bank ({}) must match neuron count ({})",
+                t.len(),
+                weights.rows()
+            );
+        }
+        BinaryMvtu { weights, thresholds, folding }
+    }
+
+    /// Output neuron count.
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Fan-in.
+    pub fn cols(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Weight matrix access (resource model reads sizes).
+    pub fn weights(&self) -> &BitMatrix {
+        &self.weights
+    }
+
+    /// Whether this unit thresholds (hidden layer) or emits accumulators
+    /// (logits layer).
+    pub fn has_thresholds(&self) -> bool {
+        self.thresholds.is_some()
+    }
+
+    /// Toggle one weight bit (fault injection).
+    pub fn flip_weight(&mut self, r: usize, c: usize) {
+        self.weights.flip(r, c);
+    }
+
+    /// Raw signed accumulators for one input vector.
+    pub fn accumulate(&self, input: &BitVec64) -> Vec<i64> {
+        assert_eq!(
+            input.len(),
+            self.weights.cols(),
+            "input length {} vs fan-in {}",
+            input.len(),
+            self.weights.cols()
+        );
+        (0..self.weights.rows())
+            .map(|r| xnor_dot_words(self.weights.row_words(r), input.words(), input.len()) as i64)
+            .collect()
+    }
+
+    /// Thresholded output bits for one input vector. Panics when built
+    /// without thresholds.
+    pub fn threshold_bits(&self, input: &BitVec64) -> BitVec64 {
+        let t = self
+            .thresholds
+            .as_ref()
+            .expect("threshold_bits() on a logits-mode MVTU");
+        let accs = self.accumulate(input);
+        let mut out = BitVec64::zeros(accs.len());
+        for (i, &a) in accs.iter().enumerate() {
+            if t.apply(i, a) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+}
+
+/// First-layer MVTU: fixed-point inputs (`2q − 255`), binary weights.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FixedInputMvtu {
+    weights: BitMatrix,
+    thresholds: ThresholdUnit,
+    /// PE×SIMD dimensioning.
+    pub folding: Folding,
+}
+
+impl FixedInputMvtu {
+    /// Build; validates threshold bank size.
+    pub fn new(weights: BitMatrix, thresholds: ThresholdUnit, folding: Folding) -> Self {
+        assert_eq!(
+            thresholds.len(),
+            weights.rows(),
+            "threshold bank ({}) must match neuron count ({})",
+            thresholds.len(),
+            weights.rows()
+        );
+        FixedInputMvtu { weights, thresholds, folding }
+    }
+
+    /// Output neuron count.
+    pub fn rows(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Fan-in.
+    pub fn cols(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Weight matrix access.
+    pub fn weights(&self) -> &BitMatrix {
+        &self.weights
+    }
+
+    /// Toggle one weight bit (fault injection).
+    pub fn flip_weight(&mut self, r: usize, c: usize) {
+        self.weights.flip(r, c);
+    }
+
+    /// Signed accumulators: `Σ (w ? +x : −x)`.
+    pub fn accumulate(&self, input: &[i32]) -> Vec<i64> {
+        assert_eq!(
+            input.len(),
+            self.weights.cols(),
+            "input length {} vs fan-in {}",
+            input.len(),
+            self.weights.cols()
+        );
+        (0..self.weights.rows())
+            .map(|r| {
+                let mut acc = 0i64;
+                for (c, &x) in input.iter().enumerate() {
+                    if self.weights.get(r, c) {
+                        acc += x as i64;
+                    } else {
+                        acc -= x as i64;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Thresholded output bits.
+    pub fn threshold_bits(&self, input: &[i32]) -> BitVec64 {
+        let accs = self.accumulate(input);
+        let mut out = BitVec64::zeros(accs.len());
+        for (i, &a) in accs.iter().enumerate() {
+            if self.thresholds.apply(i, a) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_bitpack::pack::pack_matrix;
+    use bcp_bitpack::ThresholdChannel;
+
+    fn weights_2x4() -> BitMatrix {
+        // Row 0: ++−−, Row 1: +−+−.
+        pack_matrix(2, 4, &[1.0, 1.0, -1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+    }
+
+    #[test]
+    fn binary_accumulate_known() {
+        let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
+        let x = BitVec64::from_bools(&[true, true, true, true]); // all +1
+        // Row 0: 1+1−1−1 = 0; Row 1: 1−1+1−1 = 0.
+        assert_eq!(m.accumulate(&x), vec![0, 0]);
+        let x = BitVec64::from_bools(&[true, true, false, false]);
+        // Row 0 agrees everywhere → 4; Row 1: +1−1−1+1 = 0.
+        assert_eq!(m.accumulate(&x), vec![4, 0]);
+    }
+
+    #[test]
+    fn threshold_bits_apply_bank() {
+        let t = ThresholdUnit::new(vec![ThresholdChannel::Ge(4), ThresholdChannel::Ge(-1)]);
+        let m = BinaryMvtu::new(weights_2x4(), Some(t), Folding::sequential());
+        let x = BitVec64::from_bools(&[true, true, false, false]);
+        let bits = m.threshold_bits(&x); // accs [4, 0]
+        assert!(bits.get(0)); // 4 ≥ 4
+        assert!(bits.get(1)); // 0 ≥ −1
+    }
+
+    #[test]
+    fn fixed_input_accumulate_known() {
+        let t = ThresholdUnit::new(vec![ThresholdChannel::Ge(0), ThresholdChannel::Ge(0)]);
+        let m = FixedInputMvtu::new(weights_2x4(), t, Folding::sequential());
+        let x = vec![255, -255, 1, -1];
+        // Row 0 (++−−): 255 − 255 − 1 + 1 = 0; Row 1 (+−+−): 255+255+1+1=512.
+        assert_eq!(m.accumulate(&x), vec![0, 512]);
+        let bits = m.threshold_bits(&x);
+        assert!(bits.get(0) && bits.get(1));
+    }
+
+    #[test]
+    fn folding_does_not_change_results() {
+        // The fold is a scheduling choice; arithmetic must be identical.
+        let a = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
+        let b = BinaryMvtu::new(weights_2x4(), None, Folding::new(2, 4));
+        let x = BitVec64::from_bools(&[false, true, true, false]);
+        assert_eq!(a.accumulate(&x), b.accumulate(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold bank")]
+    fn threshold_size_checked() {
+        let t = ThresholdUnit::new(vec![ThresholdChannel::Ge(0)]);
+        BinaryMvtu::new(weights_2x4(), Some(t), Folding::sequential());
+    }
+
+    #[test]
+    #[should_panic(expected = "logits-mode")]
+    fn logits_mode_has_no_threshold_bits() {
+        let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
+        m.threshold_bits(&BitVec64::zeros(4));
+    }
+}

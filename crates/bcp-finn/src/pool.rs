@@ -1,0 +1,110 @@
+//! Boolean-OR max-pooling unit.
+//!
+//! Sec. III-B: "max-pool layers are implemented as boolean OR operations,
+//! since a single binary '1' value suffices to make the entire pool window
+//! output equal to 1." This unit pools binary maps with non-overlapping
+//! 2×2 windows (all BinaryCoP pools).
+
+use crate::data::BinMap;
+
+/// OR-pool a binary map with a `k×k` window and stride `k`.
+pub fn or_pool(map: &BinMap, k: usize) -> BinMap {
+    assert!(k > 0 && map.h.is_multiple_of(k) && map.w.is_multiple_of(k),
+        "pool window {k} must tile the {}×{} map exactly", map.h, map.w);
+    let (oh, ow) = (map.h / k, map.w / k);
+    let mut out = BinMap::zeros(map.c, oh, ow);
+    for ch in 0..map.c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut any = false;
+                'window: for ky in 0..k {
+                    for kx in 0..k {
+                        if map.get(ch, oy * k + ky, ox * k + kx) {
+                            any = true;
+                            break 'window;
+                        }
+                    }
+                }
+                if any {
+                    out.set(ch, oy, ox, true);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_one_dominates_window() {
+        let mut m = BinMap::zeros(1, 2, 2);
+        m.set(0, 1, 0, true);
+        let p = or_pool(&m, 2);
+        assert_eq!((p.h, p.w), (1, 1));
+        assert!(p.get(0, 0, 0));
+    }
+
+    #[test]
+    fn all_minus_one_stays_minus_one() {
+        let m = BinMap::zeros(3, 4, 4);
+        let p = or_pool(&m, 2);
+        assert_eq!(p.as_bits().count_ones(), 0);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut m = BinMap::zeros(2, 2, 2);
+        m.set(0, 0, 0, true);
+        let p = or_pool(&m, 2);
+        assert!(p.get(0, 0, 0));
+        assert!(!p.get(1, 0, 0));
+    }
+
+    #[test]
+    fn or_pool_equals_float_maxpool_on_signs() {
+        // Cross-check against the training-time float max-pool: on ±1 maps,
+        // max == OR. This is the hardware-software equivalence the paper's
+        // pooling trick relies on.
+        use bcp_tensor_testutil::maxpool_signs;
+        let mut m = BinMap::zeros(2, 4, 6);
+        for (ch, y, x) in [(0, 0, 1), (0, 3, 5), (1, 2, 2), (1, 2, 3)] {
+            m.set(ch, y, x, true);
+        }
+        let p = or_pool(&m, 2);
+        let float = maxpool_signs(&m.to_signs(), 2, 4, 6);
+        assert_eq!(p.to_signs(), float);
+    }
+
+    /// Minimal float max-pool over CHW ±1 data (2×2, stride 2), local to the
+    /// tests so this crate does not depend on bcp-tensor.
+    mod bcp_tensor_testutil {
+        pub fn maxpool_signs(signs: &[f32], c: usize, h: usize, w: usize) -> Vec<f32> {
+            let (oh, ow) = (h / 2, w / 2);
+            let mut out = Vec::with_capacity(c * oh * ow);
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..2 {
+                            for kx in 0..2 {
+                                let v = signs[(ch * h + oy * 2 + ky) * w + ox * 2 + kx];
+                                best = best.max(v);
+                            }
+                        }
+                        out.push(best);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile")]
+    fn rejects_non_tiling_window() {
+        or_pool(&BinMap::zeros(1, 5, 4), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Threaded dataflow execution of a pipeline.
+//!
+//! Fig. 1's architecture is a free-running chain of hardware stages joined
+//! by AXI streams. This module is its software analogue: one OS thread per
+//! stage, bounded crossbeam channels as the streams (back-pressure
+//! included), frames flowing in FIFO order. Results are bit-identical to
+//! [`Pipeline::forward`] — the tests assert it — but stages genuinely
+//! overlap in time, which is what gives a full pipeline its throughput.
+
+use crate::data::{QuantMap, StageData};
+use crate::pipeline::Pipeline;
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Execution statistics from a streaming run.
+#[derive(Clone, Debug)]
+pub struct StreamStats {
+    /// Frames processed.
+    pub frames: usize,
+    /// Tokens processed per stage (all equal to `frames` on success).
+    pub per_stage_processed: Vec<u64>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Stream `frames` through the pipeline with one thread per stage and
+/// `channel_depth`-deep FIFOs between stages. Returns the per-frame logits
+/// in input order plus run statistics.
+pub fn run_streaming(
+    pipeline: &Pipeline,
+    frames: &[QuantMap],
+    channel_depth: usize,
+) -> (Vec<Vec<i64>>, StreamStats) {
+    assert!(channel_depth > 0, "channel depth must be positive");
+    let n_stages = pipeline.stages().len();
+    let processed = Mutex::new(vec![0u64; n_stages]);
+    let start = Instant::now();
+
+    // Build the channel chain: input → s0 → s1 → … → output. Stage i
+    // receives from rxs[i] and sends into txs[i].
+    let (input_tx, first_rx) = bounded::<StageData>(channel_depth);
+    let mut rxs = vec![first_rx];
+    let mut txs = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages - 1 {
+        let (tx, rx) = bounded::<StageData>(channel_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let (last_tx, output_rx) = bounded::<StageData>(channel_depth);
+    txs.push(last_tx);
+
+    let mut results = Vec::with_capacity(frames.len());
+    crossbeam::thread::scope(|scope| {
+        // Stage workers.
+        for (i, (stage, (rx, tx))) in pipeline
+            .stages()
+            .iter()
+            .zip(rxs.into_iter().zip(txs))
+            .enumerate()
+        {
+            let processed = &processed;
+            scope.spawn(move |_| {
+                while let Ok(token) = rx.recv() {
+                    let out = stage.process(token);
+                    processed.lock()[i] += 1;
+                    if tx.send(out).is_err() {
+                        break; // downstream hung up
+                    }
+                }
+                // rx closed: drop tx to propagate shutdown downstream.
+            });
+        }
+
+        // Feeder.
+        scope.spawn(move |_| {
+            for frame in frames {
+                if input_tx.send(StageData::Quant(frame.clone())).is_err() {
+                    break;
+                }
+            }
+            // input_tx drops here, closing the chain.
+        });
+
+        // Collector (this thread).
+        while let Ok(token) = output_rx.recv() {
+            results.push(token.expect_logits("stream output"));
+        }
+    })
+    .expect("stage thread panicked");
+
+    let stats = StreamStats {
+        frames: frames.len(),
+        per_stage_processed: processed.into_inner(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folding::Folding;
+    use crate::mvtu::{BinaryMvtu, FixedInputMvtu};
+    use crate::pipeline::Stage;
+    use bcp_bitpack::pack::pack_matrix;
+    use bcp_bitpack::{ThresholdChannel, ThresholdUnit};
+
+    fn pipeline() -> Pipeline {
+        // Pseudo-random ±1 weights so different frames produce different
+        // logits.
+        let mut state = 0x12345678u64;
+        let mut w = |r: usize, c: usize| {
+            let vals: Vec<f32> = (0..r * c)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if state >> 62 & 1 == 1 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            pack_matrix(r, c, &vals)
+        };
+        let t = |r: usize| ThresholdUnit::new(vec![ThresholdChannel::Ge(0); r]);
+        Pipeline::new(
+            "stream-test",
+            vec![
+                Stage::ConvFixed {
+                    name: "conv1".into(),
+                    mvtu: FixedInputMvtu::new(w(4, 27), t(4), Folding::new(4, 9)),
+                    k: 3,
+                    in_dims: (3, 8, 8),
+                },
+                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 6, 6) },
+                Stage::DenseBinary {
+                    name: "fc1".into(),
+                    mvtu: BinaryMvtu::new(w(16, 36), Some(t(16)), Folding::new(4, 36)),
+                },
+                Stage::DenseLogits {
+                    name: "fc2".into(),
+                    mvtu: BinaryMvtu::new(w(4, 16), None, Folding::sequential()),
+                },
+            ],
+        )
+    }
+
+    fn frames(n: usize) -> Vec<QuantMap> {
+        (0..n)
+            .map(|i| {
+                let px: Vec<f32> = (0..3 * 64)
+                    .map(|j| (((i * 31 + j * 7) % 256) as f32) / 255.0)
+                    .collect();
+                QuantMap::from_unit_floats(3, 8, 8, &px)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_sequential_forward() {
+        let p = pipeline();
+        let fs = frames(24);
+        let (streamed, stats) = run_streaming(&p, &fs, 4);
+        assert_eq!(streamed.len(), 24);
+        for (frame, got) in fs.iter().zip(&streamed) {
+            assert_eq!(got, &p.forward(frame), "streaming must be bit-exact");
+        }
+        assert_eq!(stats.per_stage_processed, vec![24; 4]);
+        assert_eq!(stats.frames, 24);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let p = pipeline();
+        let fs = frames(16);
+        let (streamed, _) = run_streaming(&p, &fs, 2);
+        let sequential: Vec<Vec<i64>> = fs.iter().map(|f| p.forward(f)).collect();
+        assert_eq!(streamed, sequential);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let p = pipeline();
+        let (streamed, stats) = run_streaming(&p, &[], 2);
+        assert!(streamed.is_empty());
+        assert_eq!(stats.per_stage_processed, vec![0; 4]);
+    }
+
+    #[test]
+    fn depth_one_channels_still_complete() {
+        // Minimal buffering maximizes back-pressure; the run must still
+        // finish and stay correct.
+        let p = pipeline();
+        let fs = frames(8);
+        let (streamed, _) = run_streaming(&p, &fs, 1);
+        assert_eq!(streamed.len(), 8);
+        assert_eq!(streamed[7], p.forward(&fs[7]));
+    }
+}

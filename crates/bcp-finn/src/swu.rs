@@ -1,0 +1,125 @@
+//! Sliding-window unit (SWU).
+//!
+//! Sec. III-B: "for convolutional layers, an additional sliding-window unit
+//! reshapes the binarized activation maps to create a single, wide input
+//! feature map memory, which can efficiently be accessed by the
+//! corresponding MVTU." Functionally this is im2col over bits: for every
+//! output pixel, gather the `C·K·K` window bits in (channel, ky, kx) order —
+//! the exact order the weight matrix rows use.
+
+use crate::data::{BinMap, QuantMap};
+use bcp_bitpack::BitVec64;
+
+/// Output spatial extent for a K×K window, stride 1, no padding (all
+/// BinaryCoP convolutions; padding/stride generality lives in the training
+/// path, the deployed networks never use it).
+pub fn out_dim(extent: usize, k: usize) -> usize {
+    assert!(extent >= k, "window k={k} does not fit extent {extent}");
+    extent - k + 1
+}
+
+/// Gather the binary window vectors for a K×K convolution: one
+/// `C·K·K`-bit vector per output pixel, output pixels row-major.
+pub fn windows_binary(map: &BinMap, k: usize) -> Vec<BitVec64> {
+    let (oh, ow) = (out_dim(map.h, k), out_dim(map.w, k));
+    let mut out = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut v = BitVec64::zeros(map.c * k * k);
+            let mut idx = 0usize;
+            for ch in 0..map.c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        if map.get(ch, oy + ky, ox + kx) {
+                            v.set(idx, true);
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Gather integer window vectors for the first (fixed-point-input) layer,
+/// same ordering as [`windows_binary`].
+pub fn windows_quant(map: &QuantMap, k: usize) -> Vec<Vec<i32>> {
+    let (oh, ow) = (out_dim(map.h, k), out_dim(map.w, k));
+    let mut out = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut v = Vec::with_capacity(map.c * k * k);
+            for ch in 0..map.c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        v.push(map.get(ch, oy + ky, ox + kx));
+                    }
+                }
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_matches_cnv_geometry() {
+        assert_eq!(out_dim(32, 3), 30);
+        assert_eq!(out_dim(5, 3), 3);
+        assert_eq!(out_dim(3, 3), 1);
+    }
+
+    #[test]
+    fn window_count_and_length() {
+        let map = BinMap::zeros(4, 6, 5);
+        let ws = windows_binary(&map, 3);
+        assert_eq!(ws.len(), 4 * 3);
+        assert!(ws.iter().all(|w| w.len() == 4 * 9));
+    }
+
+    #[test]
+    fn window_ordering_is_channel_major() {
+        // Set one bit per position and check where it lands in the window.
+        let mut map = BinMap::zeros(2, 3, 3);
+        map.set(1, 2, 0, true); // channel 1, ky=2, kx=0 of the only window
+        let ws = windows_binary(&map, 3);
+        assert_eq!(ws.len(), 1);
+        let idx = (3 + 2) * 3; // (ch·K + ky)·K + kx
+        assert!(ws[0].get(idx));
+        assert_eq!(ws[0].count_ones(), 1);
+    }
+
+    #[test]
+    fn windows_shift_with_output_pixel() {
+        let mut map = BinMap::zeros(1, 3, 4);
+        map.set(0, 1, 2, true);
+        let ws = windows_binary(&map, 3);
+        // Output pixels (0,0) and (0,1): bit (0,1,2) appears at window
+        // offsets (ky=1,kx=2)→5 and (ky=1,kx=1)→4 respectively.
+        assert!(ws[0].get(5));
+        assert!(ws[1].get(4));
+    }
+
+    #[test]
+    fn quant_windows_match_binary_layout() {
+        let mut q = QuantMap { c: 2, h: 3, w: 3, values: vec![0; 18] };
+        q.values[3 * 3 + 2] = 77; // channel 1, y 0, x 2
+        let ws = windows_quant(&q, 3);
+        assert_eq!(ws.len(), 1);
+        let idx = 3 * 3 + 2;
+        assert_eq!(ws[0][idx], 77);
+        assert_eq!(ws[0].iter().filter(|&&v| v != 0).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_window_panics() {
+        out_dim(2, 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Threshold derivation for pipeline stages, including the first layer's
+//! input-scale correction.
+
+use bcp_bitpack::{ThresholdChannel, ThresholdUnit};
+
+/// Derive a threshold bank from batch-norm statistics collected on the
+/// *float* activation scale, for an accumulator that is `scale` × the float
+/// value.
+///
+/// The first MVTU accumulates integer pixel values `2q − 255` while the
+/// reference network saw `(2q − 255)/255`; its thresholds therefore need
+/// `scale = 255`. Binary stages use `scale = 1`.
+///
+/// Algebra: `sign(γ·(a/s − μ)/σ + β)` over integers `a` equals
+/// `sign(γ·(a − sμ)/(sσ) + β)`, i.e. the unscaled derivation with
+/// `μ' = s·μ` and `var' = s²·var` (and `eps' = s²·eps`, keeping σ' = s·σ).
+pub fn scaled_threshold_unit(
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+    eps: f32,
+    scale: f64,
+) -> ThresholdUnit {
+    assert!(scale > 0.0, "scale must be positive");
+    assert!(
+        gamma.len() == beta.len() && beta.len() == mean.len() && mean.len() == var.len(),
+        "batch-norm parameter slices must share a length"
+    );
+    let channels = (0..gamma.len())
+        .map(|c| {
+            ThresholdChannel::from_batchnorm(
+                gamma[c] as f64,
+                beta[c] as f64,
+                mean[c] as f64 * scale,
+                var[c] as f64 * scale * scale,
+                eps as f64 * scale * scale,
+            )
+        })
+        .collect();
+    ThresholdUnit::new(channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_bitpack::threshold::batchnorm_sign_reference;
+
+    #[test]
+    fn scale_one_matches_plain_derivation() {
+        let gamma = [1.0f32, -0.5, 0.0];
+        let beta = [0.2f32, 0.1, -0.3];
+        let mean = [3.0f32, -2.0, 0.0];
+        let var = [4.0f32, 1.0, 2.0];
+        let a = scaled_threshold_unit(&gamma, &beta, &mean, &var, 1e-5, 1.0);
+        let b = ThresholdUnit::from_batchnorm(&gamma, &beta, &mean, &var, 1e-5);
+        assert_eq!(a.channels(), b.channels());
+    }
+
+    #[test]
+    fn scaled_thresholds_match_float_semantics() {
+        // For integer accumulators a, the scaled threshold must equal
+        // sign(batchnorm(a/255)) computed in f64.
+        let gamma = [1.3f64, -0.8, 2.0, 0.4];
+        let beta = [0.5f64, -0.2, 0.0, 1.0];
+        let mean = [0.1f64, -0.05, 0.2, 0.0];
+        let var = [0.5f64, 0.25, 1.0, 0.01];
+        let eps = 1e-5;
+        let unit = scaled_threshold_unit(
+            &gamma.map(|v| v as f32),
+            &beta.map(|v| v as f32),
+            &mean.map(|v| v as f32),
+            &var.map(|v| v as f32),
+            eps as f32,
+            255.0,
+        );
+        for c in 0..4 {
+            for a in (-255 * 27..=255 * 27).step_by(97) {
+                // Reference on the float scale: accumulator value a/255.
+                let sigma = (var[c] + eps).sqrt();
+                let float_ref = gamma[c] * (a as f64 / 255.0 - mean[c]) / sigma + beta[c] >= 0.0;
+                assert_eq!(
+                    unit.apply(c, a),
+                    float_ref,
+                    "channel {c}, acc {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unscaled_reference_still_agrees() {
+        // Sanity: batchnorm_sign_reference is the scale-1 special case.
+        let unit = scaled_threshold_unit(&[2.0], &[0.3], &[1.0], &[0.7], 1e-5, 1.0);
+        for a in -50..=50 {
+            assert_eq!(
+                unit.apply(0, a),
+                batchnorm_sign_reference(a, 2.0, 0.3, 1.0, 0.7, 1e-5)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_nonpositive_scale() {
+        scaled_threshold_unit(&[1.0], &[0.0], &[0.0], &[1.0], 1e-5, 0.0);
+    }
+}

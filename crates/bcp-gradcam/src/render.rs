@@ -1,0 +1,147 @@
+//! Heat-map rendering: ASCII (terminal) and PPM overlays (files).
+//!
+//! The paper overlays Grad-CAM heat maps on the raw inputs (Figs. 3–9);
+//! `overlay_ppm` reproduces that with a jet-style colormap blended onto the
+//! RGB input, and `ascii` gives a terminal-friendly rendering used by the
+//! experiment binaries.
+
+use bcp_tensor::Tensor;
+
+/// Density ramp for ASCII rendering, light to heavy.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a [0, 1] heat map as ASCII art, one character per cell.
+pub fn ascii(map: &Tensor) -> String {
+    assert_eq!(map.shape().rank(), 2, "ascii expects a rank-2 heat map");
+    let (h, w) = (map.shape().dim(0), map.shape().dim(1));
+    let mut s = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let v = map.as_slice()[y * w + x].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            s.push(RAMP[idx] as char);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Jet-style colormap: blue → cyan → yellow → red over [0, 1].
+pub fn jet(v: f32) -> (f32, f32, f32) {
+    let v = v.clamp(0.0, 1.0);
+    let r = (4.0 * v - 2.0).clamp(0.0, 1.0);
+    let g = (2.0 - (4.0 * v - 2.0).abs()).clamp(0.0, 1.0);
+    let b = (2.0 - 4.0 * v).clamp(0.0, 1.0);
+    (r, g, b)
+}
+
+/// Blend a heat map over a CHW RGB image (both `size × size`) and encode as
+/// a binary PPM (P6). `alpha` is the heat layer's opacity.
+pub fn overlay_ppm(image: &Tensor, heat: &Tensor, alpha: f32) -> Vec<u8> {
+    assert_eq!(image.shape().rank(), 3, "overlay expects a CHW image");
+    assert_eq!(image.shape().dim(0), 3, "overlay expects 3 channels");
+    let (h, w) = (image.shape().dim(1), image.shape().dim(2));
+    assert_eq!(heat.shape().dims(), &[h, w], "heat map must match the image size");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    let plane = h * w;
+    let px = image.as_slice();
+    for i in 0..plane {
+        let hv = heat.as_slice()[i];
+        let (hr, hg, hb) = jet(hv);
+        // Heat opacity additionally scales with the heat value so cold
+        // regions show the raw image (matching the paper's overlays).
+        let a = alpha * hv;
+        for (ch, hc) in [(0, hr), (1, hg), (2, hb)] {
+            let base = px[ch * plane + i].clamp(0.0, 1.0);
+            let v = base * (1.0 - a) + hc * a;
+            out.push((v * 255.0).round() as u8);
+        }
+    }
+    out
+}
+
+/// Encode a plain CHW RGB image as binary PPM (P6) — used to dump the raw
+/// inputs next to their overlays.
+pub fn image_ppm(image: &Tensor) -> Vec<u8> {
+    assert_eq!(image.shape().rank(), 3, "expects a CHW image");
+    assert_eq!(image.shape().dim(0), 3, "expects 3 channels");
+    let (h, w) = (image.shape().dim(1), image.shape().dim(2));
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    let plane = h * w;
+    let px = image.as_slice();
+    for i in 0..plane {
+        for ch in 0..3 {
+            out.push((px[ch * plane + i].clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::Shape;
+
+    #[test]
+    fn ascii_uses_ramp_extremes() {
+        let m = Tensor::from_vec(Shape::d2(1, 3), vec![0.0, 0.5, 1.0]);
+        let s = ascii(&m);
+        assert_eq!(s.chars().next(), Some(' '));
+        assert_eq!(s.chars().nth(2), Some('@'));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn ascii_dimensions() {
+        let m = Tensor::zeros(Shape::d2(4, 7));
+        let s = ascii(&m);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.lines().all(|l| l.len() == 7));
+    }
+
+    #[test]
+    fn jet_endpoints() {
+        let (r0, _, b0) = jet(0.0);
+        let (r1, _, b1) = jet(1.0);
+        assert!(b0 > 0.9 && r0 < 0.1, "low heat should be blue");
+        assert!(r1 > 0.9 && b1 < 0.1, "high heat should be red");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Tensor::zeros(Shape::d3(3, 4, 5));
+        let heat = Tensor::zeros(Shape::d2(4, 5));
+        let ppm = overlay_ppm(&img, &heat, 0.5);
+        assert!(ppm.starts_with(b"P6\n5 4\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 4 * 5);
+    }
+
+    #[test]
+    fn zero_heat_preserves_image() {
+        let img = Tensor::full(Shape::d3(3, 2, 2), 0.5);
+        let heat = Tensor::zeros(Shape::d2(2, 2));
+        let over = overlay_ppm(&img, &heat, 0.8);
+        let plain = image_ppm(&img);
+        assert_eq!(over, plain, "cold overlay must equal the raw image");
+    }
+
+    #[test]
+    fn hot_heat_tints_red() {
+        let img = Tensor::zeros(Shape::d3(3, 1, 1));
+        let heat = Tensor::ones(Shape::d2(1, 1));
+        let ppm = overlay_ppm(&img, &heat, 1.0);
+        let (r, g, b) = (ppm[11], ppm[12], ppm[13]);
+        assert!(r > 200 && g < 120 && b < 60, "hot pixel should be red, got {r},{g},{b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "match the image size")]
+    fn mismatched_heat_rejected() {
+        overlay_ppm(
+            &Tensor::zeros(Shape::d3(3, 4, 4)),
+            &Tensor::zeros(Shape::d2(2, 2)),
+            0.5,
+        );
+    }
+}

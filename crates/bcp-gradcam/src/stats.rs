@@ -1,0 +1,147 @@
+//! Aggregate attention statistics.
+//!
+//! The paper's Grad-CAM analysis is qualitative (per-image heat maps);
+//! this module adds the quantitative backing used by the experiment
+//! reports: per-class mean attention maps over a dataset and
+//! region-of-interest mass fractions ("how much of the model's attention
+//! sits on the mask-decisive band?").
+
+use crate::CamMap;
+use bcp_tensor::{Shape, Tensor};
+
+/// Running mean of heat maps.
+#[derive(Clone, Debug)]
+pub struct AttentionAccumulator {
+    sum: Tensor,
+    count: usize,
+}
+
+impl AttentionAccumulator {
+    /// New accumulator for `size × size` maps.
+    pub fn new(size: usize) -> Self {
+        AttentionAccumulator { sum: Tensor::zeros(Shape::d2(size, size)), count: 0 }
+    }
+
+    /// Add one map.
+    pub fn add(&mut self, map: &CamMap) {
+        assert_eq!(map.heat.shape(), self.sum.shape(), "map size mismatch");
+        for (s, &h) in self.sum.as_mut_slice().iter_mut().zip(map.heat.as_slice()) {
+            *s += h;
+        }
+        self.count += 1;
+    }
+
+    /// Number of maps accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The mean attention map (zeros when empty).
+    pub fn mean(&self) -> Tensor {
+        if self.count == 0 {
+            return self.sum.clone();
+        }
+        let n = self.count as f32;
+        self.sum.map(|v| v / n)
+    }
+}
+
+/// Fraction of a map's attention mass inside a region predicate
+/// `(row, col) → bool`. Returns 0 for an all-zero map.
+pub fn region_fraction(map: &Tensor, region: impl Fn(usize, usize) -> bool) -> f32 {
+    assert_eq!(map.shape().rank(), 2, "expects a rank-2 heat map");
+    let (h, w) = (map.shape().dim(0), map.shape().dim(1));
+    let mut inside = 0.0f32;
+    let mut total = 0.0f32;
+    for y in 0..h {
+        for x in 0..w {
+            let v = map.as_slice()[y * w + x];
+            total += v;
+            if region(y, x) {
+                inside += v;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        inside / total
+    }
+}
+
+/// The mask-decisive band for a `size × size` face crop: the lower-center
+/// region where the mask (and the nose/mouth/chin landmarks) sit —
+/// rows 40–95 %, the middle 70 % of columns.
+pub fn mask_band(size: usize) -> impl Fn(usize, usize) -> bool {
+    let top = size * 2 / 5;
+    let bottom = size * 19 / 20;
+    let left = size * 3 / 20;
+    let right = size - left;
+    move |y, x| (top..bottom).contains(&y) && (left..right).contains(&x)
+}
+
+/// Area fraction of a region predicate — the chance level for
+/// [`region_fraction`] under uniform attention.
+pub fn region_area_fraction(size: usize, region: impl Fn(usize, usize) -> bool) -> f32 {
+    let mut inside = 0usize;
+    for y in 0..size {
+        for x in 0..size {
+            if region(y, x) {
+                inside += 1;
+            }
+        }
+    }
+    inside as f32 / (size * size) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam(size: usize, hot: &[(usize, usize)]) -> CamMap {
+        let mut heat = Tensor::zeros(Shape::d2(size, size));
+        for &(y, x) in hot {
+            *heat.at_mut(&[y, x]) = 1.0;
+        }
+        CamMap { heat, class: 0 }
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut acc = AttentionAccumulator::new(4);
+        assert_eq!(acc.count(), 0);
+        acc.add(&cam(4, &[(0, 0)]));
+        acc.add(&cam(4, &[(0, 0), (3, 3)]));
+        let mean = acc.mean();
+        assert_eq!(mean.at(&[0, 0]), 1.0);
+        assert_eq!(mean.at(&[3, 3]), 0.5);
+        assert_eq!(mean.at(&[1, 1]), 0.0);
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn empty_accumulator_mean_is_zero() {
+        let acc = AttentionAccumulator::new(3);
+        assert!(acc.mean().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn region_fraction_counts_mass() {
+        let map = cam(4, &[(0, 0), (3, 3), (3, 2)]).heat;
+        // Bottom-row region contains 2 of 3 units of mass.
+        let f = region_fraction(&map, |y, _| y == 3);
+        assert!((f - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(region_fraction(&Tensor::zeros(Shape::d2(4, 4)), |_, _| true), 0.0);
+    }
+
+    #[test]
+    fn mask_band_covers_lower_center() {
+        let band = mask_band(32);
+        assert!(band(20, 16), "mouth region inside");
+        assert!(band(14, 16), "nose line inside");
+        assert!(!band(2, 16), "forehead outside");
+        assert!(!band(20, 0), "left edge outside");
+        let area = region_area_fraction(32, mask_band(32));
+        assert!((0.3..0.5).contains(&area), "band area {area} should be ~38%");
+    }
+}

@@ -1,0 +1,182 @@
+//! Activation layers: the binarizing [`SignSte`] plus float baselines.
+
+use crate::layer::{take_cache, Layer, Mode};
+use bcp_tensor::Tensor;
+
+/// Binarizing activation: forward is Eq. 1's `sign()` (ties at 0 → +1);
+/// backward is the straight-through estimator with the canonical clipping
+/// `d sign(x)/dx ≈ 1{|x| ≤ 1}` [Hubara et al. 2016], without which gradients
+/// either vanish (true derivative is 0 a.e.) or explode (unclipped STE).
+pub struct SignSte {
+    name: String,
+    cache_x: Option<Tensor>,
+}
+
+impl SignSte {
+    /// New sign activation.
+    pub fn new(name: impl Into<String>) -> Self {
+        SignSte { name: name.into(), cache_x: None }
+    }
+}
+
+impl Layer for SignSte {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let y = x.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = take_cache(&mut self.cache_x, &self.name);
+        dy.zip(&x, |g, v| if v.abs() <= 1.0 { g } else { 0.0 })
+    }
+}
+
+/// Rectified linear unit (FP32 baseline network).
+pub struct Relu {
+    name: String,
+    cache_x: Option<Tensor>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu { name: name.into(), cache_x: None }
+    }
+}
+
+impl Layer for Relu {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let y = x.map(|v| v.max(0.0));
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = take_cache(&mut self.cache_x, &self.name);
+        dy.zip(&x, |g, v| if v > 0.0 { g } else { 0.0 })
+    }
+}
+
+/// Hard tanh: `clamp(x, −1, 1)`. Used in BinaryNet-style stacks as the
+/// float stand-in for sign during ablations.
+pub struct HardTanh {
+    name: String,
+    cache_x: Option<Tensor>,
+}
+
+impl HardTanh {
+    /// New hard-tanh.
+    pub fn new(name: impl Into<String>) -> Self {
+        HardTanh { name: name.into(), cache_x: None }
+    }
+}
+
+impl Layer for HardTanh {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let y = x.map(|v| v.clamp(-1.0, 1.0));
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = take_cache(&mut self.cache_x, &self.name);
+        dy.zip(&x, |g, v| if (-1.0..=1.0).contains(&v) { g } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::Shape;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(Shape::d1(n), v)
+    }
+
+    #[test]
+    fn sign_forward_matches_eq1() {
+        let mut s = SignSte::new("sign");
+        let y = s.forward(&t(vec![-2.0, -0.1, 0.0, 0.1, 2.0]), Mode::Train);
+        assert_eq!(y.as_slice(), &[-1.0, -1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sign_backward_clips_outside_unit_interval() {
+        let mut s = SignSte::new("sign");
+        let x = t(vec![-2.0, -1.0, 0.0, 1.0, 2.0]);
+        let _ = s.forward(&x, Mode::Train);
+        let dx = s.backward(&t(vec![1.0; 5]));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sign_matches_bitpack_convention() {
+        // The nn sign and the bit-packing sign must agree on every input,
+        // including the ±0 ties — otherwise training-time inference and
+        // deployed inference diverge.
+        let mut s = SignSte::new("sign");
+        let xs = vec![-1.5f32, -0.0, 0.0, 1e-30, -1e-30, 3.0];
+        let y = s.forward(&t(xs.clone()), Mode::Train);
+        for (x, y) in xs.iter().zip(y.as_slice()) {
+            assert_eq!(*y, bcp_bitpack::pack::sign_f32(*x));
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new("relu");
+        let x = t(vec![-1.0, 0.0, 2.0]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(&t(vec![5.0, 5.0, 5.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn hardtanh_saturates() {
+        let mut h = HardTanh::new("ht");
+        let x = t(vec![-3.0, -0.5, 0.5, 3.0]);
+        let y = h.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+        let dx = h.backward(&t(vec![1.0; 4]));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+}

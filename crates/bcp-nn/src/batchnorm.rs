@@ -1,0 +1,357 @@
+//! Batch normalization (per-channel), the layer FINN folds into threshold
+//! units at deployment.
+//!
+//! Works on rank-2 `N×F` (dense) and rank-4 `N×C×H×W` (conv) activations;
+//! the normalized axis is always dimension 1. Training mode uses biased
+//! batch statistics and maintains exponential running statistics; eval mode
+//! normalizes with the running statistics — exactly the statistics
+//! `bcp_bitpack::threshold` consumes when deriving integer thresholds.
+
+use crate::layer::{take_cache, Layer, Mode};
+use crate::param::Param;
+use bcp_tensor::{Shape, Tensor};
+
+/// Numerical-stability constant shared with the threshold derivation.
+pub const BN_EPS: f32 = 1e-5;
+
+/// Per-channel batch normalization with affine parameters.
+pub struct BatchNorm {
+    name: String,
+    channels: usize,
+    /// Scale γ.
+    gamma: Param,
+    /// Shift β.
+    beta: Param,
+    /// Exponential running mean (eval statistics).
+    running_mean: Vec<f32>,
+    /// Exponential running (biased) variance.
+    running_var: Vec<f32>,
+    /// Running-stat update rate.
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Shape,
+}
+
+/// Decompose an activation shape into (outer, channels, inner): rank-2
+/// `N×F` → (N, F, 1); rank-4 `N×C×H×W` → (N, C, H·W).
+fn decompose(shape: &Shape) -> (usize, usize, usize) {
+    match shape.rank() {
+        2 => (shape.dim(0), shape.dim(1), 1),
+        4 => (shape.dim(0), shape.dim(1), shape.dim(2) * shape.dim(3)),
+        r => panic!("BatchNorm supports rank 2 or 4 activations, got rank {r} ({shape})"),
+    }
+}
+
+impl BatchNorm {
+    /// Identity-initialised batch-norm (γ=1, β=0, running stats 0/1).
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        BatchNorm {
+            name: name.into(),
+            channels,
+            gamma: Param::new("gamma", Tensor::ones(Shape::d1(channels))),
+            beta: Param::new("beta", Tensor::zeros(Shape::d1(channels))),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// γ values (threshold export).
+    pub fn gamma(&self) -> &[f32] {
+        self.gamma.value.as_slice()
+    }
+
+    /// β values (threshold export).
+    pub fn beta(&self) -> &[f32] {
+        self.beta.value.as_slice()
+    }
+
+    /// Running mean (threshold export).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running biased variance (threshold export).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Overwrite the affine parameters and running statistics — used by
+    /// tests and by deserialization.
+    pub fn set_state(&mut self, gamma: Vec<f32>, beta: Vec<f32>, mean: Vec<f32>, var: Vec<f32>) {
+        assert!(
+            gamma.len() == self.channels
+                && beta.len() == self.channels
+                && mean.len() == self.channels
+                && var.len() == self.channels,
+            "state length must equal channel count {}",
+            self.channels
+        );
+        self.gamma.value = Tensor::from_vec(Shape::d1(self.channels), gamma);
+        self.beta.value = Tensor::from_vec(Shape::d1(self.channels), beta);
+        self.running_mean = mean;
+        self.running_var = var;
+    }
+
+    #[allow(clippy::needless_range_loop)] // symmetric per-channel loops read clearer
+    fn batch_stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, l) = decompose(x.shape());
+        assert_eq!(c, self.channels, "channel mismatch: {} vs {}", c, self.channels);
+        let count = (n * l) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        let src = x.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                mean[ci] += src[base..base + l].iter().sum::<f32>();
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                let m = mean[ci];
+                var[ci] += src[base..base + l].iter().map(|&v| (v - m) * (v - m)).sum::<f32>();
+            }
+        }
+        for v in &mut var {
+            *v /= count;
+        }
+        (mean, var)
+    }
+
+    fn normalize(&self, x: &Tensor, mean: &[f32], var: &[f32]) -> (Tensor, Vec<f32>) {
+        let (n, c, l) = decompose(x.shape());
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        let mut xhat = vec![0.0f32; x.numel()];
+        let src = x.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                let (m, s) = (mean[ci], inv_std[ci]);
+                for i in base..base + l {
+                    xhat[i] = (src[i] - m) * s;
+                }
+            }
+        }
+        (Tensor::from_vec(x.shape().clone(), xhat), inv_std)
+    }
+
+    fn affine(&self, xhat: &Tensor) -> Tensor {
+        let (n, c, l) = decompose(xhat.shape());
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let src = xhat.as_slice();
+        let mut out = vec![0.0f32; xhat.numel()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                for i in base..base + l {
+                    out[i] = g[ci] * src[i] + b[ci];
+                }
+            }
+        }
+        Tensor::from_vec(xhat.shape().clone(), out)
+    }
+}
+
+impl Layer for BatchNorm {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let (mean, var) = match mode {
+            Mode::Train => {
+                let (mean, var) = self.batch_stats(x);
+                for c in 0..self.channels {
+                    self.running_mean[c] =
+                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                    self.running_var[c] =
+                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+                }
+                (mean, var)
+            }
+            Mode::Eval => (self.running_mean.clone(), self.running_var.clone()),
+        };
+        let (xhat, inv_std) = self.normalize(x, &mean, &var);
+        let y = self.affine(&xhat);
+        self.cache = Some(BnCache { xhat, inv_std, shape: x.shape().clone() });
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let BnCache { xhat, inv_std, shape } = take_cache(&mut self.cache, &self.name);
+        assert_eq!(*dy.shape(), shape, "backward shape mismatch");
+        let (n, c, l) = decompose(&shape);
+        let count = (n * l) as f32;
+        let dys = dy.as_slice();
+        let xh = xhat.as_slice();
+
+        // Per-channel reductions.
+        let mut dbeta = vec![0.0f32; c];
+        let mut dgamma = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                for i in base..base + l {
+                    dbeta[ci] += dys[i];
+                    dgamma[ci] += dys[i] * xh[i];
+                }
+            }
+        }
+
+        // dx = γ·inv_std · (dy − dβ/m − x̂·dγ/m)   (batch-stats gradient).
+        let g = self.gamma.value.as_slice();
+        let mut dx = vec![0.0f32; dy.numel()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * l;
+                let k = g[ci] * inv_std[ci];
+                let mb = dbeta[ci] / count;
+                let mg = dgamma[ci] / count;
+                for i in base..base + l {
+                    dx[i] = k * (dys[i] - mb - xh[i] * mg);
+                }
+            }
+        }
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(Shape::d1(c), dgamma));
+        self.beta
+            .accumulate_grad(&Tensor::from_vec(Shape::d1(c), dbeta));
+        Tensor::from_vec(shape, dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::init::uniform;
+    use bcp_tensor::ops;
+
+    #[test]
+    fn train_forward_normalizes_to_zero_mean_unit_var() {
+        let mut bn = BatchNorm::new("bn", 3);
+        let x = uniform(Shape::nchw(4, 3, 5, 5), -3.0, 7.0, 1);
+        let y = bn.forward(&x, Mode::Train);
+        let (m, v) = ops::channel_mean_var(&y);
+        for c in 0..3 {
+            assert!(m[c].abs() < 1e-4, "channel {c} mean {}", m[c]);
+            assert!((v[c] - 1.0).abs() < 1e-2, "channel {c} var {}", v[c]);
+        }
+    }
+
+    #[test]
+    fn affine_applied_after_normalization() {
+        let mut bn = BatchNorm::new("bn", 1);
+        bn.set_state(vec![2.0], vec![3.0], vec![0.0], vec![1.0]);
+        let x = Tensor::from_vec(Shape::d2(2, 1), vec![-1.0, 1.0]);
+        let y = bn.forward(&x, Mode::Train);
+        // Batch stats: mean 0, var 1 → x̂ = x/√(1+ε) ≈ x; y = 2x̂ + 3.
+        assert!((y.as_slice()[0] - 1.0).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm::new("bn", 1);
+        bn.set_state(vec![1.0], vec![0.0], vec![10.0], vec![4.0]);
+        let x = Tensor::from_vec(Shape::d2(1, 1), vec![12.0]);
+        let y = bn.forward(&x, Mode::Eval);
+        // (12 − 10)/2 = 1.
+        assert!((y.as_slice()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm::new("bn", 1);
+        let x = Tensor::from_vec(Shape::d2(4, 1), vec![10.0, 10.0, 10.0, 10.0]);
+        for _ in 0..100 {
+            bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean()[0] - 10.0).abs() < 1e-2);
+        assert!(bn.running_var()[0] < 1e-2);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm::new("bn", 2);
+        bn.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+        let x = uniform(Shape::nchw(2, 2, 3, 3), -1.0, 1.0, 5);
+        // Loss = Σ y².
+        let y = bn.forward(&x, Mode::Train);
+        let dy = y.map(|v| 2.0 * v);
+        let dx = bn.backward(&dy);
+        let eps = 1e-2f32;
+        let loss = |bn: &mut BatchNorm, xx: &Tensor| -> f32 {
+            bn.forward(xx, Mode::Train).as_slice().iter().map(|v| v * v).sum()
+        };
+        for probe in [0usize, 9, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut bnp = BatchNorm::new("bn", 2);
+            bnp.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+            let fp = loss(&mut bnp, &xp);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let mut bnm = BatchNorm::new("bn", 2);
+            bnm.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+            let fm = loss(&mut bnm, &xm);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "dx[{probe}] numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut bn = BatchNorm::new("bn", 1);
+        let x = Tensor::from_vec(Shape::d2(2, 1), vec![-1.0, 1.0]);
+        let y = bn.forward(&x, Mode::Train);
+        let dy = Tensor::ones(y.shape().clone());
+        bn.backward(&dy);
+        // dβ = Σ dy = 2; dγ = Σ dy·x̂ = x̂₀ + x̂₁ = 0 (antisymmetric batch).
+        bn.visit_params(&mut |p| match p.name.as_str() {
+            "beta" => assert_eq!(p.grad.as_slice(), &[2.0]),
+            "gamma" => assert!(p.grad.as_slice()[0].abs() < 1e-5),
+            _ => unreachable!(),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 or 4")]
+    fn rejects_rank3() {
+        let mut bn = BatchNorm::new("bn", 2);
+        bn.forward(&Tensor::zeros(Shape::d3(1, 2, 3)), Mode::Train);
+    }
+}

@@ -1,0 +1,156 @@
+//! Classification losses.
+
+use bcp_tensor::ops::softmax_rows;
+use bcp_tensor::{Shape, Tensor};
+
+/// Result of a loss evaluation: the scalar (batch-mean) loss and the
+/// gradient with respect to the logits.
+pub struct LossOutput {
+    /// Batch-mean loss value.
+    pub loss: f32,
+    /// `dL/dlogits`, shape `N×C`.
+    pub grad: Tensor,
+}
+
+fn check_inputs(logits: &Tensor, labels: &[usize]) -> (usize, usize) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be N×C, got {}", logits.shape());
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(labels.len(), n, "label count {} vs batch {n}", labels.len());
+    for &l in labels {
+        assert!(l < c, "label {l} out of range for {c} classes");
+    }
+    (n, c)
+}
+
+/// Softmax cross-entropy with integer class labels (batch-mean reduction).
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (n, c) = check_inputs(logits, labels);
+    let probs = softmax_rows(logits);
+    let p = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; n * c];
+    for (r, &label) in labels.iter().enumerate() {
+        let py = p[r * c + label].max(1e-12);
+        loss -= py.ln();
+        for j in 0..c {
+            grad[r * c + j] = (p[r * c + j] - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    LossOutput {
+        loss: loss / n as f32,
+        grad: Tensor::from_vec(Shape::d2(n, c), grad),
+    }
+}
+
+/// Multi-class squared hinge loss (the loss BinaryNet trained with):
+/// `L = mean_n Σ_{j≠y} max(0, 1 − (z_y − z_j))²`.
+pub fn squared_hinge(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (n, c) = check_inputs(logits, labels);
+    let z = logits.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; n * c];
+    for (r, &y) in labels.iter().enumerate() {
+        let zy = z[r * c + y];
+        for j in 0..c {
+            if j == y {
+                continue;
+            }
+            let margin = 1.0 - (zy - z[r * c + j]);
+            if margin > 0.0 {
+                loss += margin * margin;
+                let g = 2.0 * margin / n as f32;
+                grad[r * c + j] += g;
+                grad[r * c + y] -= g;
+            }
+        }
+    }
+    LossOutput {
+        loss: loss / n as f32,
+        grad: Tensor::from_vec(Shape::d2(n, c), grad),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::init::uniform;
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![10.0, -10.0, -10.0]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+        // Gradient pushes nothing when already perfect.
+        for &g in out.grad.as_slice() {
+            assert!(g.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(Shape::d2(1, 4));
+        let out = cross_entropy(&logits, &[2]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient: p − onehot = 1/4 everywhere except label: 1/4 − 1.
+        assert!((out.grad.as_slice()[2] + 0.75).abs() < 1e-5);
+        assert!((out.grad.as_slice()[0] - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = uniform(Shape::d2(3, 4), -2.0, 2.0, 9);
+        let labels = vec![1usize, 3, 0];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-2f32;
+        for probe in [0usize, 5, 11] {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[probe] += eps;
+            let fp = cross_entropy(&lp, &labels).loss;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[probe] -= eps;
+            let fm = cross_entropy(&lm, &labels).loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = out.grad.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "probe {probe}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn hinge_zero_when_margins_satisfied() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![5.0, 0.0, 0.0]);
+        let out = squared_hinge(&logits, &[0]);
+        assert_eq!(out.loss, 0.0);
+        assert!(out.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn hinge_grad_matches_finite_difference() {
+        let logits = uniform(Shape::d2(2, 4), -1.0, 1.0, 3);
+        let labels = vec![0usize, 2];
+        let out = squared_hinge(&logits, &labels);
+        let eps = 1e-3f32;
+        for probe in 0..8 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[probe] += eps;
+            let fp = squared_hinge(&lp, &labels).loss;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[probe] -= eps;
+            let fm = squared_hinge(&lm, &labels).loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = out.grad.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + analytic.abs()),
+                "probe {probe}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label 4 out of range")]
+    fn rejects_bad_labels() {
+        cross_entropy(&Tensor::zeros(Shape::d2(1, 3)), &[4]);
+    }
+}

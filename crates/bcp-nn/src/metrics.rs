@@ -1,0 +1,189 @@
+//! Classification metrics: accuracy and the confusion matrix of Fig. 2.
+
+use bcp_tensor::ops::argmax;
+use bcp_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Predicted class per row of an `N×C` logits tensor.
+pub fn predictions(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.shape().rank(), 2, "logits must be N×C");
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    (0..n)
+        .map(|r| argmax(&logits.as_slice()[r * c..(r + 1) * c]))
+        .collect()
+}
+
+/// Fraction of correct predictions.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = predictions(logits);
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// A square confusion matrix: `counts[true][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Record one (true, predicted) observation.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Record a batch of predictions.
+    pub fn record_batch(&mut self, truths: &[usize], predicted: &[usize]) {
+        assert_eq!(truths.len(), predicted.len(), "batch length mismatch");
+        for (&t, &p) in truths.iter().zip(predicted) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count at `(truth, predicted)`.
+    pub fn get(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass / total); 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|i| self.get(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal / row sum); `None` for empty rows.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|j| self.get(class, j)).sum();
+        (row > 0).then(|| self.get(class, class) as f64 / row as f64)
+    }
+
+    /// Per-class precision (diagonal / column sum); `None` for empty cols.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|i| self.get(i, class)).sum();
+        (col > 0).then(|| self.get(class, class) as f64 / col as f64)
+    }
+
+    /// Render in the layout of the paper's Fig. 2: counts with row-relative
+    /// percentages, true class down the side, predicted class along the
+    /// bottom.
+    #[allow(clippy::needless_range_loop)] // row/col indices mirror the matrix layout
+    pub fn render(&self, class_names: &[&str]) -> String {
+        assert_eq!(class_names.len(), self.classes, "need one name per class");
+        let mut s = String::new();
+        let colw = 14usize;
+        for i in 0..self.classes {
+            let row_total: u64 = (0..self.classes).map(|j| self.get(i, j)).sum();
+            s.push_str(&format!("{:>8} |", class_names[i]));
+            for j in 0..self.classes {
+                let n = self.get(i, j);
+                let pct = if row_total == 0 { 0.0 } else { 100.0 * n as f64 / row_total as f64 };
+                s.push_str(&format!("{:>width$}", format!("{n} ({pct:.0}%)"), width = colw));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!("{:>8} |", ""));
+        for name in class_names {
+            s.push_str(&format!("{:>width$}", name, width = colw));
+        }
+        s.push_str("\n          (rows: true class, columns: predicted class)\n");
+        s
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.classes).map(|i| format!("C{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        write!(f, "{}", self.render(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcp_tensor::Shape;
+
+    #[test]
+    fn predictions_argmax_rows() {
+        let logits = Tensor::from_vec(Shape::d2(2, 3), vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0]);
+        assert_eq!(predictions(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record_batch(&[0, 0, 1, 2, 3, 3], &[0, 1, 1, 2, 3, 0]);
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(3, 0), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.recall(1), Some(1.0));
+        assert_eq!(cm.precision(0), Some(0.5));
+    }
+
+    #[test]
+    fn empty_rows_give_none() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.precision(1), None);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_counts_and_percentages() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..98 {
+            cm.record(0, 0);
+        }
+        for _ in 0..2 {
+            cm.record(0, 1);
+        }
+        let s = cm.render(&["Correct", "Nose"]);
+        assert!(s.contains("98 (98%)"));
+        assert!(s.contains("2 (2%)"));
+        assert!(s.contains("Correct"));
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_checks_range() {
+        ConfusionMatrix::new(2).record(0, 2);
+    }
+}

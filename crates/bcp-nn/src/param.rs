@@ -1,0 +1,139 @@
+//! Trainable parameters.
+
+use bcp_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor with its accumulated gradient and optimizer state.
+///
+/// For binary layers `value` holds the *latent* full-precision weights
+/// (paper Sec. III-A); the forward pass binarizes a copy, never the latent
+/// storage. `clip_unit` marks parameters whose latent values the optimizer
+/// should clamp to [−1, 1] after each step — without the clamp, latent
+/// weights drift far from the binarization boundary and stop responding to
+/// gradients (BinaryConnect).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name (unique within its layer), e.g. `"weight"`.
+    pub name: String,
+    /// Current value (latent weights for binary layers).
+    pub value: Tensor,
+    /// Accumulated gradient; same shape as `value`.
+    pub grad: Tensor,
+    /// Optimizer scratch slots (momentum, Adam moments, …), lazily created
+    /// by the optimizer on first use.
+    pub opt_state: Vec<Tensor>,
+    /// Clamp latent values to [−1, 1] after optimizer steps.
+    pub clip_unit: bool,
+}
+
+impl Param {
+    /// New parameter with a zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            opt_state: Vec::new(),
+            clip_unit: false,
+        }
+    }
+
+    /// New latent binary-layer parameter (unit clipping enabled).
+    pub fn latent(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.clip_unit = true;
+        p
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Accumulate a gradient contribution. Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        assert_eq!(
+            g.shape(),
+            self.value.shape(),
+            "gradient shape {} does not match parameter '{}' shape {}",
+            g.shape(),
+            self.name,
+            self.value.shape()
+        );
+        for (a, &b) in self.grad.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// Ensure optimizer slot `i` exists (zero-initialised at `value`'s shape)
+    /// and return it mutably together with value and grad — split borrows for
+    /// the optimizer update loops.
+    pub fn slot_value_grad(&mut self, i: usize) -> (&mut Tensor, &Tensor, &Tensor) {
+        while self.opt_state.len() <= i {
+            self.opt_state.push(Tensor::zeros(self.value.shape().clone()));
+        }
+        // Split borrow: slot from opt_state, value/grad from the rest.
+        let slot = &mut self.opt_state[i];
+        (slot, &self.value, &self.grad)
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Shape accessor.
+    pub fn shape(&self) -> &Shape {
+        self.value.shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("weight", Tensor::ones(Shape::d2(2, 2)));
+        assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+        assert!(!p.clip_unit);
+        assert_eq!(p.numel(), 4);
+    }
+
+    #[test]
+    fn latent_enables_clipping() {
+        let p = Param::latent("weight", Tensor::ones(Shape::d1(3)));
+        assert!(p.clip_unit);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("b", Tensor::zeros(Shape::d1(2)));
+        let g = Tensor::from_vec(Shape::d1(2), vec![1.0, -2.0]);
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad.as_slice(), &[2.0, -4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match parameter")]
+    fn accumulate_checks_shape() {
+        let mut p = Param::new("b", Tensor::zeros(Shape::d1(2)));
+        p.accumulate_grad(&Tensor::zeros(Shape::d1(3)));
+    }
+
+    #[test]
+    fn slots_created_lazily() {
+        let mut p = Param::new("w", Tensor::zeros(Shape::d1(4)));
+        assert!(p.opt_state.is_empty());
+        {
+            let (slot, _, _) = p.slot_value_grad(1);
+            slot.as_mut_slice()[0] = 9.0;
+        }
+        assert_eq!(p.opt_state.len(), 2);
+        assert_eq!(p.opt_state[1].as_slice()[0], 9.0);
+    }
+}

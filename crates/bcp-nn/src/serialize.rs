@@ -1,0 +1,192 @@
+//! JSON state-dict save/load for trained networks.
+//!
+//! The state dict keys parameters by `"<layer>.<param>"` and additionally
+//! carries batch-norm running statistics (which are state, not parameters).
+//! JSON keeps checkpoints human-inspectable; the *deployed* binarized
+//! weights use the compact bitstream in `bcp-bitpack::serialize` instead.
+
+use crate::batchnorm::BatchNorm;
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use bcp_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Serialized tensor: shape + flat data.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct TensorState {
+    /// Dimension extents.
+    pub shape: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl From<&Tensor> for TensorState {
+    fn from(t: &Tensor) -> Self {
+        TensorState { shape: t.shape().dims().to_vec(), data: t.as_slice().to_vec() }
+    }
+}
+
+impl TensorState {
+    /// Rebuild the tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(Shape(self.shape.clone()), self.data.clone())
+    }
+}
+
+/// Batch-norm running statistics.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct BnStats {
+    /// Running mean per channel.
+    pub mean: Vec<f32>,
+    /// Running (biased) variance per channel.
+    pub var: Vec<f32>,
+}
+
+/// A complete network checkpoint.
+#[derive(Clone, Debug, Serialize, Deserialize, Default, PartialEq)]
+pub struct StateDict {
+    /// `"<layer>.<param>"` → tensor.
+    pub params: BTreeMap<String, TensorState>,
+    /// `"<layer>"` → running statistics for batch-norm layers.
+    pub bn_stats: BTreeMap<String, BnStats>,
+}
+
+/// Extract a checkpoint from a network.
+pub fn state_dict(net: &mut Sequential) -> StateDict {
+    let mut sd = StateDict::default();
+    net.visit_named_params(&mut |layer, p| {
+        sd.params.insert(format!("{layer}.{}", p.name), TensorState::from(&p.value));
+    });
+    for i in 0..net.len() {
+        if let Some(bn) = net.layer_as::<BatchNorm>(i) {
+            sd.bn_stats.insert(
+                bn.name().to_string(),
+                BnStats { mean: bn.running_mean().to_vec(), var: bn.running_var().to_vec() },
+            );
+        }
+    }
+    sd
+}
+
+/// Load a checkpoint into a structurally-matching network. Panics with a
+/// descriptive message on any missing/mismatched entry — checkpoints are
+/// only valid for the architecture that produced them.
+pub fn load_state_dict(net: &mut Sequential, sd: &StateDict) {
+    net.visit_named_params(&mut |layer, p| {
+        let key = format!("{layer}.{}", p.name);
+        let entry = sd
+            .params
+            .get(&key)
+            .unwrap_or_else(|| panic!("state dict missing parameter '{key}'"));
+        let t = entry.to_tensor();
+        assert_eq!(
+            t.shape(),
+            p.value.shape(),
+            "state dict shape mismatch for '{key}'"
+        );
+        p.value = t;
+        p.opt_state.clear();
+    });
+    for i in 0..net.len() {
+        let name = net.layer(i).name().to_string();
+        if let Some(bn) = net.layer_as_mut::<BatchNorm>(i) {
+            let stats = sd
+                .bn_stats
+                .get(&name)
+                .unwrap_or_else(|| panic!("state dict missing bn stats for '{name}'"));
+            let gamma = bn.gamma().to_vec();
+            let beta = bn.beta().to_vec();
+            bn.set_state(gamma, beta, stats.mean.clone(), stats.var.clone());
+        }
+    }
+}
+
+/// Save a checkpoint as JSON.
+pub fn save_json(net: &mut Sequential, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let sd = state_dict(net);
+    let json = serde_json::to_string(&sd).expect("state dict serializes");
+    fs::write(path, json)
+}
+
+/// Load a JSON checkpoint into a network.
+pub fn load_json(net: &mut Sequential, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let json = fs::read_to_string(path)?;
+    let sd: StateDict = serde_json::from_str(&json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    load_state_dict(net, &sd);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::SignSte;
+    use crate::linear::{BinaryLinear, Linear};
+    use crate::Mode;
+    use bcp_tensor::init::uniform;
+
+    fn net(seed: u64) -> Sequential {
+        Sequential::new("ckpt")
+            .push(Linear::new("fc1", 4, 8, true, seed))
+            .push(BatchNorm::new("bn1", 8))
+            .push(SignSte::new("sign1"))
+            .push(BinaryLinear::new("bfc2", 8, 3, seed + 1))
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let mut a = net(1);
+        // Run a train pass so running stats are non-trivial.
+        let x = uniform(Shape::d2(16, 4), -1.0, 1.0, 2);
+        let _ = a.forward(&x, Mode::Train);
+        let sd = state_dict(&mut a);
+
+        let mut b = net(99); // different init
+        load_state_dict(&mut b, &sd);
+        let probe = uniform(Shape::d2(5, 4), -1.0, 1.0, 3);
+        let ya = a.forward(&probe, Mode::Eval);
+        let yb = b.forward(&probe, Mode::Eval);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+    }
+
+    #[test]
+    fn state_dict_has_expected_keys() {
+        let mut n = net(1);
+        let sd = state_dict(&mut n);
+        assert!(sd.params.contains_key("fc1.weight"));
+        assert!(sd.params.contains_key("fc1.bias"));
+        assert!(sd.params.contains_key("bn1.gamma"));
+        assert!(sd.params.contains_key("bfc2.weight"));
+        assert!(sd.bn_stats.contains_key("bn1"));
+        assert_eq!(sd.bn_stats["bn1"].mean.len(), 8);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let dir = std::env::temp_dir().join("bcp_nn_ser_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut a = net(7);
+        save_json(&mut a, &path).unwrap();
+        let mut b = net(8);
+        load_json(&mut b, &path).unwrap();
+        let probe = uniform(Shape::d2(2, 4), -1.0, 1.0, 5);
+        assert_eq!(
+            a.forward(&probe, Mode::Eval).as_slice(),
+            b.forward(&probe, Mode::Eval).as_slice()
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn load_rejects_structural_mismatch() {
+        let mut a = net(1);
+        let sd = state_dict(&mut a);
+        let mut other = Sequential::new("other").push(Linear::new("zzz", 4, 4, false, 0));
+        load_state_dict(&mut other, &sd);
+    }
+}

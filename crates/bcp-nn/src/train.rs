@@ -1,0 +1,327 @@
+//! Minibatch training loop.
+
+use crate::loss::{cross_entropy, squared_hinge, LossOutput};
+use crate::metrics::{predictions, ConfusionMatrix};
+use crate::optim::{Optimizer, StepDecay};
+use crate::sequential::Sequential;
+use crate::Mode;
+use bcp_tensor::{Shape, Tensor};
+
+/// Which loss drives training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Softmax cross-entropy.
+    CrossEntropy,
+    /// Multi-class squared hinge (BinaryNet's choice).
+    SquaredHinge,
+}
+
+impl LossKind {
+    /// Evaluate the loss and its logits gradient.
+    pub fn eval(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        match self {
+            LossKind::CrossEntropy => cross_entropy(logits, labels),
+            LossKind::SquaredHinge => squared_hinge(logits, labels),
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Shuffle seed (deterministic order given the seed).
+    pub shuffle_seed: u64,
+    /// Loss function.
+    pub loss: LossKind,
+    /// Optional LR schedule applied at epoch boundaries.
+    pub schedule: Option<StepDecay>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            shuffle_seed: 0,
+            loss: LossKind::CrossEntropy,
+            schedule: None,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean minibatch loss over the epoch.
+    pub loss: f32,
+    /// Training accuracy over the epoch (computed on-line from the same
+    /// forward passes used for the updates).
+    pub train_accuracy: f32,
+    /// Validation accuracy, when a validation set was supplied.
+    pub val_accuracy: Option<f32>,
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a split-mix PRNG — cheap,
+/// seedable, and independent of the `rand` crate's version-to-version
+/// stream changes.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Gather samples `indices` of an NCHW tensor into a new batch.
+pub fn gather_batch(images: &Tensor, indices: &[usize]) -> Tensor {
+    assert_eq!(images.shape().rank(), 4, "gather_batch expects NCHW");
+    let (c, h, w) = (
+        images.shape().dim(1),
+        images.shape().dim(2),
+        images.shape().dim(3),
+    );
+    let stride = c * h * w;
+    let src = images.as_slice();
+    let mut data = Vec::with_capacity(indices.len() * stride);
+    for &i in indices {
+        data.extend_from_slice(&src[i * stride..(i + 1) * stride]);
+    }
+    Tensor::from_vec(Shape::nchw(indices.len(), c, h, w), data)
+}
+
+/// One epoch of minibatch SGD. Returns (mean loss, training accuracy).
+pub fn train_epoch(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    loss: LossKind,
+    shuffle_seed: u64,
+) -> (f32, f32) {
+    let n = images.shape().dim(0);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    assert!(batch_size > 0, "batch size must be positive");
+    let order = shuffled_indices(n, shuffle_seed);
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
+    let mut correct = 0usize;
+    for chunk in order.chunks(batch_size) {
+        let batch = gather_batch(images, chunk);
+        let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        net.zero_grad();
+        let logits = net.forward(&batch, Mode::Train);
+        let out = loss.eval(&logits, &batch_labels);
+        correct += predictions(&logits)
+            .iter()
+            .zip(&batch_labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        net.backward(&out.grad);
+        net.visit_params(&mut |p| opt.update(p));
+        opt.advance();
+        total_loss += out.loss as f64;
+        batches += 1;
+    }
+    (
+        (total_loss / batches.max(1) as f64) as f32,
+        correct as f32 / n as f32,
+    )
+}
+
+/// Evaluate accuracy (and optionally fill a confusion matrix) in eval mode.
+pub fn evaluate(
+    net: &mut Sequential,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    confusion: Option<&mut ConfusionMatrix>,
+) -> f32 {
+    let n = images.shape().dim(0);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let indices: Vec<usize> = (0..n).collect();
+    let mut correct = 0usize;
+    let mut cm = confusion;
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let batch = gather_batch(images, chunk);
+        let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        let logits = net.forward(&batch, Mode::Eval);
+        let preds = predictions(&logits);
+        correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+        if let Some(ref mut m) = cm {
+            m.record_batch(&batch_labels, &preds);
+        }
+    }
+    correct as f32 / n.max(1) as f32
+}
+
+/// Full training run with optional validation and LR schedule. The callback
+/// receives each epoch's stats (use it for logging or early stopping by
+/// returning `false`).
+#[allow(clippy::too_many_arguments)]
+pub fn fit(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    train_images: &Tensor,
+    train_labels: &[usize],
+    val: Option<(&Tensor, &[usize])>,
+    cfg: &TrainConfig,
+    mut on_epoch: impl FnMut(&EpochStats) -> bool,
+) -> Vec<EpochStats> {
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        if let Some(s) = cfg.schedule {
+            opt.set_lr(s.lr_at(epoch));
+        }
+        let (loss, train_accuracy) = train_epoch(
+            net,
+            opt,
+            train_images,
+            train_labels,
+            cfg.batch_size,
+            cfg.loss,
+            cfg.shuffle_seed.wrapping_add(epoch as u64),
+        );
+        let val_accuracy =
+            val.map(|(vi, vl)| evaluate(net, vi, vl, cfg.batch_size, None));
+        let stats = EpochStats { epoch, loss, train_accuracy, val_accuracy };
+        let proceed = on_epoch(&stats);
+        history.push(stats);
+        if !proceed {
+            break;
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::SignSte;
+    use crate::batchnorm::BatchNorm;
+    use crate::linear::{BinaryLinear, Linear};
+    use crate::metrics::accuracy;
+    use crate::optim::Adam;
+    use bcp_tensor::init::uniform;
+
+    /// A linearly-separable 2-class blob problem: class = sign of x₀.
+    fn blob_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let raw = uniform(Shape::nchw(n, 1, 1, 2), -1.0, 1.0, seed);
+        let labels: Vec<usize> = (0..n)
+            .map(|i| if raw.as_slice()[i * 2] >= 0.0 { 1 } else { 0 })
+            .collect();
+        (raw, labels)
+    }
+
+    fn blob_net(seed: u64) -> Sequential {
+        Sequential::new("blob")
+            .push(crate::flatten::Flatten::new("flat"))
+            .push(Linear::new("fc1", 2, 8, true, seed))
+            .push(BatchNorm::new("bn1", 8))
+            .push(SignSte::new("sign1"))
+            .push(Linear::new("fc2", 8, 2, true, seed + 1))
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let a = shuffled_indices(100, 7);
+        let b = shuffled_indices(100, 7);
+        let c = shuffled_indices(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_batch_picks_rows() {
+        let images = Tensor::from_vec(Shape::nchw(3, 1, 1, 2), vec![0., 1., 2., 3., 4., 5.]);
+        let b = gather_batch(&images, &[2, 0]);
+        assert_eq!(b.as_slice(), &[4., 5., 0., 1.]);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_blobs() {
+        let (images, labels) = blob_data(256, 3);
+        let mut net = blob_net(10);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 30, batch_size: 32, ..Default::default() };
+        let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |_| true);
+        assert!(history.len() == 30);
+        assert!(
+            history.last().unwrap().loss < history.first().unwrap().loss,
+            "loss should decrease: {} → {}",
+            history.first().unwrap().loss,
+            history.last().unwrap().loss
+        );
+        let acc = evaluate(&mut net, &images, &labels, 64, None);
+        assert!(acc > 0.9, "blob accuracy {acc} too low");
+    }
+
+    #[test]
+    fn binary_network_learns_blobs() {
+        // The full binary stack (binary weights + sign activations) must
+        // still learn a separable problem — the paper's core training claim.
+        let (images, labels) = blob_data(256, 4);
+        let mut net = Sequential::new("binary-blob")
+            .push(crate::flatten::Flatten::new("flat"))
+            .push(Linear::new("fc1", 2, 16, true, 20))
+            .push(BatchNorm::new("bn1", 16))
+            .push(SignSte::new("sign1"))
+            .push(BinaryLinear::new("bfc2", 16, 16, 21))
+            .push(BatchNorm::new("bn2", 16))
+            .push(SignSte::new("sign2"))
+            .push(Linear::new("fc3", 16, 2, true, 22));
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 40, batch_size: 32, ..Default::default() };
+        fit(&mut net, &mut opt, &images, &labels, None, &cfg, |_| true);
+        let acc = evaluate(&mut net, &images, &labels, 64, None);
+        assert!(acc > 0.85, "binary blob accuracy {acc} too low");
+    }
+
+    #[test]
+    fn evaluate_fills_confusion_matrix() {
+        let (images, labels) = blob_data(64, 5);
+        let mut net = blob_net(30);
+        let mut cm = ConfusionMatrix::new(2);
+        let acc = evaluate(&mut net, &images, &labels, 16, Some(&mut cm));
+        assert_eq!(cm.total(), 64);
+        assert!((cm.accuracy() as f32 - acc).abs() < 1e-5);
+    }
+
+    #[test]
+    fn early_stop_callback() {
+        let (images, labels) = blob_data(32, 6);
+        let mut net = blob_net(40);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 50, batch_size: 16, ..Default::default() };
+        let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |s| s.epoch < 2);
+        assert_eq!(history.len(), 3); // epochs 0,1,2 run; callback stops after 2.
+    }
+
+    #[test]
+    fn accuracy_helper_consistent_with_evaluate() {
+        let (images, labels) = blob_data(32, 8);
+        let mut net = blob_net(50);
+        let logits = net.forward(&images, Mode::Eval);
+        let a = accuracy(&logits, &labels);
+        let b = evaluate(&mut net, &images, &labels, 32, None);
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Max-pooling with argmax bookkeeping.
+//!
+//! The forward pass records, for every output cell, the flat input offset of
+//! the winning element; the backward pass routes the gradient to exactly that
+//! offset. On binarized feature maps (±1) max-pooling degenerates into a
+//! boolean OR — the property the FINN pooling unit exploits — which the
+//! `bcp-finn` crate cross-checks against this reference implementation.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Geometry of a max-pool layer (square window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaxPoolSpec {
+    /// Window extent.
+    pub k: usize,
+    /// Window stride (BinaryCoP uses non-overlapping 2×2, i.e. k = stride = 2).
+    pub stride: usize,
+}
+
+impl MaxPoolSpec {
+    /// The paper's 2×2/stride-2 pooling.
+    pub fn two_by_two() -> Self {
+        MaxPoolSpec { k: 2, stride: 2 }
+    }
+
+    /// Output spatial size (no padding — windows must tile within bounds).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.k && w >= self.k, "pool window larger than input");
+        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+    }
+}
+
+/// Forward max-pool over an NCHW tensor. Returns the pooled tensor and the
+/// per-output flat argmax offsets into the input buffer.
+pub fn maxpool2d_forward(x: &Tensor, spec: MaxPoolSpec) -> (Tensor, Vec<usize>) {
+    assert_eq!(x.shape().rank(), 4, "maxpool input must be NCHW");
+    let (n, c, h, w) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
+    let (oh, ow) = spec.out_hw(h, w);
+    let src = x.as_slice();
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut arg = Vec::with_capacity(n * c * oh * ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = 0usize;
+                    for ky in 0..spec.k {
+                        let iy = oy * spec.stride + ky;
+                        for kx in 0..spec.k {
+                            let ix = ox * spec.stride + kx;
+                            let off = plane + iy * w + ix;
+                            if src[off] > best {
+                                best = src[off];
+                                best_off = off;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    arg.push(best_off);
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(Shape::nchw(n, c, oh, ow), out), arg)
+}
+
+/// Backward max-pool: route each output gradient to its argmax input cell.
+///
+/// `in_shape` must be the forward input's shape; `argmax` the offsets the
+/// forward pass returned.
+pub fn maxpool2d_backward(dy: &Tensor, argmax: &[usize], in_shape: &Shape) -> Tensor {
+    assert_eq!(
+        dy.numel(),
+        argmax.len(),
+        "argmax bookkeeping ({}) does not match output grad ({})",
+        argmax.len(),
+        dy.numel()
+    );
+    let mut dx = Tensor::zeros(in_shape.clone());
+    let d = dx.as_mut_slice();
+    for (&g, &off) in dy.as_slice().iter().zip(argmax) {
+        d[off] += g;
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::uniform;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_two_by_two() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let (y, arg) = maxpool2d_forward(&x, MaxPoolSpec::two_by_two());
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4., 8., 12., 16.]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1., 9., 3., 4.]);
+        let (y, arg) = maxpool2d_forward(&x, MaxPoolSpec::two_by_two());
+        assert_eq!(y.as_slice(), &[9.0]);
+        let dy = Tensor::from_vec(y.shape().clone(), vec![5.0]);
+        let dx = maxpool2d_backward(&dy, &arg, x.shape());
+        assert_eq!(dx.as_slice(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn pool_on_binary_maps_is_or() {
+        // On ±1 maps, max == OR (any +1 wins).
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 4),
+            vec![-1., -1., 1., -1., -1., -1., -1., -1.],
+        );
+        let (y, _) = maxpool2d_forward(&x, MaxPoolSpec::two_by_two());
+        assert_eq!(y.as_slice(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 3, 3), (0..9).map(|i| i as f32).collect());
+        let spec = MaxPoolSpec { k: 2, stride: 1 };
+        let (y, _) = maxpool2d_forward(&x, spec);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4., 5., 7., 8.]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_gradient_mass_preserved(n in 1usize..3, c in 1usize..3,
+                                        h in 2usize..7, w in 2usize..7, seed in 0u64..300) {
+            // Non-overlapping 2×2 pooling: every output grad lands on exactly
+            // one input cell, so total gradient mass is conserved.
+            prop_assume!(h >= 2 && w >= 2);
+            let x = uniform(Shape::nchw(n, c, h, w), -1.0, 1.0, seed);
+            let (y, arg) = maxpool2d_forward(&x, MaxPoolSpec::two_by_two());
+            let dy = uniform(y.shape().clone(), -1.0, 1.0, seed + 1);
+            let dx = maxpool2d_backward(&dy, &arg, x.shape());
+            let a: f32 = dy.as_slice().iter().sum();
+            let b: f32 = dx.as_slice().iter().sum();
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_pool_upper_bounds_inputs(h in 2usize..7, w in 2usize..7, seed in 0u64..300) {
+            let x = uniform(Shape::nchw(1, 1, h, w), -1.0, 1.0, seed);
+            let (y, arg) = maxpool2d_forward(&x, MaxPoolSpec::two_by_two());
+            for (&v, &off) in y.as_slice().iter().zip(&arg) {
+                prop_assert_eq!(v, x.as_slice()[off]);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Tensor shapes and convolution geometry helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: a list of dimension extents, outermost
+/// first. Rank-4 shapes follow the NCHW convention (batch, channels, height,
+/// width) used throughout the BinaryCoP pipeline.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Rank-1 shape.
+    pub fn d1(a: usize) -> Self {
+        Shape(vec![a])
+    }
+
+    /// Rank-2 shape (rows, cols).
+    pub fn d2(a: usize, b: usize) -> Self {
+        Shape(vec![a, b])
+    }
+
+    /// Rank-3 shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape(vec![a, b, c])
+    }
+
+    /// Rank-4 NCHW shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`. Panics when out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-index. Panics if the index rank mismatches or
+    /// any coordinate is out of bounds (debug builds only for the bounds).
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, (&ix, &ext)) in index.iter().zip(self.0.iter()).enumerate() {
+            debug_assert!(ix < ext, "index {ix} out of bounds for dim {i} (extent {ext})");
+            off = off * ext + ix;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("×"))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Output spatial extent of a convolution/pooling window along one axis.
+///
+/// `extent` input size, `k` kernel size, `pad` symmetric zero padding,
+/// `stride` window step. Panics when the window does not fit at all.
+pub fn conv_out_dim(extent: usize, k: usize, pad: usize, stride: usize) -> usize {
+    let padded = extent + 2 * pad;
+    assert!(
+        padded >= k && stride > 0,
+        "convolution window k={k} (stride {stride}) does not fit into padded extent {padded}"
+    );
+    (padded - k) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::nchw(2, 3, 32, 32);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.numel(), 2 * 3 * 32 * 32);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        let s1 = Shape::d1(7);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::d3(3, 4, 5);
+        let strides = s.strides();
+        for a in 0..3 {
+            for b in 0..4 {
+                for c in 0..5 {
+                    let expect = a * strides[0] + b * strides[1] + c * strides[2];
+                    assert_eq!(s.offset(&[a, b, c]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_out_dims_match_paper_cnv() {
+        // CNV on 32×32: three conv groups, K=3 no padding, 2×2 maxpool after
+        // groups 1 and 2 (Sec. IV-A / Table I).
+        let d = conv_out_dim(32, 3, 0, 1); // conv1_1 -> 30
+        assert_eq!(d, 30);
+        let d = conv_out_dim(d, 3, 0, 1); // conv1_2 -> 28
+        assert_eq!(d, 28);
+        let d = conv_out_dim(d, 2, 0, 2); // pool -> 14
+        assert_eq!(d, 14);
+        let d = conv_out_dim(d, 3, 0, 1); // conv2_1 -> 12
+        assert_eq!(d, 12);
+        let d = conv_out_dim(d, 3, 0, 1); // conv2_2 -> 10
+        assert_eq!(d, 10);
+        let d = conv_out_dim(d, 2, 0, 2); // pool -> 5 (the Grad-CAM 5×5 map)
+        assert_eq!(d, 5);
+        let d = conv_out_dim(d, 3, 0, 1); // conv3_1 -> 3
+        assert_eq!(d, 3);
+        let d = conv_out_dim(d, 3, 0, 1); // conv3_2 -> 1
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conv_out_dim_rejects_oversized_kernel() {
+        conv_out_dim(2, 5, 0, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::d2(3, 4).to_string(), "[3×4]");
+    }
+}

@@ -1,0 +1,323 @@
+//! The Table I architectures and their hardware dimensioning.
+
+use bcp_finn::dse::LayerDims;
+use bcp_finn::Folding;
+use serde::{Deserialize, Serialize};
+
+/// One convolutional layer's description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// 2×2 max-pool follows this layer.
+    pub pool_after: bool,
+}
+
+/// One fully-connected layer's description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Input features.
+    pub f_in: usize,
+    /// Output features.
+    pub f_out: usize,
+}
+
+/// Which BinaryCoP prototype (Sec. IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// The full CNV (VGG/BinaryNet derived).
+    Cnv,
+    /// Narrow CNV (smaller memory footprint).
+    NCnv,
+    /// μ-CNV: one conv layer fewer, fits the Z7010 after DSP offload.
+    MicroCnv,
+}
+
+/// A complete architecture: layer stack + the paper's PE/SIMD vectors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Arch {
+    /// Display name.
+    pub name: String,
+    /// Input image edge (32 for all prototypes).
+    pub input_size: usize,
+    /// Conv trunk, in order. All kernels are K=3, stride 1, no padding.
+    pub convs: Vec<ConvLayer>,
+    /// Dense head, in order; the last layer emits the 4 class logits.
+    pub fcs: Vec<FcLayer>,
+    /// PE count per compute layer (convs then FCs) — Table I.
+    pub pe: Vec<usize>,
+    /// SIMD lanes per compute layer — Table I.
+    pub simd: Vec<usize>,
+    /// Whether the deployment offloads XNOR logic to DSP blocks
+    /// (μ-CNV on the Z7010, OrthrusPE — paper ref 27).
+    pub dsp_offload: bool,
+}
+
+/// Kernel size shared by every BinaryCoP convolution.
+pub const K: usize = 3;
+/// Number of output classes.
+pub const CLASSES: usize = 4;
+
+impl ArchKind {
+    /// All prototypes in Table I order.
+    pub const ALL: [ArchKind; 3] = [ArchKind::Cnv, ArchKind::NCnv, ArchKind::MicroCnv];
+
+    /// The architecture description.
+    pub fn arch(self) -> Arch {
+        match self {
+            ArchKind::Cnv => Arch {
+                name: "CNV".into(),
+                input_size: 32,
+                convs: vec![
+                    ConvLayer { c_in: 3, c_out: 64, pool_after: false },
+                    ConvLayer { c_in: 64, c_out: 64, pool_after: true },
+                    ConvLayer { c_in: 64, c_out: 128, pool_after: false },
+                    ConvLayer { c_in: 128, c_out: 128, pool_after: true },
+                    ConvLayer { c_in: 128, c_out: 256, pool_after: false },
+                    ConvLayer { c_in: 256, c_out: 256, pool_after: false },
+                ],
+                fcs: vec![
+                    FcLayer { f_in: 256, f_out: 512 },
+                    FcLayer { f_in: 512, f_out: 512 },
+                    FcLayer { f_in: 512, f_out: CLASSES },
+                ],
+                pe: vec![16, 32, 16, 16, 4, 1, 1, 1, 4],
+                simd: vec![3, 32, 32, 32, 32, 32, 4, 8, 1],
+                dsp_offload: false,
+            },
+            ArchKind::NCnv => Arch {
+                name: "n-CNV".into(),
+                input_size: 32,
+                convs: vec![
+                    ConvLayer { c_in: 3, c_out: 16, pool_after: false },
+                    ConvLayer { c_in: 16, c_out: 16, pool_after: true },
+                    ConvLayer { c_in: 16, c_out: 32, pool_after: false },
+                    ConvLayer { c_in: 32, c_out: 32, pool_after: true },
+                    ConvLayer { c_in: 32, c_out: 64, pool_after: false },
+                    ConvLayer { c_in: 64, c_out: 64, pool_after: false },
+                ],
+                fcs: vec![
+                    FcLayer { f_in: 64, f_out: 128 },
+                    FcLayer { f_in: 128, f_out: 128 },
+                    FcLayer { f_in: 128, f_out: CLASSES },
+                ],
+                pe: vec![16, 16, 16, 16, 4, 1, 1, 1, 1],
+                simd: vec![3, 16, 16, 32, 32, 32, 4, 8, 1],
+                dsp_offload: false,
+            },
+            ArchKind::MicroCnv => Arch {
+                name: "μ-CNV".into(),
+                input_size: 32,
+                convs: vec![
+                    ConvLayer { c_in: 3, c_out: 16, pool_after: false },
+                    ConvLayer { c_in: 16, c_out: 16, pool_after: true },
+                    ConvLayer { c_in: 16, c_out: 32, pool_after: false },
+                    ConvLayer { c_in: 32, c_out: 32, pool_after: true },
+                    ConvLayer { c_in: 32, c_out: 64, pool_after: false },
+                ],
+                fcs: vec![
+                    FcLayer { f_in: 576, f_out: 128 },
+                    FcLayer { f_in: 128, f_out: CLASSES },
+                ],
+                pe: vec![4, 4, 4, 4, 1, 1, 1],
+                simd: vec![3, 16, 16, 32, 32, 16, 1],
+                dsp_offload: true,
+            },
+        }
+    }
+}
+
+impl Arch {
+    /// Spatial size after each conv layer (before any pool), plus the final
+    /// flattened feature count. Returns `(per_conv_out_hw, flat_features)`.
+    pub fn spatial_plan(&self) -> (Vec<usize>, usize) {
+        let mut hw = self.input_size;
+        let mut outs = Vec::with_capacity(self.convs.len());
+        for conv in &self.convs {
+            hw -= K - 1; // valid 3×3 convolution
+            outs.push(hw);
+            if conv.pool_after {
+                assert!(hw.is_multiple_of(2), "pool requires an even extent, got {hw}");
+                hw /= 2;
+            }
+        }
+        let flat = self.convs.last().map(|c| c.c_out).unwrap_or(3) * hw * hw;
+        (outs, flat)
+    }
+
+    /// Validate internal consistency: channel chaining, FC fan-in matching
+    /// the flattened conv output, PE/SIMD vector lengths, pool parity.
+    pub fn validate(&self) {
+        for w in self.convs.windows(2) {
+            assert_eq!(w[0].c_out, w[1].c_in, "conv channel chain broken in {}", self.name);
+        }
+        let (_, flat) = self.spatial_plan();
+        assert_eq!(
+            self.fcs.first().map(|f| f.f_in),
+            Some(flat),
+            "{}: first FC fan-in must equal flattened conv output",
+            self.name
+        );
+        for w in self.fcs.windows(2) {
+            assert_eq!(w[0].f_out, w[1].f_in, "FC chain broken in {}", self.name);
+        }
+        assert_eq!(self.fcs.last().map(|f| f.f_out), Some(CLASSES));
+        let n_layers = self.convs.len() + self.fcs.len();
+        assert_eq!(self.pe.len(), n_layers, "{}: PE vector length", self.name);
+        assert_eq!(self.simd.len(), n_layers, "{}: SIMD vector length", self.name);
+    }
+
+    /// The folding of compute layer `i` (convs then FCs, Table I order).
+    pub fn folding(&self, i: usize) -> Folding {
+        Folding::new(self.pe[i], self.simd[i])
+    }
+
+    /// Total binary weight bits (the BNN memory footprint the paper's ×32
+    /// claim applies to).
+    pub fn weight_bits(&self) -> u64 {
+        let conv: u64 = self
+            .convs
+            .iter()
+            .map(|c| (c.c_in * c.c_out * K * K) as u64)
+            .sum();
+        let fc: u64 = self.fcs.iter().map(|f| (f.f_in * f.f_out) as u64).sum();
+        conv + fc
+    }
+
+    /// Abstract MVTU workloads for the DSE and the timing model: matrix
+    /// dims + vectors/frame per compute layer.
+    pub fn layer_dims(&self) -> Vec<LayerDims> {
+        let mut dims = Vec::with_capacity(self.convs.len() + self.fcs.len());
+        let mut hw = self.input_size;
+        for (i, conv) in self.convs.iter().enumerate() {
+            hw -= K - 1;
+            dims.push(LayerDims {
+                name: format!("conv{}", i + 1),
+                rows: conv.c_out,
+                cols: conv.c_in * K * K,
+                vectors: hw * hw,
+            });
+            if conv.pool_after {
+                hw /= 2;
+            }
+        }
+        for (i, fc) in self.fcs.iter().enumerate() {
+            dims.push(LayerDims {
+                name: format!("fc{}", i + 1),
+                rows: fc.f_out,
+                cols: fc.f_in,
+                vectors: 1,
+            });
+        }
+        dims
+    }
+
+    /// Render this column of Table I.
+    pub fn table1_column(&self) -> String {
+        let mut s = format!("{}\n", self.name);
+        for (i, c) in self.convs.iter().enumerate() {
+            let group = i / 2 + 1;
+            let idx = i % 2 + 1;
+            s.push_str(&format!("  Conv.{group}.{idx} [{}, {}]\n", c.c_in, c.c_out));
+        }
+        for (i, f) in self.fcs.iter().enumerate() {
+            s.push_str(&format!("  FC.{} [{}]\n", i + 1, f.f_out));
+        }
+        let pe: Vec<String> = self.pe.iter().map(|p| p.to_string()).collect();
+        let simd: Vec<String> = self.simd.iter().map(|p| p.to_string()).collect();
+        s.push_str(&format!("  PE:   {}\n  SIMD: {}\n", pe.join(", "), simd.join(", ")));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_archs_validate() {
+        for kind in ArchKind::ALL {
+            kind.arch().validate();
+        }
+    }
+
+    #[test]
+    fn cnv_matches_table1() {
+        let a = ArchKind::Cnv.arch();
+        assert_eq!(a.convs.len(), 6);
+        assert_eq!(a.fcs.len(), 3);
+        assert_eq!(a.convs[0].c_out, 64);
+        assert_eq!(a.convs[5].c_out, 256);
+        assert_eq!(a.fcs[2].f_out, 4);
+        assert_eq!(a.pe, vec![16, 32, 16, 16, 4, 1, 1, 1, 4]);
+        assert_eq!(a.simd, vec![3, 32, 32, 32, 32, 32, 4, 8, 1]);
+    }
+
+    #[test]
+    fn spatial_plan_matches_paper_geometry() {
+        // 32 → 30 → 28 →(pool)14 → 12 → 10 →(pool)5 → 3 → 1.
+        let a = ArchKind::Cnv.arch();
+        let (outs, flat) = a.spatial_plan();
+        assert_eq!(outs, vec![30, 28, 12, 10, 3, 1]);
+        assert_eq!(flat, 256);
+        // μ-CNV stops one conv earlier: 3×3×64 = 576 flat features — the
+        // "larger spatial dimension before the fully-connected layers"
+        // trade-off Sec. IV-B describes.
+        let u = ArchKind::MicroCnv.arch();
+        let (outs, flat) = u.spatial_plan();
+        assert_eq!(outs, vec![30, 28, 12, 10, 3]);
+        assert_eq!(flat, 576);
+    }
+
+    #[test]
+    fn micro_cnv_has_more_weights_than_ncnv_head() {
+        // Sec. IV-B: "the trade-off is a slight increase in the memory
+        // footprint of the BNN" for μ-CNV relative to n-CNV.
+        let n = ArchKind::NCnv.arch().weight_bits();
+        let u = ArchKind::MicroCnv.arch().weight_bits();
+        let c = ArchKind::Cnv.arch().weight_bits();
+        assert!(u > n, "μ-CNV {u} bits should exceed n-CNV {n} bits");
+        assert!(c > 10 * n, "CNV should dwarf both");
+    }
+
+    #[test]
+    fn weight_bits_known_values() {
+        // Hand-computed from Table I.
+        assert_eq!(ArchKind::Cnv.arch().weight_bits(), 1_539_776);
+        assert_eq!(ArchKind::NCnv.arch().weight_bits(), 96_944);
+        assert_eq!(ArchKind::MicroCnv.arch().weight_bits(), 109_232);
+    }
+
+    #[test]
+    fn layer_dims_cover_all_compute_layers() {
+        for kind in ArchKind::ALL {
+            let a = kind.arch();
+            let dims = a.layer_dims();
+            assert_eq!(dims.len(), a.pe.len());
+            // Every published folding divides its matrix exactly.
+            for (i, d) in dims.iter().enumerate() {
+                let f = a.folding(i);
+                assert!(
+                    f.is_exact(d.rows, d.cols),
+                    "{} layer {} ({}×{}) vs PE={} SIMD={}",
+                    a.name,
+                    d.name,
+                    d.rows,
+                    d.cols,
+                    f.pe,
+                    f.simd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_column_renders() {
+        let s = ArchKind::NCnv.arch().table1_column();
+        assert!(s.contains("Conv.1.1 [3, 16]"));
+        assert!(s.contains("FC.3 [4]"));
+        assert!(s.contains("PE:   16, 16, 16, 16, 4, 1, 1, 1, 1"));
+    }
+}

@@ -1,0 +1,217 @@
+//! `bcp` — the BinaryCoP deployment CLI.
+//!
+//! ```text
+//! bcp train    --arch <cnv|ncnv|ucnv> --out model.json [--per-class N] [--epochs N]
+//! bcp deploy   --arch <...> --model model.json --out accel.json
+//! bcp classify --arch <...> --accel accel.json IMG.ppm [IMG2.ppm …]
+//! bcp info     --arch <...> [--accel accel.json]
+//! bcp demo
+//! ```
+//!
+//! Input images are binary PPM (P6); arbitrary sizes are box-resized to
+//! the 32×32 accelerator input, mirroring the paper's preprocessing.
+
+use binarycop::arch::{Arch, ArchKind};
+use binarycop::model::build_bnn;
+use binarycop::predictor::{BinaryCoP, OperatingMode};
+use binarycop::recipe::{run, Recipe};
+use bcp_dataset::ppm::{decode_ppm, resize_to};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn parse_arch(name: &str) -> ArchKind {
+    match name.to_ascii_lowercase().as_str() {
+        "cnv" => ArchKind::Cnv,
+        "ncnv" | "n-cnv" => ArchKind::NCnv,
+        "ucnv" | "µ-cnv" | "μ-cnv" | "micro" => ArchKind::MicroCnv,
+        other => {
+            eprintln!("unknown architecture '{other}' (use cnv | ncnv | ucnv)");
+            exit(2);
+        }
+    }
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if let Some(name) = raw[i].strip_prefix("--") {
+            let value = raw.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("flag --{name} needs a value");
+                exit(2);
+            });
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            positional.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    Args { flags, positional }
+}
+
+fn required<'a>(args: &'a Args, flag: &str) -> &'a str {
+    args.flags.get(flag).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{flag}");
+        exit(2);
+    })
+}
+
+fn arch_of(args: &Args) -> Arch {
+    parse_arch(required(args, "arch")).arch()
+}
+
+fn cmd_train(args: &Args) {
+    let kind = parse_arch(required(args, "arch"));
+    let out = required(args, "out");
+    let per_class: usize = args
+        .flags
+        .get("per-class")
+        .map(|v| v.parse().expect("--per-class N"))
+        .unwrap_or(100);
+    let epochs: usize = args
+        .flags
+        .get("epochs")
+        .map(|v| v.parse().expect("--epochs N"))
+        .unwrap_or(8);
+    let recipe = Recipe {
+        train_per_class: per_class,
+        test_per_class: per_class / 3 + 1,
+        epochs,
+        ..Recipe::quick(kind)
+    };
+    eprintln!("training {} ({per_class}/class, {epochs} epochs)…", recipe.arch.name);
+    let mut model = run(&recipe, |s| {
+        eprintln!(
+            "  epoch {:>3}: loss {:.4}, train acc {:.1}%",
+            s.epoch,
+            s.loss,
+            s.train_accuracy * 100.0
+        );
+    });
+    eprintln!("test accuracy: {:.2}%", model.test_accuracy * 100.0);
+    bcp_nn::serialize::save_json(&mut model.net, out).expect("writing checkpoint");
+    eprintln!("checkpoint written to {out}");
+}
+
+fn cmd_deploy(args: &Args) {
+    let arch = arch_of(args);
+    let model_path = required(args, "model");
+    let out = required(args, "out");
+    let mut net = build_bnn(&arch, 0);
+    bcp_nn::serialize::load_json(&mut net, model_path).expect("reading checkpoint");
+    let predictor = BinaryCoP::from_trained(&net, &arch);
+    predictor.save_image(out).expect("writing accelerator image");
+    eprintln!("{}", predictor.pipeline().describe());
+    eprintln!("accelerator image written to {out}");
+}
+
+fn load_predictor(args: &Args) -> BinaryCoP {
+    let arch = arch_of(args);
+    let accel = required(args, "accel");
+    BinaryCoP::load_image(accel, &arch).expect("reading accelerator image")
+}
+
+fn cmd_classify(args: &Args) {
+    let predictor = load_predictor(args);
+    if args.positional.is_empty() {
+        eprintln!("no input images (pass one or more .ppm files)");
+        exit(2);
+    }
+    for path in &args.positional {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1);
+        });
+        let img = decode_ppm(&bytes).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1);
+        });
+        let sized = resize_to(&img, predictor.arch().input_size);
+        let class = predictor.classify(&sized);
+        println!("{path}: {}", class.full_name());
+    }
+}
+
+fn cmd_info(args: &Args) {
+    let predictor = if args.flags.contains_key("accel") {
+        load_predictor(args)
+    } else {
+        // No trained image: report the architecture's models from an
+        // untrained (but deployable) network.
+        let arch = arch_of(args);
+        let (net, arch) = {
+            use bcp_nn::Mode;
+            let mut net = build_bnn(&arch, 0);
+            let x = bcp_tensor::init::uniform(
+                bcp_tensor::Shape::nchw(2, 3, arch.input_size, arch.input_size),
+                -1.0,
+                1.0,
+                1,
+            );
+            let _ = net.forward(&x, Mode::Train);
+            (net, arch)
+        };
+        BinaryCoP::from_trained(&net, &arch)
+    };
+    print!("{}", predictor.pipeline().describe());
+    println!("{}", predictor.summary());
+    println!(
+        "gate power @0.5 subjects/s: {:.3} W; crowd power: {:.2} W",
+        predictor.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 }),
+        predictor.board_power_w(OperatingMode::CrowdStatistics),
+    );
+}
+
+fn cmd_demo() {
+    // Train tiny, deploy, classify a generated face — zero configuration.
+    use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
+    let recipe = Recipe {
+        train_per_class: 60,
+        test_per_class: 20,
+        epochs: 8,
+        ..Recipe::test_scale()
+    };
+    eprintln!("demo: training {} …", recipe.arch.name);
+    let model = run(&recipe, |_| {});
+    eprintln!("test accuracy: {:.1}%", model.test_accuracy * 100.0);
+    let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
+    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 3 };
+    let ds = Dataset::generate_balanced(&gen, 2, 0xDE30);
+    for i in 0..ds.len() {
+        println!(
+            "true {:<24} → predicted {}",
+            MaskClass::from_label(ds.labels[i]).full_name(),
+            predictor.classify(&ds.image(i)).full_name()
+        );
+    }
+    println!("{}", predictor.summary());
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = raw.first().cloned().unwrap_or_default();
+    let args = parse_args(&raw[1.min(raw.len())..]);
+    match command.as_str() {
+        "train" => cmd_train(&args),
+        "deploy" => cmd_deploy(&args),
+        "classify" => cmd_classify(&args),
+        "info" => cmd_info(&args),
+        "demo" => cmd_demo(),
+        _ => {
+            eprintln!("usage: bcp <train|deploy|classify|info|demo> [flags]");
+            eprintln!("  bcp train    --arch ncnv --out model.json [--per-class 100] [--epochs 8]");
+            eprintln!("  bcp deploy   --arch ncnv --model model.json --out accel.json");
+            eprintln!("  bcp classify --arch ncnv --accel accel.json face.ppm …");
+            eprintln!("  bcp info     --arch ncnv [--accel accel.json]");
+            eprintln!("  bcp demo");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Experiment runner: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! experiments table1                  # Table I
+//! experiments table2 [--quick|--full] # Table II (trains the 3 BNNs)
+//! experiments fig1                    # pipeline schematic (Fig. 1)
+//! experiments fig2 [--quick|--full]   # confusion matrix (Fig. 2)
+//! experiments gradcam [3..9|all] [--ppm DIR]   # Figs. 3–9
+//! experiments perf                    # throughput/power claims
+//! experiments dataset                 # Sec. IV-A dataset pipeline
+//! experiments all [--quick]           # everything at quick scale
+//! ```
+//!
+//! `--quick` (default) trains small synthetic sets for seconds-scale runs;
+//! `--full` approaches the paper's scale and can take hours.
+
+use binarycop::arch::ArchKind;
+use binarycop::experiments::{
+    dataset_report, fig1_report, gradcam_figure_ppms, gradcam_figure_report, perf_power_report,
+    robustness_report, robustness_sweep, table1_report, table2_report, table2_rows,
+    variant_ablation,
+};
+use binarycop::eval::render_fig2;
+use binarycop::recipe::{run, Recipe, TrainedModel};
+use bcp_nn::Sequential;
+use std::path::PathBuf;
+
+struct Options {
+    quick: bool,
+    resources_only: bool,
+    ppm_dir: Option<PathBuf>,
+    figures: Vec<u8>,
+}
+
+fn parse(args: &[String]) -> (String, Options) {
+    let command = args.first().cloned().unwrap_or_else(|| "all".into());
+    let mut opts = Options {
+        quick: true,
+        resources_only: false,
+        ppm_dir: None,
+        figures: (3..=9).collect(),
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.quick = false,
+            "--resources-only" => opts.resources_only = true,
+            "--ppm" => {
+                i += 1;
+                opts.ppm_dir = Some(PathBuf::from(
+                    args.get(i).expect("--ppm needs a directory"),
+                ));
+            }
+            "all" => opts.figures = (3..=9).collect(),
+            f if f.parse::<u8>().is_ok() => {
+                let n = f.parse::<u8>().unwrap();
+                assert!((3..=9).contains(&n), "figures are numbered 3–9");
+                opts.figures = vec![n];
+            }
+            other => panic!("unknown option '{other}'"),
+        }
+        i += 1;
+    }
+    (command, opts)
+}
+
+fn recipe_for(kind: ArchKind, quick: bool) -> Recipe {
+    if quick {
+        Recipe::quick(kind)
+    } else {
+        Recipe::paper_scale(kind)
+    }
+}
+
+fn train_logged(recipe: &Recipe, label: &str) -> TrainedModel {
+    eprintln!(
+        "[train] {label}: {}/class train (+{} aug), {} epochs",
+        recipe.train_per_class, recipe.augment_copies, recipe.epochs
+    );
+    let model = run(recipe, |s| {
+        eprintln!(
+            "[train] {label} epoch {:>3}: loss {:.4}, train acc {:.1}%",
+            s.epoch,
+            s.loss,
+            s.train_accuracy * 100.0
+        );
+    });
+    eprintln!(
+        "[train] {label} done: test accuracy {:.2}%",
+        model.test_accuracy * 100.0
+    );
+    model
+}
+
+fn cmd_table2(quick: bool, resources_only: bool) {
+    if resources_only {
+        println!("{}", table2_report(&table2_rows(&[None, None, None])));
+        return;
+    }
+    let mut accs = [None, None, None];
+    let mut trained: Vec<TrainedModel> = Vec::new();
+    for (i, kind) in ArchKind::ALL.iter().enumerate() {
+        let model = train_logged(&recipe_for(*kind, quick), &kind.arch().name);
+        accs[i] = Some(model.test_accuracy);
+        trained.push(model);
+    }
+    println!("{}", table2_report(&table2_rows(&accs)));
+}
+
+fn cmd_fig2(quick: bool) {
+    let model = train_logged(&recipe_for(ArchKind::Cnv, quick), "CNV");
+    println!("Fig. 2: confusion matrix of Binary-CoP-CNV on the test set");
+    println!("overall accuracy: {:.2}%\n", model.test_accuracy * 100.0);
+    println!("{}", render_fig2(&model.confusion));
+}
+
+fn cmd_gradcam(opts: &Options) {
+    // Train the three Grad-CAM columns: CNV, n-CNV, FP32-CNV.
+    let cnv = train_logged(&recipe_for(ArchKind::Cnv, opts.quick), "CNV");
+    let ncnv = train_logged(&recipe_for(ArchKind::NCnv, opts.quick), "n-CNV");
+    let fp32 = train_logged(&recipe_for(ArchKind::Cnv, opts.quick).as_fp32(), "FP32");
+    let mut nets: Vec<(String, Sequential)> = vec![
+        ("BCoP-CNV".into(), cnv.net),
+        ("BCoP-n-CNV".into(), ncnv.net),
+        ("FP32".into(), fp32.net),
+    ];
+    for &fig in &opts.figures {
+        // conv4 is conv2_2 in the paper's naming (the Grad-CAM target).
+        let mut models: Vec<(&str, &mut Sequential, &str)> = nets
+            .iter_mut()
+            .map(|(n, net)| (n.as_str(), net, "conv4"))
+            .collect();
+        println!("{}", gradcam_figure_report(fig, 32, 1000 + fig as u64, &mut models));
+        if let Some(dir) = &opts.ppm_dir {
+            let files = gradcam_figure_ppms(fig, 32, 1000 + fig as u64, &mut models, dir)
+                .expect("writing PPM artifacts");
+            eprintln!("[gradcam] wrote {} PPM files under {}", files.len(), dir.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, opts) = parse(&args);
+    match command.as_str() {
+        "table1" => println!("{}", table1_report()),
+        "table2" => cmd_table2(opts.quick, opts.resources_only),
+        "fig1" => {
+            for kind in ArchKind::ALL {
+                println!("{}", fig1_report(kind));
+            }
+        }
+        "fig2" => cmd_fig2(opts.quick),
+        "gradcam" => cmd_gradcam(&opts),
+        "perf" | "power" => println!("{}", perf_power_report()),
+        "robustness" => {
+            // Train n-CNV at a modest scale, then sweep weight-bit faults.
+            let model = train_logged(
+                &Recipe {
+                    train_per_class: if opts.quick { 80 } else { 1000 },
+                    epochs: if opts.quick { 8 } else { 60 },
+                    ..Recipe::quick(ArchKind::NCnv)
+                },
+                "n-CNV",
+            );
+            let total = model.arch.weight_bits() as usize;
+            let counts: Vec<usize> =
+                vec![0, total / 1000, total / 200, total / 50, total / 10];
+            let points = robustness_sweep(&model.net, &model.arch, &counts, 40, 11);
+            println!("{}", robustness_report(&model.arch.name, &points));
+        }
+        "focus" => {
+            let model = train_logged(
+                &Recipe {
+                    train_per_class: if opts.quick { 80 } else { 1000 },
+                    epochs: if opts.quick { 8 } else { 60 },
+                    ..Recipe::quick(ArchKind::NCnv)
+                },
+                "n-CNV",
+            );
+            let mut net = model.net;
+            println!(
+                "{}",
+                binarycop::experiments::attention_focus_report(&mut net, &model.test_set, "conv4")
+            );
+        }
+        "variants" => {
+            let arch = ArchKind::NCnv.arch();
+            let (t, e) = if opts.quick { (60, 8) } else { (500, 40) };
+            println!("{}", variant_ablation(&arch, t, 25, e, 42));
+        }
+        "dataset" => println!("{}", dataset_report(if opts.quick { 2_000 } else { 133_783 }, 7)),
+        "all" => {
+            println!("{}", table1_report());
+            println!("{}", fig1_report(ArchKind::NCnv));
+            println!("{}", perf_power_report());
+            println!("{}", dataset_report(2_000, 7));
+            cmd_fig2(opts.quick);
+            cmd_table2(opts.quick, opts.resources_only);
+            cmd_gradcam(&opts);
+        }
+        other => {
+            eprintln!(
+                "unknown command '{other}'. Commands: table1 table2 fig1 fig2 gradcam perf robustness variants dataset all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Trained network → FINN pipeline export.
+//!
+//! This is the software half of the paper's hardware-software co-design:
+//! latent weights binarize into packed bit matrices (Eq. 1/2), each
+//! batch-norm folds into an integer threshold bank (Sec. III-A), max-pools
+//! become OR-pool stages, and every MVTU receives its Table I PE/SIMD
+//! folding. The first conv stage consumes 8-bit camera pixels, so its
+//! thresholds absorb the ×255 input scale.
+
+use crate::arch::{Arch, K};
+use bcp_bitpack::pack::pack_matrix;
+use bcp_bitpack::{BitMatrix, ThresholdUnit};
+use bcp_finn::mvtu::{BinaryMvtu, FixedInputMvtu};
+use bcp_finn::threshold::scaled_threshold_unit;
+use bcp_finn::{Pipeline, Stage};
+use bcp_nn::batchnorm::{BatchNorm, BN_EPS};
+use bcp_nn::conv::BinaryConv2d;
+use bcp_nn::linear::BinaryLinear;
+use bcp_nn::Sequential;
+
+/// The integer scale of the first stage's accumulators relative to the
+/// float network (see `bcp_finn::data::INPUT_SCALE`).
+pub const FIRST_LAYER_SCALE: f64 = 255.0;
+
+/// Packed binary weight matrix of conv layer `i` (0-based): rows = C_out,
+/// cols = C_in·K·K in (channel, ky, kx) order — the SWU window order.
+pub fn conv_weight_matrix(net: &Sequential, arch: &Arch, i: usize) -> BitMatrix {
+    let name = format!("conv{}", i + 1);
+    let idx = net
+        .index_of(&name)
+        .unwrap_or_else(|| panic!("network has no layer '{name}'"));
+    let conv = net
+        .layer_as::<BinaryConv2d>(idx)
+        .unwrap_or_else(|| panic!("layer '{name}' is not a BinaryConv2d"));
+    let c = &arch.convs[i];
+    let w = conv.binary_weight();
+    pack_matrix(c.c_out, c.c_in * K * K, w.as_slice())
+}
+
+/// Packed binary weight matrix of FC layer `i` (0-based).
+pub fn fc_weight_matrix(net: &Sequential, arch: &Arch, i: usize) -> BitMatrix {
+    let name = format!("fc{}", i + 1);
+    let idx = net
+        .index_of(&name)
+        .unwrap_or_else(|| panic!("network has no layer '{name}'"));
+    let fc = net
+        .layer_as::<BinaryLinear>(idx)
+        .unwrap_or_else(|| panic!("layer '{name}' is not a BinaryLinear"));
+    let f = &arch.fcs[i];
+    let w = fc.binary_weight();
+    pack_matrix(f.f_out, f.f_in, w.as_slice())
+}
+
+/// Threshold bank folded from the batch-norm that follows layer
+/// `bn_name`, with the given accumulator scale.
+pub fn thresholds_from_bn(net: &Sequential, bn_name: &str, scale: f64) -> ThresholdUnit {
+    let idx = net
+        .index_of(bn_name)
+        .unwrap_or_else(|| panic!("network has no layer '{bn_name}'"));
+    let bn = net
+        .layer_as::<BatchNorm>(idx)
+        .unwrap_or_else(|| panic!("layer '{bn_name}' is not a BatchNorm"));
+    scaled_threshold_unit(
+        bn.gamma(),
+        bn.beta(),
+        bn.running_mean(),
+        bn.running_var(),
+        BN_EPS,
+        scale,
+    )
+}
+
+/// Export a trained BNN as a FINN pipeline with the architecture's
+/// published foldings.
+pub fn deploy(net: &Sequential, arch: &Arch) -> Pipeline {
+    arch.validate();
+    let mut stages = Vec::new();
+    let mut hw = arch.input_size;
+    let mut pool_idx = 0usize;
+    for (i, conv) in arch.convs.iter().enumerate() {
+        let weights = conv_weight_matrix(net, arch, i);
+        let folding = arch.folding(i);
+        let bn = format!("bn_conv{}", i + 1);
+        if i == 0 {
+            let thresholds = thresholds_from_bn(net, &bn, FIRST_LAYER_SCALE);
+            stages.push(Stage::ConvFixed {
+                name: format!("conv{}", i + 1),
+                mvtu: FixedInputMvtu::new(weights, thresholds, folding),
+                k: K,
+                in_dims: (conv.c_in, hw, hw),
+            });
+        } else {
+            let thresholds = thresholds_from_bn(net, &bn, 1.0);
+            stages.push(Stage::ConvBinary {
+                name: format!("conv{}", i + 1),
+                mvtu: BinaryMvtu::new(weights, Some(thresholds), folding),
+                k: K,
+                in_dims: (conv.c_in, hw, hw),
+            });
+        }
+        hw -= K - 1;
+        if conv.pool_after {
+            pool_idx += 1;
+            stages.push(Stage::PoolOr {
+                name: format!("pool{pool_idx}"),
+                k: 2,
+                in_dims: (conv.c_out, hw, hw),
+            });
+            hw /= 2;
+        }
+    }
+    let n_fc = arch.fcs.len();
+    for i in 0..n_fc {
+        let weights = fc_weight_matrix(net, arch, i);
+        let folding = arch.folding(arch.convs.len() + i);
+        let name = format!("fc{}", i + 1);
+        if i + 1 < n_fc {
+            let thresholds = thresholds_from_bn(net, &format!("bn_fc{}", i + 1), 1.0);
+            stages.push(Stage::DenseBinary {
+                name,
+                mvtu: BinaryMvtu::new(weights, Some(thresholds), folding),
+            });
+        } else {
+            stages.push(Stage::DenseLogits {
+                name,
+                mvtu: BinaryMvtu::new(weights, None, folding),
+            });
+        }
+    }
+    Pipeline::new(arch.name.clone(), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchKind;
+    use crate::model::build_bnn;
+    use bcp_finn::data::QuantMap;
+    use bcp_nn::Mode;
+    use bcp_tensor::{Shape, Tensor};
+
+    /// Run one train step so batch-norm stats are non-trivial, then export.
+    fn trained_net_and_pipeline(kind: ArchKind, seed: u64) -> (Sequential, Pipeline) {
+        let arch = kind.arch();
+        let mut net = build_bnn(&arch, seed);
+        let x = bcp_tensor::init::uniform(Shape::nchw(4, 3, 32, 32), -1.0, 1.0, seed + 9);
+        let _ = net.forward(&x, Mode::Train); // populate running stats
+        let p = deploy(&net, &arch);
+        (net, p)
+    }
+
+    fn quant_image(seed: u64) -> (QuantMap, Tensor) {
+        // An image on the u8 grid plus its normalized float twin.
+        let px: Vec<f32> = (0..3 * 32 * 32)
+            .map(|i| {
+                let q = ((i as u64).wrapping_mul(seed * 2 + 1).wrapping_mul(2654435761) >> 24) % 256;
+                q as f32 / 255.0
+            })
+            .collect();
+        let qm = QuantMap::from_unit_floats(3, 32, 32, &px);
+        let norm: Vec<f32> = px.iter().map(|v| 2.0 * v - 1.0).collect();
+        (qm, Tensor::from_vec(Shape::nchw(1, 3, 32, 32), norm))
+    }
+
+    #[test]
+    fn deploy_builds_valid_pipelines_for_all_archs() {
+        for kind in ArchKind::ALL {
+            let (_, p) = trained_net_and_pipeline(kind, 3);
+            let (qm, _) = quant_image(1);
+            let logits = p.forward(&qm);
+            assert_eq!(logits.len(), 4, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_stage_count_matches_arch() {
+        let arch = ArchKind::Cnv.arch();
+        let (_, p) = trained_net_and_pipeline(ArchKind::Cnv, 5);
+        let pools = arch.convs.iter().filter(|c| c.pool_after).count();
+        assert_eq!(p.stages().len(), arch.convs.len() + arch.fcs.len() + pools);
+    }
+
+    #[test]
+    fn deployed_classification_matches_reference_network() {
+        // The core co-design claim: the integer XNOR pipeline classifies
+        // like the trained float-path BNN. (Bit-exactness against the
+        // independent integer evaluator is proven in reference.rs; here we
+        // check the float network agrees on classes.)
+        let (mut net, p) = trained_net_and_pipeline(ArchKind::NCnv, 7);
+        let mut agree = 0usize;
+        let n = 24;
+        for s in 0..n {
+            let (qm, xf) = quant_image(s as u64 + 11);
+            let hw_class = p.classify(&qm);
+            let logits = net.forward(&xf, Mode::Eval);
+            let sw_class = bcp_tensor::ops::argmax(logits.as_slice());
+            if hw_class == sw_class {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= n - 1,
+            "pipeline and reference network disagree on {}/{n} frames",
+            n - agree
+        );
+    }
+
+    #[test]
+    fn first_stage_consumes_quantized_input() {
+        let (_, p) = trained_net_and_pipeline(ArchKind::MicroCnv, 2);
+        assert!(matches!(p.stages()[0], Stage::ConvFixed { .. }));
+        assert!(matches!(p.stages().last().unwrap(), Stage::DenseLogits { .. }));
+    }
+
+    #[test]
+    fn folding_choice_never_changes_results() {
+        // The PE/SIMD dimensioning is a scheduling decision: deploying the
+        // same trained network with completely different foldings must
+        // classify identically (only cycles change).
+        let arch_a = ArchKind::MicroCnv.arch();
+        let mut arch_b = arch_a.clone();
+        arch_b.pe = vec![1; arch_b.pe.len()];
+        arch_b.simd = vec![1; arch_b.simd.len()];
+        let mut net = build_bnn(&arch_a, 13);
+        let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 32, 32), -1.0, 1.0, 14);
+        let _ = net.forward(&x, Mode::Train);
+        let pa = deploy(&net, &arch_a);
+        let pb = deploy(&net, &arch_b);
+        for s in 0..4 {
+            let (qm, _) = quant_image(s + 77);
+            assert_eq!(pa.forward(&qm), pb.forward(&qm));
+        }
+        // But the timing differs: sequential folding is far slower.
+        use bcp_finn::perf::CLOCK_100MHZ;
+        assert!(
+            CLOCK_100MHZ.analyze(&pb).initiation_interval
+                > CLOCK_100MHZ.analyze(&pa).initiation_interval
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no layer 'conv1'")]
+    fn deploy_requires_matching_network() {
+        let arch = ArchKind::NCnv.arch();
+        let net = Sequential::new("empty");
+        deploy(&net, &arch);
+    }
+}

@@ -1,0 +1,57 @@
+//! Evaluation helpers: accuracy and the Fig. 2 confusion matrix.
+
+use bcp_dataset::{Dataset, MaskClass};
+use bcp_nn::metrics::ConfusionMatrix;
+use bcp_nn::train::evaluate;
+use bcp_nn::Sequential;
+
+/// Evaluate a network on a dataset (eval mode, batched); returns accuracy
+/// and the 4-class confusion matrix.
+pub fn confusion_matrix(
+    net: &mut Sequential,
+    ds: &Dataset,
+    batch_size: usize,
+) -> (f32, ConfusionMatrix) {
+    let mut cm = ConfusionMatrix::new(4);
+    let images = ds.normalized_images();
+    let acc = evaluate(net, &images, &ds.labels, batch_size, Some(&mut cm));
+    (acc, cm)
+}
+
+/// Render a confusion matrix in the paper's Fig. 2 layout, with the mask
+/// class names on both axes.
+pub fn render_fig2(cm: &ConfusionMatrix) -> String {
+    let names: Vec<&str> = MaskClass::ALL.iter().map(|c| c.short_name()).collect();
+    cm.render(&names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_bnn;
+    use crate::recipe::tiny_arch;
+    use bcp_dataset::GeneratorConfig;
+
+    #[test]
+    fn untrained_network_is_near_chance() {
+        let arch = tiny_arch();
+        let mut net = build_bnn(&arch, 1);
+        let gen = GeneratorConfig { img_size: arch.input_size, supersample: 2 };
+        let ds = Dataset::generate_balanced(&gen, 16, 3);
+        let (acc, cm) = confusion_matrix(&mut net, &ds, 16);
+        assert_eq!(cm.total(), 64);
+        assert!((cm.accuracy() as f32 - acc).abs() < 1e-5);
+        assert!(acc < 0.7, "untrained accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    fn fig2_rendering_uses_class_names() {
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record(0, 0);
+        cm.record(2, 3);
+        let s = render_fig2(&cm);
+        for name in ["Correct", "Nose", "N+M", "Chin"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+}

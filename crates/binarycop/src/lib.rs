@@ -1,0 +1,31 @@
+//! BinaryCoP — Binary COVID-mask Predictor.
+//!
+//! The paper's end-to-end system, assembled from the workspace substrates:
+//!
+//! - [`arch`]: the Table I architectures (CNV, n-CNV, μ-CNV) with their
+//!   published PE/SIMD dimensioning, plus the FP32 baseline.
+//! - [`model`]: `bcp-nn` network builders for each architecture.
+//! - [`recipe`]: training recipes over the synthetic MaskedFace-Net
+//!   substitute (balancing → augmentation → minibatch Adam, Sec. IV-A).
+//! - [`deploy`]: trained network → FINN pipeline export — weight packing,
+//!   batch-norm-to-threshold folding (incl. the first layer's 8-bit input
+//!   scale), folding assignment.
+//! - [`reference`](mod@reference): an integer-exact reference evaluator, structurally
+//!   independent of the pipeline, used to prove the deployment bit-exact.
+//! - [`predictor`]: the user-facing classifier with the paper's two
+//!   operating modes (single-gate low-power / crowd high-throughput).
+//! - [`experiments`]: regeneration entry points for every table and figure
+//!   (Table I, Table II, Fig. 2 confusion matrix, Figs. 3–9 Grad-CAM,
+//!   throughput/power claims, the Sec. IV-A dataset pipeline).
+
+pub mod arch;
+pub mod deploy;
+pub mod eval;
+pub mod experiments;
+pub mod model;
+pub mod predictor;
+pub mod recipe;
+pub mod reference;
+
+pub use arch::{Arch, ArchKind};
+pub use predictor::BinaryCoP;

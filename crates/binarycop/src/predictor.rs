@@ -1,0 +1,330 @@
+//! The user-facing BinaryCoP predictor.
+//!
+//! Wraps a deployed pipeline with the paper's two operating modes:
+//!
+//! - **Single gate** (Sec. IV-B): classification triggered per subject,
+//!   board power ≈ the 1.6 W idle floor;
+//! - **Crowd statistics**: the pipeline kept full for maximum throughput
+//!   (~6400 fps on n-CNV), batching sub-images of a crowd scene.
+
+use crate::arch::Arch;
+use crate::deploy::deploy;
+use bcp_dataset::MaskClass;
+use bcp_finn::data::QuantMap;
+use bcp_finn::device::ResourceUsage;
+use bcp_finn::perf::{ClockModel, PerfReport, CLOCK_100MHZ};
+use bcp_finn::power::{PowerModel, DEFAULT_POWER};
+use bcp_finn::resource::estimate;
+use bcp_finn::stream::run_streaming;
+use bcp_finn::Pipeline;
+use bcp_nn::Sequential;
+use bcp_tensor::Tensor;
+
+/// Deployment operating mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OperatingMode {
+    /// Event-triggered classification at an entrance; `subjects_per_s`
+    /// people pass the gate per second.
+    SingleGate {
+        /// Gate traffic.
+        subjects_per_s: f64,
+    },
+    /// Free-running pipeline over crowd sub-images.
+    CrowdStatistics,
+}
+
+/// A deployed BinaryCoP classifier.
+pub struct BinaryCoP {
+    arch: Arch,
+    pipeline: Pipeline,
+    clock: ClockModel,
+    power: PowerModel,
+    usage: ResourceUsage,
+}
+
+impl BinaryCoP {
+    /// Deploy a trained BNN.
+    pub fn from_trained(net: &Sequential, arch: &Arch) -> Self {
+        let pipeline = deploy(net, arch);
+        let usage = estimate(&pipeline, arch.dsp_offload);
+        BinaryCoP {
+            arch: arch.clone(),
+            pipeline,
+            clock: CLOCK_100MHZ,
+            power: DEFAULT_POWER,
+            usage,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The architecture deployed.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// Convert a CHW float image on the 8-bit grid `[0, 1]` (the dataset /
+    /// camera format) into the pipeline's quantized input.
+    pub fn quantize(&self, image: &Tensor) -> QuantMap {
+        assert_eq!(image.shape().rank(), 3, "expects a CHW image");
+        let (c, h, w) = (
+            image.shape().dim(0),
+            image.shape().dim(1),
+            image.shape().dim(2),
+        );
+        assert_eq!(
+            (c, h, w),
+            (3, self.arch.input_size, self.arch.input_size),
+            "image must be 3×{0}×{0}",
+            self.arch.input_size
+        );
+        QuantMap::from_unit_floats(c, h, w, image.as_slice())
+    }
+
+    /// Classify one frame (gate mode).
+    pub fn classify(&self, image: &Tensor) -> MaskClass {
+        MaskClass::from_label(self.pipeline.classify(&self.quantize(image)))
+    }
+
+    /// Classify a batch through the threaded streaming pipeline (crowd
+    /// mode); results in input order.
+    pub fn classify_batch(&self, images: &[Tensor]) -> Vec<MaskClass> {
+        let frames: Vec<QuantMap> = images.iter().map(|i| self.quantize(i)).collect();
+        let (logits, _) = run_streaming(&self.pipeline, &frames, 4);
+        logits
+            .iter()
+            .map(|l| {
+                let mut best = 0usize;
+                for (i, &v) in l.iter().enumerate() {
+                    if v > l[best] {
+                        best = i;
+                    }
+                }
+                MaskClass::from_label(best)
+            })
+            .collect()
+    }
+
+    /// Timing report at the 100 MHz target clock.
+    pub fn perf(&self) -> PerfReport {
+        self.clock.analyze(&self.pipeline)
+    }
+
+    /// Estimated resource usage (Table II's LUT/BRAM/DSP columns).
+    pub fn resources(&self) -> ResourceUsage {
+        self.usage
+    }
+
+    /// Modelled board power in watts for an operating mode.
+    pub fn board_power_w(&self, mode: OperatingMode) -> f64 {
+        match mode {
+            OperatingMode::SingleGate { subjects_per_s } => {
+                let latency_s = self.perf().latency_us * 1e-6;
+                let duty = PowerModel::gate_duty(subjects_per_s, latency_s);
+                self.power.board_w(&self.usage, duty)
+            }
+            OperatingMode::CrowdStatistics => self.power.board_w(&self.usage, 1.0),
+        }
+    }
+
+    /// Classify an approach sequence (several frames of one subject) by
+    /// majority vote over per-frame decisions — the gate-mode temporal
+    /// smoothing that absorbs single-frame sensor noise. Ties break toward
+    /// the class seen in the *later* frames (the subject is closest there).
+    pub fn classify_sequence(&self, frames: &[Tensor]) -> MaskClass {
+        assert!(!frames.is_empty(), "a sequence needs at least one frame");
+        let mut votes = [0usize; 4];
+        let mut last_of: [usize; 4] = [0; 4];
+        for (t, frame) in frames.iter().enumerate() {
+            let c = self.classify(frame).label();
+            votes[c] += 1;
+            last_of[c] = t;
+        }
+        let mut best = 0usize;
+        for c in 1..4 {
+            if votes[c] > votes[best] || (votes[c] == votes[best] && last_of[c] > last_of[best]) {
+                best = c;
+            }
+        }
+        MaskClass::from_label(best)
+    }
+
+    /// Persist the deployed accelerator (weights, thresholds, foldings) as
+    /// a JSON pipeline image — the software analogue of the bitstream.
+    pub fn save_image(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let img = bcp_finn::image::PipelineImage::capture(&self.pipeline);
+        let json = serde_json::to_string(&img).expect("pipeline image serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Restore a predictor from a pipeline image saved by
+    /// [`BinaryCoP::save_image`]. The architecture metadata is needed to
+    /// re-derive the resource/power models.
+    pub fn load_image(
+        path: impl AsRef<std::path::Path>,
+        arch: &Arch,
+    ) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let img: bcp_finn::image::PipelineImage = serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let pipeline = img
+            .restore()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let usage = estimate(&pipeline, arch.dsp_offload);
+        Ok(BinaryCoP {
+            arch: arch.clone(),
+            pipeline,
+            clock: CLOCK_100MHZ,
+            power: DEFAULT_POWER,
+            usage,
+        })
+    }
+
+    /// One-paragraph deployment summary.
+    pub fn summary(&self) -> String {
+        let perf = self.perf();
+        format!(
+            "{}: {:.0} fps (II {} cycles), latency {:.1} µs, \
+             {} LUTs / {} BRAM18 / {} DSPs, gate power {:.2} W, crowd power {:.2} W\n",
+            self.arch.name,
+            perf.throughput_fps,
+            perf.initiation_interval,
+            perf.latency_us,
+            self.usage.luts,
+            self.usage.bram18,
+            self.usage.dsps,
+            self.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 }),
+            self.board_power_w(OperatingMode::CrowdStatistics),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_bnn;
+    use crate::recipe::tiny_arch;
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    use bcp_nn::Mode;
+    use bcp_tensor::Shape;
+
+    fn predictor() -> BinaryCoP {
+        let arch = tiny_arch();
+        let mut net = build_bnn(&arch, 5);
+        let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 6);
+        let _ = net.forward(&x, Mode::Train);
+        BinaryCoP::from_trained(&net, &arch)
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        let gen = GeneratorConfig { img_size: 16, supersample: 2 };
+        let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), 9);
+        (0..n).map(|i| ds.image(i)).collect()
+    }
+
+    #[test]
+    fn classify_returns_a_mask_class() {
+        let p = predictor();
+        let img = &images(1)[0];
+        let c = p.classify(img);
+        assert!(MaskClass::ALL.contains(&c));
+    }
+
+    #[test]
+    fn batch_matches_single_frame() {
+        let p = predictor();
+        let imgs = images(8);
+        let batch = p.classify_batch(&imgs);
+        let single: Vec<MaskClass> = imgs.iter().map(|i| p.classify(i)).collect();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn gate_power_is_near_idle_crowd_is_higher() {
+        let p = predictor();
+        let gate = p.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 });
+        let crowd = p.board_power_w(OperatingMode::CrowdStatistics);
+        assert!((gate - 1.6).abs() < 0.05, "gate power {gate} should be ≈1.6 W");
+        assert!(crowd > gate, "crowd {crowd} must exceed gate {gate}");
+    }
+
+    #[test]
+    fn perf_and_summary_are_consistent() {
+        let p = predictor();
+        let perf = p.perf();
+        assert!(perf.throughput_fps > 0.0);
+        assert!(perf.latency_cycles >= perf.initiation_interval);
+        let s = p.summary();
+        assert!(s.contains("tiny-CNV"));
+        assert!(s.contains("fps"));
+    }
+
+    #[test]
+    fn sequence_vote_matches_majority() {
+        let p = predictor();
+        let seq = bcp_dataset::video::gate_sequence(
+            &GeneratorConfig { img_size: 16, supersample: 2 },
+            MaskClass::NoseExposed,
+            5,
+            3,
+        );
+        let voted = p.classify_sequence(&seq.frames);
+        // The vote must equal the plurality of per-frame decisions.
+        let mut counts = [0usize; 4];
+        for f in &seq.frames {
+            counts[p.classify(f).label()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[voted.label()], max);
+    }
+
+    #[test]
+    fn sequence_vote_breaks_ties_toward_later_frames() {
+        // Construct a synthetic 2-frame tie by feeding two frames the
+        // (untrained) predictor classifies differently; the later frame's
+        // class must win. Find such a pair among generated images.
+        let p = predictor();
+        let imgs = images(16);
+        let mut pair = None;
+        for i in 0..imgs.len() {
+            for j in 0..imgs.len() {
+                if p.classify(&imgs[i]) != p.classify(&imgs[j]) {
+                    pair = Some((i, j));
+                    break;
+                }
+            }
+            if pair.is_some() {
+                break;
+            }
+        }
+        if let Some((i, j)) = pair {
+            let voted = p.classify_sequence(&[imgs[i].clone(), imgs[j].clone()]);
+            assert_eq!(voted, p.classify(&imgs[j]), "later frame must win ties");
+        }
+    }
+
+    #[test]
+    fn pipeline_image_roundtrip_classifies_identically() {
+        let p = predictor();
+        let dir = std::env::temp_dir().join("bcp_predictor_image_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.bcp.json");
+        p.save_image(&path).unwrap();
+        let restored = BinaryCoP::load_image(&path, p.arch()).unwrap();
+        for img in images(6) {
+            assert_eq!(p.classify(&img), restored.classify(&img));
+        }
+        assert_eq!(p.resources(), restored.resources());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "3×16×16")]
+    fn wrong_image_size_rejected() {
+        let p = predictor();
+        p.classify(&Tensor::zeros(Shape::d3(3, 32, 32)));
+    }
+}

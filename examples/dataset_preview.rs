@@ -1,0 +1,45 @@
+//! Preview the synthetic MaskedFace-Net substitute (Sec. IV-A).
+//!
+//! Renders one ASCII sample per wear class, then reproduces the dataset
+//! preparation narrative: raw 51/39/5/5 % imbalance → balancing by
+//! subsampling → augmentation.
+//!
+//! ```sh
+//! cargo run --release --example dataset_preview
+//! ```
+
+use binarycop::experiments::{dataset_report, luminance};
+use bcp_dataset::generator::{generate_sample, GeneratorConfig};
+use bcp_dataset::MaskClass;
+use bcp_gradcam::render::ascii;
+
+fn main() {
+    let cfg = GeneratorConfig::default();
+    println!("one sample per class (32×32, luminance ASCII):\n");
+    let mut blocks: Vec<(String, Vec<String>)> = Vec::new();
+    for (i, class) in MaskClass::ALL.into_iter().enumerate() {
+        let (img, spec) = generate_sample(&cfg, class, 40 + i as u64);
+        let art = ascii(&luminance(&img));
+        blocks.push((
+            format!("{} ({:?})", class.short_name(), spec.face.age),
+            art.lines().map(String::from).collect(),
+        ));
+    }
+    let width = 34;
+    for (title, _) in &blocks {
+        print!("{title:<width$}");
+    }
+    println!();
+    for row in 0..32 {
+        for (_, lines) in &blocks {
+            print!("{:<width$}", lines[row]);
+        }
+        println!();
+    }
+
+    println!("\n{}", dataset_report(4_000, 11));
+    println!(
+        "(The paper: 133,783 MaskedFace-Net images, 51/39/5/5 %, balanced to\n\
+         110K train+val / 28K test at 32×32 with the same augmentation set.)"
+    );
+}
