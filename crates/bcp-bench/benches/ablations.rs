@@ -3,7 +3,6 @@
 //! batch-norm + sign, and (printed once) balanced vs raw-imbalanced
 //! training and augmentation on/off.
 
-use binarycop::recipe::{run, Recipe};
 use bcp_dataset::Dataset;
 use bcp_nn::metrics::predictions;
 use bcp_nn::optim::Adam;
@@ -12,6 +11,7 @@ use bcp_nn::Mode;
 use bcp_tensor::conv::{conv2d_direct, conv2d_forward, Conv2dSpec};
 use bcp_tensor::init::uniform;
 use bcp_tensor::Shape;
+use binarycop::recipe::{run, Recipe};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -20,7 +20,9 @@ fn bench_im2col_vs_direct(c: &mut Criterion) {
     let x = uniform(Shape::nchw(4, 32, 12, 12), -1.0, 1.0, 1);
     let w = uniform(spec.weight_shape(), -0.5, 0.5, 2);
     let mut group = c.benchmark_group("ablation_conv_lowering");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("im2col_gemm", |b| {
         b.iter(|| std::hint::black_box(conv2d_forward(&x, &w, spec)))
     });
@@ -41,10 +43,14 @@ fn bench_threshold_vs_float_bn(c: &mut Criterion) {
     let mean: Vec<f32> = (0..channels).map(|i| (i % 11) as f32 - 5.0).collect();
     let var: Vec<f32> = (0..channels).map(|i| 1.0 + (i % 3) as f32).collect();
     let unit = bcp_bitpack::ThresholdUnit::from_batchnorm(&gamma, &beta, &mean, &var, 1e-5);
-    let accs: Vec<i64> = (0..(channels * pixels) as i64).map(|i| (i % 201) - 100).collect();
+    let accs: Vec<i64> = (0..(channels * pixels) as i64)
+        .map(|i| (i % 201) - 100)
+        .collect();
 
     let mut group = c.benchmark_group("ablation_threshold_vs_float_bn");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("integer_threshold", |b| {
         b.iter(|| {
             let mut ones = 0usize;
@@ -98,7 +104,15 @@ fn print_training_ablations() {
     let mut opt = Adam::new(base.lr);
     let imgs = raw.normalized_images();
     for e in 0..base.epochs {
-        train_epoch(&mut net, &mut opt, &imgs, &raw.labels, base.batch_size, LossKind::CrossEntropy, e as u64);
+        train_epoch(
+            &mut net,
+            &mut opt,
+            &imgs,
+            &raw.labels,
+            base.batch_size,
+            LossKind::CrossEntropy,
+            e as u64,
+        );
     }
     let test = Dataset::generate_balanced(&gen, base.test_per_class, base.seed ^ 0x7E57);
     let logits = net.forward(&test.normalized_images(), Mode::Eval);
@@ -119,7 +133,13 @@ fn print_training_ablations() {
         / minority.len().max(1) as f32;
 
     // Augmented.
-    let augmented = run(&Recipe { augment_copies: 1, ..base.clone() }, |_| {});
+    let augmented = run(
+        &Recipe {
+            augment_copies: 1,
+            ..base.clone()
+        },
+        |_| {},
+    );
 
     println!(
         "\nAblation: Sec. IV-A data-pipeline choices (bench scale, {} cls/test)\n\
@@ -147,7 +167,9 @@ fn bench_cyclesim_and_fault(c: &mut Criterion) {
 
     let (pipeline, _) = bcp_bench::pipeline_for(ArchKind::NCnv, 1);
     let mut group = c.benchmark_group("ablation_timing_and_fault_tools");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("cyclesim_ncnv_64frames", |b| {
         b.iter(|| std::hint::black_box(simulate(&pipeline, 64, 2)))
     });

@@ -6,11 +6,11 @@
 //! `experiments gradcam`; at bench scale we exercise n-CNV.
 
 use bcp_bench::deployable;
-use binarycop::arch::ArchKind;
-use binarycop::experiments::{figure_rows, gradcam_figure_report};
 use bcp_gradcam::gradcam;
 use bcp_nn::Sequential;
 use bcp_tensor::Tensor;
+use binarycop::arch::ArchKind;
+use binarycop::experiments::{figure_rows, gradcam_figure_report};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -37,7 +37,9 @@ fn bench_gradcam(c: &mut Criterion) {
     let norm = batch.map(|v| 2.0 * v - 1.0);
 
     let mut group = c.benchmark_group("gradcam_single_image");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for kind in [ArchKind::NCnv, ArchKind::MicroCnv] {
         let (mut net, arch) = deployable(kind, 2);
         group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {
@@ -50,7 +52,9 @@ fn bench_gradcam(c: &mut Criterion) {
 
     // Figure-input generation cost (procedural rendering).
     let mut group = c.benchmark_group("gradcam_figure_inputs");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("figure_rows_fig9", |b| {
         b.iter(|| std::hint::black_box(figure_rows(9, 32, 9)))
     });

@@ -1,8 +1,8 @@
 //! Kernel microbenches: the XNOR-popcount datapath against the float math
 //! it replaces (the paper's core efficiency claim, Sec. II-B/III-A).
 
-use bcp_bitpack::xnor::{gemm_naive_signs, xnor_gemm};
 use bcp_bitpack::pack;
+use bcp_bitpack::xnor::{gemm_naive_signs, xnor_gemm};
 use bcp_tensor::matmul::matmul_tb;
 use bcp_tensor::{Shape, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,7 +31,9 @@ const SHAPES: [(usize, usize, usize); 3] = [
 
 fn bench_xnor_vs_float(c: &mut Criterion) {
     let mut group = c.benchmark_group("xnor_vs_float_gemm");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (rows, cols, windows) in SHAPES {
         let w_signs = random_signs(rows * cols, 1);
         let a_signs = random_signs(windows * cols, 2);
@@ -55,7 +57,9 @@ fn bench_xnor_vs_float(c: &mut Criterion) {
 
 fn bench_pack_and_threshold(c: &mut Criterion) {
     let mut group = c.benchmark_group("pack_threshold");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let signs = random_signs(256 * 2304, 3);
     group.bench_function("pack_256x2304", |b| {
         b.iter(|| std::hint::black_box(pack::pack_matrix(256, 2304, &signs)))
@@ -79,7 +83,9 @@ fn bench_or_pool_vs_float(c: &mut Criterion) {
     use bcp_finn::pool::or_pool;
     use bcp_tensor::{maxpool2d_forward, MaxPoolSpec};
     let mut group = c.benchmark_group("pool_or_vs_float");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let signs = random_signs(64 * 28 * 28, 4);
     let map = BinMap::from_signs(64, 28, 28, &signs);
     let dense = Tensor::from_vec(Shape::nchw(1, 64, 28, 28), signs);

@@ -15,7 +15,9 @@ fn bench_table1(c: &mut Criterion) {
     println!("{}", table1_report());
 
     let mut group = c.benchmark_group("table1_single_frame_inference");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kind in ArchKind::ALL {
         let (pipeline, arch) = pipeline_for(kind, 1);
         let f = frame(9);
@@ -29,7 +31,9 @@ fn bench_table1(c: &mut Criterion) {
 
     // Export cost: binarize + fold thresholds + pack weights.
     let mut group = c.benchmark_group("table1_deploy_export");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in [ArchKind::NCnv, ArchKind::MicroCnv] {
         let (net, arch) = bcp_bench::deployable(kind, 2);
         group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {

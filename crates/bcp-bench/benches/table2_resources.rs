@@ -2,10 +2,10 @@
 //! the paper's numbers) + the cost of the estimator and the DSE search
 //! behind the dimensioning.
 
-use binarycop::arch::ArchKind;
-use binarycop::experiments::{table2_report, table2_rows};
 use bcp_finn::dse::allocate;
 use bcp_finn::resource::estimate;
+use binarycop::arch::ArchKind;
+use binarycop::experiments::{table2_report, table2_rows};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -21,7 +21,9 @@ fn bench_table2(c: &mut Criterion) {
     assert!(rows[2].fits_z7010, "μ-CNV must fit the Z7010");
 
     let mut group = c.benchmark_group("table2_resource_estimation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in ArchKind::ALL {
         let (pipeline, arch) = bcp_bench::pipeline_for(kind, 1);
         group.bench_with_input(BenchmarkId::from_parameter(&arch.name), &(), |b, _| {
@@ -31,7 +33,9 @@ fn bench_table2(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("table2_dse_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for kind in ArchKind::ALL {
         let arch = kind.arch();
         let layers = arch.layer_dims();

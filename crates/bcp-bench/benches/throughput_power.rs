@@ -3,10 +3,10 @@
 //! the threaded streaming simulator's software throughput.
 
 use bcp_bench::{frames, pipeline_for};
-use binarycop::arch::ArchKind;
-use binarycop::experiments::perf_power_report;
 use bcp_finn::perf::CLOCK_100MHZ;
 use bcp_finn::stream::run_streaming;
+use binarycop::arch::ArchKind;
+use binarycop::experiments::perf_power_report;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 

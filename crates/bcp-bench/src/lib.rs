@@ -5,12 +5,12 @@
 //! the benches measure *mechanisms* (inference, export, Grad-CAM, resource
 //! estimation), and print the regenerated artifact once per run.
 
-use binarycop::arch::{Arch, ArchKind};
-use binarycop::model::build_bnn;
 use bcp_finn::data::QuantMap;
 use bcp_finn::Pipeline;
 use bcp_nn::{Mode, Sequential};
 use bcp_tensor::Shape;
+use binarycop::arch::{Arch, ArchKind};
+use binarycop::model::build_bnn;
 
 /// A deployable (batch-norm-stats-populated) network for a prototype.
 pub fn deployable(kind: ArchKind, seed: u64) -> (Sequential, Arch) {

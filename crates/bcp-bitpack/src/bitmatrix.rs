@@ -19,7 +19,12 @@ impl BitMatrix {
     /// All-(−1) matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let wpr = words_for(cols);
-        BitMatrix { rows, cols, words_per_row: wpr, words: vec![0; rows * wpr] }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row: wpr,
+            words: vec![0; rows * wpr],
+        }
     }
 
     /// Build from row bit-vectors; all rows must share a length.
@@ -59,7 +64,12 @@ impl BitMatrix {
     pub fn from_words(rows: usize, cols: usize, words: Vec<u64>) -> Self {
         let wpr = words_for(cols);
         assert_eq!(words.len(), rows * wpr, "word buffer size mismatch");
-        let m = BitMatrix { rows, cols, words_per_row: wpr, words };
+        let m = BitMatrix {
+            rows,
+            cols,
+            words_per_row: wpr,
+            words,
+        };
         let tail = cols % WORD_BITS;
         if tail != 0 {
             for r in 0..rows {
@@ -113,7 +123,13 @@ impl BitMatrix {
     /// XNOR-popcount ±1 dot product between row `r` and a packed vector of
     /// matching length.
     pub fn row_dot(&self, r: usize, v: &BitVec64) -> i32 {
-        assert_eq!(v.len(), self.cols, "vector length {} vs cols {}", v.len(), self.cols);
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "vector length {} vs cols {}",
+            v.len(),
+            self.cols
+        );
         let a = self.row_words(r);
         let b = v.words();
         let full = self.cols / WORD_BITS;

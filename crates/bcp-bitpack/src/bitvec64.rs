@@ -37,12 +37,18 @@ pub fn low_mask(n: usize) -> u64 {
 impl BitVec64 {
     /// All-zero (all −1) vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec64 { len, words: vec![0; words_for(len)] }
+        BitVec64 {
+            len,
+            words: vec![0; words_for(len)],
+        }
     }
 
     /// All-one (all +1) vector of `len` bits.
     pub fn ones(len: usize) -> Self {
-        let mut v = BitVec64 { len, words: vec![u64::MAX; words_for(len)] };
+        let mut v = BitVec64 {
+            len,
+            words: vec![u64::MAX; words_for(len)],
+        };
         v.clear_padding();
         v
     }
@@ -76,7 +82,11 @@ impl BitVec64 {
     /// Rebuild from raw words; panics if `words` is too short or has set
     /// padding bits (which would corrupt popcounts later).
     pub fn from_words(len: usize, words: Vec<u64>) -> Self {
-        assert_eq!(words.len(), words_for(len), "word count mismatch for {len} bits");
+        assert_eq!(
+            words.len(),
+            words_for(len),
+            "word count mismatch for {len} bits"
+        );
         let v = BitVec64 { len, words };
         assert!(
             v.padding_clear(),
@@ -88,14 +98,22 @@ impl BitVec64 {
     /// Read bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
     /// Write bit `i`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
         let w = &mut self.words[i / WORD_BITS];
         let m = 1u64 << (i % WORD_BITS);
         if value {
@@ -166,7 +184,9 @@ impl BitVec64 {
 
     /// Decode back to ±1 floats.
     pub fn to_signs(&self) -> Vec<f32> {
-        (0..self.len).map(|i| if self.get(i) { 1.0 } else { -1.0 }).collect()
+        (0..self.len)
+            .map(|i| if self.get(i) { 1.0 } else { -1.0 })
+            .collect()
     }
 
     fn clear_padding(&mut self) {

@@ -26,7 +26,10 @@ pub enum DecodeError {
     /// Header magic did not match [`MAGIC`].
     BadMagic(u32),
     /// Payload shorter than `rows × words_per_row` words.
-    ShortPayload { expected_words: usize, got_words: usize },
+    ShortPayload {
+        expected_words: usize,
+        got_words: usize,
+    },
     /// A row had set bits beyond `cols`.
     DirtyPadding,
 }
@@ -36,8 +39,14 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "bitstream truncated before header end"),
             DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}, expected {MAGIC:#010x}"),
-            DecodeError::ShortPayload { expected_words, got_words } => {
-                write!(f, "payload has {got_words} words, expected {expected_words}")
+            DecodeError::ShortPayload {
+                expected_words,
+                got_words,
+            } => {
+                write!(
+                    f,
+                    "payload has {got_words} words, expected {expected_words}"
+                )
             }
             DecodeError::DirtyPadding => write!(f, "row padding bits set"),
         }
@@ -72,7 +81,10 @@ pub fn decode_matrix(mut buf: impl Buf) -> Result<BitMatrix, DecodeError> {
     let expected = rows * words_for(cols);
     let got = buf.remaining() / 8;
     if got < expected {
-        return Err(DecodeError::ShortPayload { expected_words: expected, got_words: got });
+        return Err(DecodeError::ShortPayload {
+            expected_words: expected,
+            got_words: got,
+        });
     }
     let mut words = Vec::with_capacity(expected);
     for _ in 0..expected {

@@ -116,7 +116,11 @@ impl ThresholdUnit {
 
     /// Threshold a full accumulator vector (one per channel) to bits.
     pub fn apply_all(&self, accs: &[i64]) -> Vec<bool> {
-        assert_eq!(accs.len(), self.channels.len(), "accumulator count mismatch");
+        assert_eq!(
+            accs.len(),
+            self.channels.len(),
+            "accumulator count mismatch"
+        );
         accs.iter()
             .zip(&self.channels)
             .map(|(&a, t)| t.apply(a))

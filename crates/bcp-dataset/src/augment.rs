@@ -9,7 +9,12 @@ use bcp_tensor::Tensor;
 use rand::Rng;
 
 fn chw_dims(img: &Tensor) -> (usize, usize, usize) {
-    assert_eq!(img.shape().rank(), 3, "augment expects CHW, got {}", img.shape());
+    assert_eq!(
+        img.shape().rank(),
+        3,
+        "augment expects CHW, got {}",
+        img.shape()
+    );
     (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2))
 }
 
@@ -109,7 +114,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn img() -> Tensor {
-        let data: Vec<f32> = (0..3 * 4 * 4).map(|i| quantize_u8(i as f32 / 48.0)).collect();
+        let data: Vec<f32> = (0..3 * 4 * 4)
+            .map(|i| quantize_u8(i as f32 / 48.0))
+            .collect();
         Tensor::from_vec(Shape::d3(3, 4, 4), data)
     }
 

@@ -144,8 +144,11 @@ impl Canvas {
     /// Box-filter downsample to `target` × `target` and emit as a CHW tensor
     /// with values quantized to the 8-bit grid (`k/255`).
     pub fn downsample_to_tensor(&self, target: usize) -> Tensor {
-        assert!(target > 0 && self.size.is_multiple_of(target),
-            "canvas size {} must be a multiple of target {target}", self.size);
+        assert!(
+            target > 0 && self.size.is_multiple_of(target),
+            "canvas size {} must be a multiple of target {target}",
+            self.size
+        );
         let factor = self.size / target;
         let area = (factor * factor) as f32;
         let mut out = vec![0.0f32; 3 * target * target];

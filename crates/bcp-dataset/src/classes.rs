@@ -111,7 +111,10 @@ mod tests {
     fn coverage_distinguishes_all_classes() {
         let mut seen = std::collections::HashSet::new();
         for c in MaskClass::ALL {
-            assert!(seen.insert(c.coverage()), "coverage patterns must be unique");
+            assert!(
+                seen.insert(c.coverage()),
+                "coverage patterns must be unique"
+            );
         }
     }
 

@@ -162,8 +162,7 @@ impl Dataset {
                 let img = self.image(i);
                 let label = self.labels[i];
                 (0..extra_per_sample).map(move |k| {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ (i as u64) << 20 ^ k as u64);
+                    let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 20 ^ k as u64);
                     (random_augment(&img, &mut rng).into_vec(), label)
                 })
             })
@@ -187,7 +186,10 @@ impl Dataset {
     /// Deterministic shuffled split into (first, second) with `frac` of the
     /// samples in the first part.
     pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!((0.0..=1.0).contains(&frac), "split fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "split fraction must be in [0,1]"
+        );
         let mut idx: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in (1..idx.len()).rev() {
@@ -227,7 +229,10 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> GeneratorConfig {
-        GeneratorConfig { img_size: 16, supersample: 2 }
+        GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        }
     }
 
     #[test]
@@ -235,8 +240,14 @@ mod tests {
         let ds = Dataset::generate_raw(&small_cfg(), 400, 1);
         assert_eq!(ds.len(), 400);
         let counts = ds.class_counts();
-        assert!(counts[0] > counts[2] * 3, "CMFD should dominate: {counts:?}");
-        assert!(counts[1] > counts[3] * 3, "Nose should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[2] * 3,
+            "CMFD should dominate: {counts:?}"
+        );
+        assert!(
+            counts[1] > counts[3] * 3,
+            "Nose should dominate: {counts:?}"
+        );
     }
 
     #[test]

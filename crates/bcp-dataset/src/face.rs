@@ -126,12 +126,12 @@ impl FaceParams {
                 Rgb(g, g, g)
             }
             _ => match rng.gen_range(0..6) {
-                0 => Rgb(0.1, 0.08, 0.05),                     // black
-                1 => Rgb(0.35, 0.2, 0.08),                     // brown
-                2 => Rgb(0.85, 0.7, 0.3),                      // blond
-                3 => Rgb(0.55, 0.2, 0.1),                      // red
-                4 => MASK_BLUE,                                // Fig. 8 confuser
-                _ => Rgb(rng.gen(), rng.gen(), rng.gen()),     // dyed
+                0 => Rgb(0.1, 0.08, 0.05),                 // black
+                1 => Rgb(0.35, 0.2, 0.08),                 // brown
+                2 => Rgb(0.85, 0.7, 0.3),                  // blond
+                3 => Rgb(0.55, 0.2, 0.1),                  // red
+                4 => MASK_BLUE,                            // Fig. 8 confuser
+                _ => Rgb(rng.gen(), rng.gen(), rng.gen()), // dyed
             },
         };
         let headgear = match rng.gen_range(0..10) {
@@ -170,7 +170,9 @@ impl FaceParams {
                 rng.gen_range(0.1..0.7),
             ),
             sunglasses: rng.gen_bool(0.08),
-            face_paint: rng.gen_bool(0.05).then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
+            face_paint: rng
+                .gen_bool(0.05)
+                .then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
             background: Rgb(
                 rng.gen_range(0.1..0.95),
                 rng.gen_range(0.1..0.95),
@@ -233,17 +235,32 @@ impl FaceParams {
         // Elderly wrinkles: faint horizontal forehead lines.
         if self.age == AgeGroup::Elderly {
             let w = self.skin.scale(0.8);
-            canvas.draw_line(cx - rx * 0.5, cy - 0.45 * ry, cx + rx * 0.5, cy - 0.45 * ry, 0.006, w);
-            canvas.draw_line(cx - rx * 0.45, cy - 0.37 * ry, cx + rx * 0.45, cy - 0.37 * ry, 0.006, w);
+            canvas.draw_line(
+                cx - rx * 0.5,
+                cy - 0.45 * ry,
+                cx + rx * 0.5,
+                cy - 0.45 * ry,
+                0.006,
+                w,
+            );
+            canvas.draw_line(
+                cx - rx * 0.45,
+                cy - 0.37 * ry,
+                cx + rx * 0.45,
+                cy - 0.37 * ry,
+                0.006,
+                w,
+            );
         }
 
         // Eyes / eyebrows or sunglasses.
         let eye_dx = rx * 0.42;
-        let eye_r = rx * match self.age {
-            AgeGroup::Infant => 0.17,
-            AgeGroup::Adult => 0.14,
-            AgeGroup::Elderly => 0.11,
-        };
+        let eye_r = rx
+            * match self.age {
+                AgeGroup::Infant => 0.17,
+                AgeGroup::Adult => 0.14,
+                AgeGroup::Elderly => 0.11,
+            };
         if self.sunglasses {
             let dark = Rgb(0.05, 0.05, 0.08);
             canvas.fill_ellipse(cx - eye_dx, lm.eye_y, eye_r * 1.5, eye_r * 1.2, dark);
@@ -279,13 +296,33 @@ impl FaceParams {
         );
 
         // Mouth.
-        canvas.fill_ellipse(lm.mouth.0, lm.mouth.1, rx * 0.30, ry * 0.07, Rgb(0.65, 0.25, 0.25));
+        canvas.fill_ellipse(
+            lm.mouth.0,
+            lm.mouth.1,
+            rx * 0.30,
+            ry * 0.07,
+            Rgb(0.65, 0.25, 0.25),
+        );
 
         // Face paint: a translucent-looking diagonal band (drawn opaque but
         // thin, before the mask so it can also be occluded by it).
         if let Some(paint) = self.face_paint {
-            canvas.draw_line(cx - rx * 0.7, cy - ry * 0.3, cx + rx * 0.5, cy + ry * 0.4, 0.02, paint);
-            canvas.draw_line(cx - rx * 0.5, cy - ry * 0.45, cx + rx * 0.7, cy + ry * 0.2, 0.015, paint);
+            canvas.draw_line(
+                cx - rx * 0.7,
+                cy - ry * 0.3,
+                cx + rx * 0.5,
+                cy + ry * 0.4,
+                0.02,
+                paint,
+            );
+            canvas.draw_line(
+                cx - rx * 0.5,
+                cy - ry * 0.45,
+                cx + rx * 0.7,
+                cy + ry * 0.2,
+                0.015,
+                paint,
+            );
         }
 
         // Headgear on top of hair.
@@ -365,7 +402,10 @@ mod tests {
         assert!(!infant_ry.is_empty() && !adult_ry.is_empty());
         let mi: f32 = infant_ry.iter().sum::<f32>() / infant_ry.len() as f32;
         let ma: f32 = adult_ry.iter().sum::<f32>() / adult_ry.len() as f32;
-        assert!(mi < ma, "infant mean face height {mi} should be below adult {ma}");
+        assert!(
+            mi < ma,
+            "infant mean face height {mi} should be below adult {ma}"
+        );
     }
 
     #[test]
@@ -380,9 +420,7 @@ mod tests {
             (lm.nose.0 * 96.0) as usize,
             ((lm.nose.1 - 0.05) * 96.0) as usize,
         );
-        let dist = |a: Rgb, b: Rgb| {
-            (a.0 - b.0).abs() + (a.1 - b.1).abs() + (a.2 - b.2).abs()
-        };
+        let dist = |a: Rgb, b: Rgb| (a.0 - b.0).abs() + (a.1 - b.1).abs() + (a.2 - b.2).abs();
         assert!(
             dist(px, f.skin) < dist(px, f.background) + 0.5,
             "center pixel {px:?} should be closer to skin {:?}",

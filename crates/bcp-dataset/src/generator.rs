@@ -19,7 +19,10 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { img_size: 32, supersample: 3 }
+        GeneratorConfig {
+            img_size: 32,
+            supersample: 3,
+        }
     }
 }
 
@@ -79,7 +82,12 @@ pub fn generate_from_face(
         class.coverage(),
         "generator produced geometry inconsistent with {class:?}"
     );
-    let spec = SampleSpec { face, mask, placed, class };
+    let spec = SampleSpec {
+        face,
+        mask,
+        placed,
+        class,
+    };
     let img = render_sample(cfg, &spec);
     (img, spec)
 }
@@ -120,7 +128,10 @@ mod tests {
         for &v in img.as_slice() {
             assert!((0.0..=1.0).contains(&v));
             let k = (v * 255.0).round();
-            assert!((v - k / 255.0).abs() < 1e-6, "pixels must sit on the u8 grid");
+            assert!(
+                (v - k / 255.0).abs() < 1e-6,
+                "pixels must sit on the u8 grid"
+            );
         }
     }
 
@@ -136,7 +147,10 @@ mod tests {
             .zip(b.as_slice())
             .map(|(x, y)| (x - y).abs())
             .sum();
-        assert!(diff > 1.0, "class placement must change the image (diff {diff})");
+        assert!(
+            diff > 1.0,
+            "class placement must change the image (diff {diff})"
+        );
     }
 
     #[test]
@@ -156,7 +170,10 @@ mod tests {
 
     #[test]
     fn bigger_config_scales_resolution() {
-        let cfg = GeneratorConfig { img_size: 64, supersample: 2 };
+        let cfg = GeneratorConfig {
+            img_size: 64,
+            supersample: 2,
+        };
         let (img, _) = generate_sample(&cfg, MaskClass::ChinExposed, 2);
         assert_eq!(img.shape().dims(), &[3, 64, 64]);
     }

@@ -29,13 +29,15 @@ impl MaskParams {
     pub fn sample(rng: &mut impl Rng) -> Self {
         let color = match rng.gen_range(0..10) {
             0..=5 => crate::face::MASK_BLUE,
-            6..=7 => Rgb(0.93, 0.93, 0.95), // white
-            8 => Rgb(0.12, 0.12, 0.14),     // black
+            6..=7 => Rgb(0.93, 0.93, 0.95),            // white
+            8 => Rgb(0.12, 0.12, 0.14),                // black
             _ => Rgb(rng.gen(), rng.gen(), rng.gen()), // cloth
         };
         MaskParams {
             color,
-            double_mask: rng.gen_bool(0.06).then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
+            double_mask: rng
+                .gen_bool(0.06)
+                .then(|| Rgb(rng.gen(), rng.gen(), rng.gen())),
             jitter: 0.01,
         }
     }
@@ -100,7 +102,11 @@ impl PlacedMask {
     /// Coverage of the three decisive landmarks:
     /// `(nose_covered, mouth_covered, chin_covered)`.
     pub fn landmark_coverage(&self, lm: &Landmarks) -> (bool, bool, bool) {
-        (self.covers(lm.nose), self.covers(lm.mouth), self.covers(lm.chin))
+        (
+            self.covers(lm.nose),
+            self.covers(lm.mouth),
+            self.covers(lm.chin),
+        )
     }
 
     /// Render the mask (and straps / double-mask layer) onto the canvas.
@@ -119,7 +125,14 @@ impl PlacedMask {
         let shade = params.color.scale(0.85);
         for t in [0.38f32, 0.62] {
             let y = top + (bottom - top) * t;
-            canvas.draw_line(self.polygon[5].0 * 0.98 + 0.01, y, self.polygon[2].0 * 0.98, y, 0.004, shade);
+            canvas.draw_line(
+                self.polygon[5].0 * 0.98 + 0.01,
+                y,
+                self.polygon[2].0 * 0.98,
+                y,
+                0.004,
+                shade,
+            );
         }
 
         // Double mask: a slightly inset second layer in a contrasting color.
@@ -210,7 +223,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let face = FaceParams::sample(&mut rng);
         let lm = face.landmarks();
-        let params = MaskParams { color: Rgb(0.0, 1.0, 0.0), double_mask: None, jitter: 0.0 };
+        let params = MaskParams {
+            color: Rgb(0.0, 1.0, 0.0),
+            double_mask: None,
+            jitter: 0.0,
+        };
         let placed = place_mask(MaskClass::CorrectlyMasked, &lm, &params, &mut rng);
         let mut canvas = Canvas::new(96, Rgb(0.0, 0.0, 0.0));
         face.render(&mut canvas);
@@ -224,13 +241,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let face = FaceParams::sample(&mut rng);
         let lm = face.landmarks();
-        let params = MaskParams { color: Rgb(0.0, 1.0, 0.0), double_mask: None, jitter: 0.0 };
+        let params = MaskParams {
+            color: Rgb(0.0, 1.0, 0.0),
+            double_mask: None,
+            jitter: 0.0,
+        };
         let placed = place_mask(MaskClass::NoseExposed, &lm, &params, &mut rng);
         let mut canvas = Canvas::new(96, Rgb(0.0, 0.0, 0.0));
         face.render(&mut canvas);
         placed.render(&mut canvas, &lm, &params);
         // A point slightly above the nose tip is skin/nose, not mask green.
-        let px = canvas.get((lm.nose.0 * 96.0) as usize, ((lm.nose.1 - 0.04) * 96.0) as usize);
+        let px = canvas.get(
+            (lm.nose.0 * 96.0) as usize,
+            ((lm.nose.1 - 0.04) * 96.0) as usize,
+        );
         assert_ne!(px, Rgb(0.0, 1.0, 0.0));
     }
 
@@ -260,6 +284,9 @@ mod tests {
         let blue = (0..1000)
             .filter(|_| MaskParams::sample(&mut rng).color == crate::face::MASK_BLUE)
             .count();
-        assert!(blue > 400, "expected majority light-blue masks, got {blue}/1000");
+        assert!(
+            blue > 400,
+            "expected majority light-blue masks, got {blue}/1000"
+        );
     }
 }

@@ -81,7 +81,10 @@ pub fn decode_ppm(bytes: &[u8]) -> Result<Tensor, PpmError> {
     let expected = w * h * 3;
     let payload = &bytes[pos.min(bytes.len())..];
     if payload.len() < expected {
-        return Err(PpmError::Truncated { expected, got: payload.len() });
+        return Err(PpmError::Truncated {
+            expected,
+            got: payload.len(),
+        });
     }
     let mut out = vec![0.0f32; 3 * h * w];
     for y in 0..h {

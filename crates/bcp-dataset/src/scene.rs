@@ -31,7 +31,9 @@ pub struct CrowdScene {
 pub fn generate_crowd_scene(cfg: &GeneratorConfig, grid: usize, seed: u64) -> CrowdScene {
     assert!(grid > 0, "grid must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    let classes: Vec<MaskClass> = (0..grid * grid).map(|_| raw_class_sample(&mut rng)).collect();
+    let classes: Vec<MaskClass> = (0..grid * grid)
+        .map(|_| raw_class_sample(&mut rng))
+        .collect();
     let tiles: Vec<(Vec<f32>, usize)> = classes
         .par_iter()
         .enumerate()
@@ -89,8 +91,7 @@ impl CrowdScene {
                     for y in 0..t {
                         let src_base = (ch * s + gy * t + y) * s + gx * t;
                         let dst_base = (ch * t + y) * t;
-                        tile[dst_base..dst_base + t]
-                            .copy_from_slice(&src[src_base..src_base + t]);
+                        tile[dst_base..dst_base + t].copy_from_slice(&src[src_base..src_base + t]);
                     }
                 }
                 out.push(Tensor::from_vec(Shape::d3(3, t, t), tile));
@@ -114,7 +115,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> GeneratorConfig {
-        GeneratorConfig { img_size: 16, supersample: 2 }
+        GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        }
     }
 
     #[test]

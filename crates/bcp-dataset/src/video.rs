@@ -40,7 +40,11 @@ pub fn gate_sequence(
     let out = (0..frames)
         .map(|t| {
             // Animation parameter 0 → 1 over the approach.
-            let a = if frames == 1 { 1.0 } else { t as f32 / (frames - 1) as f32 };
+            let a = if frames == 1 {
+                1.0
+            } else {
+                t as f32 / (frames - 1) as f32
+            };
             let scale = 0.6 + 0.4 * a;
             let mut face = base.clone();
             face.radii = (base.radii.0 * scale, base.radii.1 * scale);
@@ -62,7 +66,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> GeneratorConfig {
-        GeneratorConfig { img_size: 16, supersample: 2 }
+        GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        }
     }
 
     #[test]

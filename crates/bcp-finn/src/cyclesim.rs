@@ -33,7 +33,11 @@ pub struct CycleSimReport {
 /// cycles; the source can always supply the next frame immediately.
 pub fn simulate(pipeline: &Pipeline, frames: usize, fifo_depth: usize) -> CycleSimReport {
     assert!(fifo_depth >= 1, "inter-stage FIFOs need at least one slot");
-    let service: Vec<u64> = pipeline.stages().iter().map(|s| s.cycles_per_frame()).collect();
+    let service: Vec<u64> = pipeline
+        .stages()
+        .iter()
+        .map(|s| s.cycles_per_frame())
+        .collect();
     let n = service.len();
     assert!(n > 0, "empty pipeline");
     if frames == 0 {
@@ -112,7 +116,11 @@ mod tests {
                     k: 3,
                     in_dims: (3, 10, 10),
                 },
-                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 8, 8) },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (4, 8, 8),
+                },
                 Stage::DenseBinary {
                     name: "fc1".into(),
                     mvtu: BinaryMvtu::new(w(8, 64), Some(t(8)), Folding::new(2, 8)),
@@ -147,9 +155,7 @@ mod tests {
         let deep = simulate(&p, 100, 64);
         assert_eq!(shallow.measured_ii, deep.measured_ii);
         // But deep buffering can only finish earlier or equal.
-        assert!(
-            deep.completion_cycles.last() <= shallow.completion_cycles.last()
-        );
+        assert!(deep.completion_cycles.last() <= shallow.completion_cycles.last());
     }
 
     #[test]
@@ -172,11 +178,7 @@ mod tests {
     fn bottleneck_utilization_approaches_one() {
         let p = pipeline();
         let sim = simulate(&p, 400, 2);
-        let max_util = sim
-            .stage_utilization
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max_util = sim.stage_utilization.iter().cloned().fold(0.0f64, f64::max);
         assert!(
             (0.95..=1.01).contains(&max_util),
             "bottleneck stage should be ~fully busy, got {max_util}"

@@ -19,19 +19,37 @@ pub struct BinMap {
 impl BinMap {
     /// All-(−1) map.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        BinMap { c, h, w, bits: BitVec64::zeros(c * h * w) }
+        BinMap {
+            c,
+            h,
+            w,
+            bits: BitVec64::zeros(c * h * w),
+        }
     }
 
     /// Wrap an existing bit vector (length must be `c·h·w`).
     pub fn from_bits(c: usize, h: usize, w: usize, bits: BitVec64) -> Self {
-        assert_eq!(bits.len(), c * h * w, "bit count does not match {c}×{h}×{w}");
+        assert_eq!(
+            bits.len(),
+            c * h * w,
+            "bit count does not match {c}×{h}×{w}"
+        );
         BinMap { c, h, w, bits }
     }
 
     /// Build from ±1 floats in CHW order (the nn reference representation).
     pub fn from_signs(c: usize, h: usize, w: usize, signs: &[f32]) -> Self {
-        assert_eq!(signs.len(), c * h * w, "sign count does not match {c}×{h}×{w}");
-        BinMap { c, h, w, bits: bcp_bitpack::pack::pack_signs(signs) }
+        assert_eq!(
+            signs.len(),
+            c * h * w,
+            "sign count does not match {c}×{h}×{w}"
+        );
+        BinMap {
+            c,
+            h,
+            w,
+            bits: bcp_bitpack::pack::pack_signs(signs),
+        }
     }
 
     /// Total bit count.
@@ -90,7 +108,11 @@ pub const INPUT_SCALE: f64 = 255.0;
 impl QuantMap {
     /// Quantize a CHW float image with values on the 8-bit grid `[0, 1]`.
     pub fn from_unit_floats(c: usize, h: usize, w: usize, pixels: &[f32]) -> Self {
-        assert_eq!(pixels.len(), c * h * w, "pixel count does not match {c}×{h}×{w}");
+        assert_eq!(
+            pixels.len(),
+            c * h * w,
+            "pixel count does not match {c}×{h}×{w}"
+        );
         let values = pixels
             .iter()
             .map(|&v| {

@@ -16,11 +16,21 @@ pub struct Device {
 }
 
 /// Xilinx Zynq XC7Z020 — the paper's main target (Sec. IV-A).
-pub const Z7020: Device = Device { name: "XC7Z020", luts: 53_200, bram18: 280, dsps: 220 };
+pub const Z7020: Device = Device {
+    name: "XC7Z020",
+    luts: 53_200,
+    bram18: 280,
+    dsps: 220,
+};
 
 /// Xilinx Zynq XC7Z010 — the constrained target μ-CNV fits after DSP
 /// offloading (Sec. IV-A, OrthrusPE — paper ref 27).
-pub const Z7010: Device = Device { name: "XC7Z010", luts: 17_600, bram18: 120, dsps: 80 };
+pub const Z7010: Device = Device {
+    name: "XC7Z010",
+    luts: 17_600,
+    bram18: 120,
+    dsps: 80,
+};
 
 /// A design's estimated resource usage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -73,7 +83,11 @@ mod tests {
 
     #[test]
     fn fits_checks_every_resource() {
-        let ok = ResourceUsage { luts: 10_000, bram18: 20, dsps: 10 };
+        let ok = ResourceUsage {
+            luts: 10_000,
+            bram18: 20,
+            dsps: 10,
+        };
         assert!(Z7010.fits(&ok));
         assert!(!Z7010.fits(&ResourceUsage { luts: 20_000, ..ok }));
         assert!(!Z7010.fits(&ResourceUsage { bram18: 200, ..ok }));
@@ -84,8 +98,16 @@ mod tests {
     fn paper_table2_fits_claims() {
         // Table II utilizations: CNV fits Z7020 but not Z7010; μ-CNV fits
         // Z7010 by LUTs.
-        let cnv = ResourceUsage { luts: 26_060, bram18: 124, dsps: 24 };
-        let ucnv = ResourceUsage { luts: 11_738, bram18: 14, dsps: 27 };
+        let cnv = ResourceUsage {
+            luts: 26_060,
+            bram18: 124,
+            dsps: 24,
+        };
+        let ucnv = ResourceUsage {
+            luts: 11_738,
+            bram18: 14,
+            dsps: 27,
+        };
         assert!(Z7020.fits(&cnv));
         assert!(!Z7010.fits(&cnv));
         assert!(Z7010.fits(&ucnv));
@@ -93,8 +115,23 @@ mod tests {
 
     #[test]
     fn usage_add() {
-        let a = ResourceUsage { luts: 1, bram18: 2, dsps: 3 };
-        let b = ResourceUsage { luts: 10, bram18: 20, dsps: 30 };
-        assert_eq!(a.add(b), ResourceUsage { luts: 11, bram18: 22, dsps: 33 });
+        let a = ResourceUsage {
+            luts: 1,
+            bram18: 2,
+            dsps: 3,
+        };
+        let b = ResourceUsage {
+            luts: 10,
+            bram18: 20,
+            dsps: 30,
+        };
+        assert_eq!(
+            a.add(b),
+            ResourceUsage {
+                luts: 11,
+                bram18: 22,
+                dsps: 33
+            }
+        );
     }
 }

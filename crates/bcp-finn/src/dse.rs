@@ -62,7 +62,11 @@ fn next_divisor(n: usize, cur: usize) -> Option<usize> {
 pub fn allocate(layers: &[LayerDims], lut_budget: f64) -> DseResult {
     assert!(!layers.is_empty(), "DSE needs at least one layer");
     let mut foldings = vec![Folding::sequential(); layers.len()];
-    let mut spent: f64 = layers.iter().zip(&foldings).map(|(l, &f)| l.lut_cost(f)).sum();
+    let mut spent: f64 = layers
+        .iter()
+        .zip(&foldings)
+        .map(|(l, &f)| l.lut_cost(f))
+        .sum();
 
     loop {
         // Bottleneck stage under current foldings.
@@ -80,7 +84,10 @@ pub fn allocate(layers: &[LayerDims], lut_budget: f64) -> DseResult {
         let mut best: Option<(Folding, f64, u64)> = None; // (folding, Δlut, cycles)
         for cand in [
             next_divisor(l.cols, f.simd).map(|s| Folding { pe: f.pe, simd: s }),
-            next_divisor(l.rows, f.pe).map(|p| Folding { pe: p, simd: f.simd }),
+            next_divisor(l.rows, f.pe).map(|p| Folding {
+                pe: p,
+                simd: f.simd,
+            }),
         ]
         .into_iter()
         .flatten()
@@ -116,7 +123,11 @@ pub fn allocate(layers: &[LayerDims], lut_budget: f64) -> DseResult {
         .map(|(l, &f)| l.cycles(f))
         .max()
         .unwrap();
-    DseResult { foldings, initiation_interval, luts: spent }
+    DseResult {
+        foldings,
+        initiation_interval,
+        luts: spent,
+    }
 }
 
 /// Inverse dimensioning: find the cheapest folding (by the LUT model) that
@@ -144,7 +155,10 @@ pub fn allocate_for_target(layers: &[LayerDims], target_ii: u64) -> Option<DseRe
         let mut best: Option<(Folding, f64)> = None;
         for cand in [
             next_divisor(l.cols, f.simd).map(|s| Folding { pe: f.pe, simd: s }),
-            next_divisor(l.rows, f.pe).map(|p| Folding { pe: p, simd: f.simd }),
+            next_divisor(l.rows, f.pe).map(|p| Folding {
+                pe: p,
+                simd: f.simd,
+            }),
         ]
         .into_iter()
         .flatten()
@@ -168,8 +182,16 @@ pub fn allocate_for_target(layers: &[LayerDims], target_ii: u64) -> Option<DseRe
         .map(|(l, &f)| l.cycles(f))
         .max()
         .unwrap();
-    let luts = layers.iter().zip(&foldings).map(|(l, &f)| l.lut_cost(f)).sum();
-    Some(DseResult { foldings, initiation_interval, luts })
+    let luts = layers
+        .iter()
+        .zip(&foldings)
+        .map(|(l, &f)| l.lut_cost(f))
+        .sum();
+    Some(DseResult {
+        foldings,
+        initiation_interval,
+        luts,
+    })
 }
 
 #[cfg(test)]
@@ -179,15 +201,60 @@ mod tests {
     fn cnv_like() -> Vec<LayerDims> {
         // The CNV workload shape (Table I on 32×32 inputs).
         vec![
-            LayerDims { name: "conv1_1".into(), rows: 64, cols: 27, vectors: 900 },
-            LayerDims { name: "conv1_2".into(), rows: 64, cols: 576, vectors: 784 },
-            LayerDims { name: "conv2_1".into(), rows: 128, cols: 576, vectors: 144 },
-            LayerDims { name: "conv2_2".into(), rows: 128, cols: 1152, vectors: 100 },
-            LayerDims { name: "conv3_1".into(), rows: 256, cols: 1152, vectors: 9 },
-            LayerDims { name: "conv3_2".into(), rows: 256, cols: 2304, vectors: 1 },
-            LayerDims { name: "fc1".into(), rows: 512, cols: 256, vectors: 1 },
-            LayerDims { name: "fc2".into(), rows: 512, cols: 512, vectors: 1 },
-            LayerDims { name: "fc3".into(), rows: 4, cols: 512, vectors: 1 },
+            LayerDims {
+                name: "conv1_1".into(),
+                rows: 64,
+                cols: 27,
+                vectors: 900,
+            },
+            LayerDims {
+                name: "conv1_2".into(),
+                rows: 64,
+                cols: 576,
+                vectors: 784,
+            },
+            LayerDims {
+                name: "conv2_1".into(),
+                rows: 128,
+                cols: 576,
+                vectors: 144,
+            },
+            LayerDims {
+                name: "conv2_2".into(),
+                rows: 128,
+                cols: 1152,
+                vectors: 100,
+            },
+            LayerDims {
+                name: "conv3_1".into(),
+                rows: 256,
+                cols: 1152,
+                vectors: 9,
+            },
+            LayerDims {
+                name: "conv3_2".into(),
+                rows: 256,
+                cols: 2304,
+                vectors: 1,
+            },
+            LayerDims {
+                name: "fc1".into(),
+                rows: 512,
+                cols: 256,
+                vectors: 1,
+            },
+            LayerDims {
+                name: "fc2".into(),
+                rows: 512,
+                cols: 512,
+                vectors: 1,
+            },
+            LayerDims {
+                name: "fc3".into(),
+                rows: 4,
+                cols: 512,
+                vectors: 1,
+            },
         ]
     }
 
@@ -298,7 +365,12 @@ mod tests {
 
     #[test]
     fn single_layer_saturates() {
-        let layers = vec![LayerDims { name: "fc".into(), rows: 4, cols: 8, vectors: 1 }];
+        let layers = vec![LayerDims {
+            name: "fc".into(),
+            rows: 4,
+            cols: 8,
+            vectors: 1,
+        }];
         let r = allocate(&layers, 1e9);
         // Fully unfolded: 1 cycle per frame.
         assert_eq!(r.initiation_interval, 1);

@@ -134,7 +134,11 @@ mod tests {
                     k: 3,
                     in_dims: (3, 8, 8),
                 },
-                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 6, 6) },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (4, 6, 6),
+                },
                 Stage::DenseLogits {
                     name: "fc".into(),
                     mvtu: BinaryMvtu::new(w(4, 36, 2), None, Folding::sequential()),
@@ -204,6 +208,13 @@ mod tests {
     #[should_panic(expected = "no weight memory")]
     fn pool_stage_has_no_weights() {
         let mut p = pipeline();
-        apply_fault(&mut p, FaultRecord { stage: 1, row: 0, col: 0 });
+        apply_fault(
+            &mut p,
+            FaultRecord {
+                stage: 1,
+                row: 0,
+                col: 0,
+            },
+        );
     }
 }

@@ -87,7 +87,11 @@ mod tests {
                     k: 3,
                     in_dims: (3, 8, 8),
                 },
-                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 6, 6) },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (4, 6, 6),
+                },
                 Stage::DenseLogits {
                     name: "fc".into(),
                     mvtu: BinaryMvtu::new(w(4, 36), None, Folding::sequential()),

@@ -47,3 +47,4 @@ pub use data::{BinMap, QuantMap, StageData};
 pub use device::Device;
 pub use folding::Folding;
 pub use pipeline::{Pipeline, Stage};
+pub use stream::{correlation_report, run_streaming, CorrelationReport, StreamStats};

@@ -37,7 +37,11 @@ impl BinaryMvtu {
                 weights.rows()
             );
         }
-        BinaryMvtu { weights, thresholds, folding }
+        BinaryMvtu {
+            weights,
+            thresholds,
+            folding,
+        }
     }
 
     /// Output neuron count.
@@ -117,7 +121,11 @@ impl FixedInputMvtu {
             thresholds.len(),
             weights.rows()
         );
-        FixedInputMvtu { weights, thresholds, folding }
+        FixedInputMvtu {
+            weights,
+            thresholds,
+            folding,
+        }
     }
 
     /// Output neuron count.
@@ -192,7 +200,7 @@ mod tests {
     fn binary_accumulate_known() {
         let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
         let x = BitVec64::from_bools(&[true, true, true, true]); // all +1
-        // Row 0: 1+1−1−1 = 0; Row 1: 1−1+1−1 = 0.
+                                                                 // Row 0: 1+1−1−1 = 0; Row 1: 1−1+1−1 = 0.
         assert_eq!(m.accumulate(&x), vec![0, 0]);
         let x = BitVec64::from_bools(&[true, true, false, false]);
         // Row 0 agrees everywhere → 4; Row 1: +1−1−1+1 = 0.

@@ -33,8 +33,11 @@ pub struct PerfReport {
 impl ClockModel {
     /// Analyze a pipeline.
     pub fn analyze(&self, pipeline: &Pipeline) -> PerfReport {
-        let stage_cycles: Vec<u64> =
-            pipeline.stages().iter().map(|s| s.cycles_per_frame()).collect();
+        let stage_cycles: Vec<u64> = pipeline
+            .stages()
+            .iter()
+            .map(|s| s.cycles_per_frame())
+            .collect();
         let initiation_interval = stage_cycles.iter().copied().max().unwrap_or(1).max(1);
         let latency_cycles: u64 = stage_cycles.iter().sum();
         PerfReport {
@@ -98,7 +101,11 @@ mod tests {
                     k: 3,
                     in_dims: (3, 6, 6),
                 },
-                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (2, 4, 4) },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (2, 4, 4),
+                },
                 Stage::DenseLogits {
                     name: "fc".into(),
                     mvtu: BinaryMvtu::new(w(4, 8), None, Folding::sequential()),

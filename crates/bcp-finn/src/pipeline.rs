@@ -73,12 +73,12 @@ impl Stage {
     /// Output (channels, height, width); logits report `(classes, 1, 1)`.
     pub fn out_dims(&self) -> (usize, usize, usize) {
         match self {
-            Stage::ConvFixed { mvtu, k, in_dims, .. } => {
-                (mvtu.rows(), out_dim(in_dims.1, *k), out_dim(in_dims.2, *k))
-            }
-            Stage::ConvBinary { mvtu, k, in_dims, .. } => {
-                (mvtu.rows(), out_dim(in_dims.1, *k), out_dim(in_dims.2, *k))
-            }
+            Stage::ConvFixed {
+                mvtu, k, in_dims, ..
+            } => (mvtu.rows(), out_dim(in_dims.1, *k), out_dim(in_dims.2, *k)),
+            Stage::ConvBinary {
+                mvtu, k, in_dims, ..
+            } => (mvtu.rows(), out_dim(in_dims.1, *k), out_dim(in_dims.2, *k)),
             Stage::PoolOr { k, in_dims, .. } => (in_dims.0, in_dims.1 / k, in_dims.2 / k),
             Stage::DenseBinary { mvtu, .. } => (mvtu.rows(), 1, 1),
             Stage::DenseLogits { mvtu, .. } => (mvtu.rows(), 1, 1),
@@ -120,13 +120,19 @@ impl Stage {
     /// Cycles to process one frame (Sec. III-B folding arithmetic).
     pub fn cycles_per_frame(&self) -> u64 {
         match self {
-            Stage::ConvFixed { mvtu, k, in_dims, .. } => {
+            Stage::ConvFixed {
+                mvtu, k, in_dims, ..
+            } => {
                 let vecs = out_dim(in_dims.1, *k) * out_dim(in_dims.2, *k);
-                mvtu.folding.cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
+                mvtu.folding
+                    .cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
             }
-            Stage::ConvBinary { mvtu, k, in_dims, .. } => {
+            Stage::ConvBinary {
+                mvtu, k, in_dims, ..
+            } => {
                 let vecs = out_dim(in_dims.1, *k) * out_dim(in_dims.2, *k);
-                mvtu.folding.cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
+                mvtu.folding
+                    .cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
             }
             Stage::PoolOr { k, in_dims, .. } => ((in_dims.1 / k) * (in_dims.2 / k)) as u64,
             Stage::DenseBinary { mvtu, .. } | Stage::DenseLogits { mvtu, .. } => {
@@ -138,9 +144,18 @@ impl Stage {
     /// Process one token. All arithmetic is integer-exact.
     pub fn process(&self, input: StageData) -> StageData {
         match self {
-            Stage::ConvFixed { name, mvtu, k, in_dims } => {
+            Stage::ConvFixed {
+                name,
+                mvtu,
+                k,
+                in_dims,
+            } => {
                 let q = input.expect_quant(name);
-                assert_eq!((q.c, q.h, q.w), *in_dims, "stage '{name}' input dims mismatch");
+                assert_eq!(
+                    (q.c, q.h, q.w),
+                    *in_dims,
+                    "stage '{name}' input dims mismatch"
+                );
                 let (oh, ow) = (out_dim(q.h, *k), out_dim(q.w, *k));
                 let mut out = BinMap::zeros(mvtu.rows(), oh, ow);
                 for (p, window) in windows_quant(&q, *k).iter().enumerate() {
@@ -154,9 +169,18 @@ impl Stage {
                 }
                 StageData::Bits(out)
             }
-            Stage::ConvBinary { name, mvtu, k, in_dims } => {
+            Stage::ConvBinary {
+                name,
+                mvtu,
+                k,
+                in_dims,
+            } => {
                 let b = input.expect_bits(name);
-                assert_eq!((b.c, b.h, b.w), *in_dims, "stage '{name}' input dims mismatch");
+                assert_eq!(
+                    (b.c, b.h, b.w),
+                    *in_dims,
+                    "stage '{name}' input dims mismatch"
+                );
                 let (oh, ow) = (out_dim(b.h, *k), out_dim(b.w, *k));
                 let mut out = BinMap::zeros(mvtu.rows(), oh, ow);
                 for (p, window) in windows_binary(&b, *k).iter().enumerate() {
@@ -172,7 +196,11 @@ impl Stage {
             }
             Stage::PoolOr { name, k, in_dims } => {
                 let b = input.expect_bits(name);
-                assert_eq!((b.c, b.h, b.w), *in_dims, "stage '{name}' input dims mismatch");
+                assert_eq!(
+                    (b.c, b.h, b.w),
+                    *in_dims,
+                    "stage '{name}' input dims mismatch"
+                );
                 StageData::Bits(or_pool(&b, *k))
             }
             Stage::DenseBinary { name, mvtu } => {
@@ -227,7 +255,10 @@ impl Pipeline {
                 "exactly the final stage must be the logits layer"
             );
         }
-        Pipeline { name: name.into(), stages }
+        Pipeline {
+            name: name.into(),
+            stages,
+        }
     }
 
     /// Pipeline name.
@@ -330,7 +361,11 @@ mod tests {
             k: 3,
             in_dims: (3, 6, 6),
         };
-        let pool1 = Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (2, 4, 4) };
+        let pool1 = Stage::PoolOr {
+            name: "pool1".into(),
+            k: 2,
+            in_dims: (2, 4, 4),
+        };
         let fc1 = Stage::DenseBinary {
             name: "fc1".into(),
             mvtu: BinaryMvtu::new(all_ones_weights(5, 8), Some(ge0(5)), Folding::new(1, 8)),

@@ -9,8 +9,12 @@ use crate::data::BinMap;
 
 /// OR-pool a binary map with a `k×k` window and stride `k`.
 pub fn or_pool(map: &BinMap, k: usize) -> BinMap {
-    assert!(k > 0 && map.h.is_multiple_of(k) && map.w.is_multiple_of(k),
-        "pool window {k} must tile the {}×{} map exactly", map.h, map.w);
+    assert!(
+        k > 0 && map.h.is_multiple_of(k) && map.w.is_multiple_of(k),
+        "pool window {k} must tile the {}×{} map exactly",
+        map.h,
+        map.w
+    );
     let (oh, ow) = (map.h / k, map.w / k);
     let mut out = BinMap::zeros(map.c, oh, ow);
     for ch in 0..map.c {

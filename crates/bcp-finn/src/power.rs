@@ -69,7 +69,11 @@ impl PowerModel {
 mod tests {
     use super::*;
 
-    const CNV_USAGE: ResourceUsage = ResourceUsage { luts: 26_060, bram18: 124, dsps: 24 };
+    const CNV_USAGE: ResourceUsage = ResourceUsage {
+        luts: 26_060,
+        bram18: 124,
+        dsps: 24,
+    };
 
     #[test]
     fn idle_power_is_paper_value() {
@@ -87,15 +91,20 @@ mod tests {
     #[test]
     fn full_rate_power_in_plausible_band() {
         let p = DEFAULT_POWER.board_w(&CNV_USAGE, 1.0);
-        assert!((1.8..3.0).contains(&p), "full-rate CNV power {p} outside 1.8–3 W");
+        assert!(
+            (1.8..3.0).contains(&p),
+            "full-rate CNV power {p} outside 1.8–3 W"
+        );
     }
 
     #[test]
     fn bigger_designs_burn_more() {
-        let small = ResourceUsage { luts: 11_738, bram18: 14, dsps: 27 };
-        assert!(
-            DEFAULT_POWER.board_w(&CNV_USAGE, 1.0) > DEFAULT_POWER.board_w(&small, 1.0)
-        );
+        let small = ResourceUsage {
+            luts: 11_738,
+            bram18: 14,
+            dsps: 27,
+        };
+        assert!(DEFAULT_POWER.board_w(&CNV_USAGE, 1.0) > DEFAULT_POWER.board_w(&small, 1.0));
     }
 
     #[test]

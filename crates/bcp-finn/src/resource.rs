@@ -50,9 +50,7 @@ pub fn estimate(pipeline: &Pipeline, dsp_offload: bool) -> ResourceUsage {
             luts += LUT_PER_STAGE / 2.0; // pooling is a trivial OR tree
             continue;
         }
-        luts += f.parallelism() as f64 * LUT_PER_SYNAPSE
-            + f.pe as f64 * LUT_PER_PE
-            + LUT_PER_STAGE;
+        luts += f.parallelism() as f64 * LUT_PER_SYNAPSE + f.pe as f64 * LUT_PER_PE + LUT_PER_STAGE;
         total_parallelism += f.parallelism();
         if i == 0 {
             first_layer_pe = f.pe as u64;
@@ -108,13 +106,21 @@ mod tests {
             vec![
                 Stage::ConvFixed {
                     name: "conv1".into(),
-                    mvtu: FixedInputMvtu::new(w(8, 27), t(8), Folding::new(pe.min(8), simd.min(27))),
+                    mvtu: FixedInputMvtu::new(
+                        w(8, 27),
+                        t(8),
+                        Folding::new(pe.min(8), simd.min(27)),
+                    ),
                     k: 3,
                     in_dims: (3, 8, 8),
                 },
                 Stage::ConvBinary {
                     name: "conv2".into(),
-                    mvtu: BinaryMvtu::new(w(16, 72), Some(t(16)), Folding::new(pe.min(16), simd.min(72))),
+                    mvtu: BinaryMvtu::new(
+                        w(16, 72),
+                        Some(t(16)),
+                        Folding::new(pe.min(16), simd.min(72)),
+                    ),
                     k: 3,
                     in_dims: (8, 6, 6),
                 },

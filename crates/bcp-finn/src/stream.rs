@@ -6,12 +6,87 @@
 //! included), frames flowing in FIFO order. Results are bit-identical to
 //! [`Pipeline::forward`] — the tests assert it — but stages genuinely
 //! overlap in time, which is what gives a full pipeline its throughput.
+//!
+//! # Instrumentation
+//!
+//! Every run accounts each stage thread's time into three exhaustive,
+//! non-overlapping buckets (their fractions sum to 1 per stage):
+//!
+//! * **busy** — inside `Stage::process`;
+//! * **idle** — blocked in `recv()` waiting for upstream (a starved stage);
+//! * **blocked** — blocked in `send()` waiting for downstream FIFO space
+//!   (back-pressure from a bottleneck stage).
+//!
+//! The input-FIFO depth is sampled once per token received, giving a mean
+//! occupancy per stage — the software analogue of an AXI-stream FIFO
+//! fill-level probe. [`StreamStats::record_into`] exports everything to a
+//! [`bcp_telemetry::Registry`]; [`correlation_report`] compares the
+//! measured busy-time distribution against the analytical
+//! `cycles_per_frame` model that [`crate::cyclesim`] also uses.
 
 use crate::data::{QuantMap, StageData};
 use crate::pipeline::Pipeline;
+use bcp_telemetry::Registry;
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use std::time::Instant;
+
+/// Per-stage timing breakdown from one streaming run.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimings {
+    /// Stage name (from the pipeline).
+    pub name: String,
+    /// Nanoseconds inside `Stage::process`.
+    pub busy_ns: u64,
+    /// Nanoseconds blocked waiting for input (starvation).
+    pub idle_ns: u64,
+    /// Nanoseconds blocked waiting for output FIFO space (back-pressure).
+    pub blocked_ns: u64,
+    /// Sum of input-FIFO depth samples (one sample per token, taken right
+    /// after `recv` returns, i.e. the backlog left behind).
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples (= tokens received).
+    pub occupancy_samples: u64,
+}
+
+impl StageTimings {
+    fn total_ns(&self) -> u64 {
+        self.busy_ns + self.idle_ns + self.blocked_ns
+    }
+
+    /// Fraction of this stage thread's loop time spent processing.
+    pub fn busy_frac(&self) -> f64 {
+        self.frac(self.busy_ns)
+    }
+
+    /// Fraction spent starved for input.
+    pub fn idle_frac(&self) -> f64 {
+        self.frac(self.idle_ns)
+    }
+
+    /// Fraction spent blocked on downstream back-pressure.
+    pub fn blocked_frac(&self) -> f64 {
+        self.frac(self.blocked_ns)
+    }
+
+    fn frac(&self, part: u64) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            part as f64 / total as f64
+        }
+    }
+
+    /// Mean input-FIFO depth observed (0 when no tokens flowed).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+}
 
 /// Execution statistics from a streaming run.
 #[derive(Clone, Debug)]
@@ -22,6 +97,46 @@ pub struct StreamStats {
     pub per_stage_processed: Vec<u64>,
     /// Wall-clock duration of the run in seconds.
     pub wall_seconds: f64,
+    /// Per-stage busy/idle/blocked breakdown and FIFO occupancy.
+    pub stages: Vec<StageTimings>,
+}
+
+impl StreamStats {
+    /// Export this run into a telemetry registry under the `stream.`
+    /// namespace: per stage `stream.<name>.tokens`/`…_ns` counters and
+    /// `…_frac`/`mean_occupancy` gauges, plus run-level `stream.frames`
+    /// and `stream.wall_ns`.
+    pub fn record_into(&self, registry: &Registry) {
+        registry.counter("stream.frames").add(self.frames as u64);
+        registry
+            .counter("stream.wall_ns")
+            .add((self.wall_seconds * 1e9) as u64);
+        for (timing, &tokens) in self.stages.iter().zip(&self.per_stage_processed) {
+            let base = format!("stream.{}", timing.name);
+            registry.counter(&format!("{base}.tokens")).add(tokens);
+            registry
+                .counter(&format!("{base}.busy_ns"))
+                .add(timing.busy_ns);
+            registry
+                .counter(&format!("{base}.idle_ns"))
+                .add(timing.idle_ns);
+            registry
+                .counter(&format!("{base}.blocked_ns"))
+                .add(timing.blocked_ns);
+            registry
+                .gauge(&format!("{base}.busy_frac"))
+                .set(timing.busy_frac());
+            registry
+                .gauge(&format!("{base}.idle_frac"))
+                .set(timing.idle_frac());
+            registry
+                .gauge(&format!("{base}.blocked_frac"))
+                .set(timing.blocked_frac());
+            registry
+                .gauge(&format!("{base}.mean_occupancy"))
+                .set(timing.mean_occupancy());
+        }
+    }
 }
 
 /// Stream `frames` through the pipeline with one thread per stage and
@@ -35,6 +150,7 @@ pub fn run_streaming(
     assert!(channel_depth > 0, "channel depth must be positive");
     let n_stages = pipeline.stages().len();
     let processed = Mutex::new(vec![0u64; n_stages]);
+    let timings = Mutex::new(vec![StageTimings::default(); n_stages]);
     let start = Instant::now();
 
     // Build the channel chain: input → s0 → s1 → … → output. Stage i
@@ -60,15 +176,37 @@ pub fn run_streaming(
             .enumerate()
         {
             let processed = &processed;
+            let timings = &timings;
             scope.spawn(move |_| {
-                while let Ok(token) = rx.recv() {
+                let mut local = StageTimings {
+                    name: stage.name().to_string(),
+                    ..Default::default()
+                };
+                loop {
+                    let t_wait = Instant::now();
+                    let token = match rx.recv() {
+                        Ok(t) => t,
+                        Err(_) => break, // upstream hung up and drained
+                    };
+                    local.idle_ns += t_wait.elapsed().as_nanos() as u64;
+                    // Backlog left in our FIFO after taking one token.
+                    local.occupancy_sum += rx.len() as u64;
+                    local.occupancy_samples += 1;
+
+                    let t_busy = Instant::now();
                     let out = stage.process(token);
+                    local.busy_ns += t_busy.elapsed().as_nanos() as u64;
                     processed.lock()[i] += 1;
-                    if tx.send(out).is_err() {
+
+                    let t_send = Instant::now();
+                    let sent = tx.send(out);
+                    local.blocked_ns += t_send.elapsed().as_nanos() as u64;
+                    if sent.is_err() {
                         break; // downstream hung up
                     }
                 }
                 // rx closed: drop tx to propagate shutdown downstream.
+                timings.lock()[i] = local;
             });
         }
 
@@ -93,8 +231,94 @@ pub fn run_streaming(
         frames: frames.len(),
         per_stage_processed: processed.into_inner(),
         wall_seconds: start.elapsed().as_secs_f64(),
+        stages: timings.into_inner(),
     };
     (results, stats)
+}
+
+/// One stage's row in a [`CorrelationReport`].
+#[derive(Clone, Debug)]
+pub struct StageCorrelation {
+    /// Stage name.
+    pub name: String,
+    /// This stage's share of total measured busy time, in `[0, 1]`.
+    pub measured_share: f64,
+    /// This stage's share of total `cycles_per_frame` under the analytical
+    /// model (what [`crate::cyclesim`] schedules with), in `[0, 1]`.
+    pub model_share: f64,
+    /// Relative model error `(measured − model) / model`, as a percentage
+    /// clamped to ±999 % so a degenerate stage cannot blow up the report.
+    pub error_pct: f64,
+}
+
+/// Measured-vs-model comparison for a streaming run: does the wall time
+/// observed per stage distribute the way the cycle model predicts?
+#[derive(Clone, Debug)]
+pub struct CorrelationReport {
+    /// Per-stage comparison rows, pipeline order.
+    pub stages: Vec<StageCorrelation>,
+}
+
+impl CorrelationReport {
+    /// Largest absolute per-stage error in percent.
+    pub fn max_abs_error_pct(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.error_pct.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Terminal-friendly table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("stage           measured%  model%   error%\n");
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<15} {:>8.1} {:>7.1} {:>+8.1}",
+                s.name,
+                s.measured_share * 100.0,
+                s.model_share * 100.0,
+                s.error_pct
+            );
+        }
+        out
+    }
+}
+
+/// Compare a run's measured per-stage busy time against the analytical
+/// cycle model. Shares are used rather than absolute times so the clock
+/// frequency and host speed drop out; the error says where the software
+/// stages and the hardware model disagree about *relative* cost.
+pub fn correlation_report(pipeline: &Pipeline, stats: &StreamStats) -> CorrelationReport {
+    let model: Vec<u64> = pipeline
+        .stages()
+        .iter()
+        .map(|s| s.cycles_per_frame())
+        .collect();
+    let model_total: u64 = model.iter().sum::<u64>().max(1);
+    let busy_total: u64 = stats.stages.iter().map(|t| t.busy_ns).sum::<u64>().max(1);
+    let stages = stats
+        .stages
+        .iter()
+        .zip(&model)
+        .map(|(t, &cycles)| {
+            let measured_share = t.busy_ns as f64 / busy_total as f64;
+            let model_share = cycles as f64 / model_total as f64;
+            let error_pct = if model_share > 0.0 {
+                (((measured_share - model_share) / model_share) * 100.0).clamp(-999.0, 999.0)
+            } else {
+                999.0
+            };
+            StageCorrelation {
+                name: t.name.clone(),
+                measured_share,
+                model_share,
+                error_pct,
+            }
+        })
+        .collect();
+    CorrelationReport { stages }
 }
 
 #[cfg(test)]
@@ -133,7 +357,11 @@ mod tests {
                     k: 3,
                     in_dims: (3, 8, 8),
                 },
-                Stage::PoolOr { name: "pool1".into(), k: 2, in_dims: (4, 6, 6) },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (4, 6, 6),
+                },
                 Stage::DenseBinary {
                     name: "fc1".into(),
                     mvtu: BinaryMvtu::new(w(16, 36), Some(t(16)), Folding::new(4, 36)),
@@ -196,5 +424,67 @@ mod tests {
         let (streamed, _) = run_streaming(&p, &fs, 1);
         assert_eq!(streamed.len(), 8);
         assert_eq!(streamed[7], p.forward(&fs[7]));
+    }
+
+    #[test]
+    fn stage_time_fractions_partition_the_loop() {
+        let p = pipeline();
+        let fs = frames(32);
+        let (_, stats) = run_streaming(&p, &fs, 2);
+        assert_eq!(stats.stages.len(), 4);
+        for t in &stats.stages {
+            assert!(!t.name.is_empty());
+            assert_eq!(t.occupancy_samples, 32, "{}", t.name);
+            let sum = t.busy_frac() + t.idle_frac() + t.blocked_frac();
+            // busy/idle/blocked are exhaustive and non-overlapping by
+            // construction; only float rounding can move the sum off 1.
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}: fractions sum to {sum}",
+                t.name
+            );
+            assert!(t.busy_ns > 0, "{} never did work", t.name);
+            assert!(
+                t.mean_occupancy() <= 2.0,
+                "{} occupancy beyond FIFO depth",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn stats_export_to_registry() {
+        let r = bcp_telemetry::Registry::new();
+        let p = pipeline();
+        let fs = frames(12);
+        let (_, stats) = run_streaming(&p, &fs, 4);
+        stats.record_into(&r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["stream.frames"], 12);
+        assert_eq!(snap.counters["stream.conv1.tokens"], 12);
+        assert_eq!(snap.counters["stream.fc2.tokens"], 12);
+        let f = snap.gauges["stream.pool1.busy_frac"]
+            + snap.gauges["stream.pool1.idle_frac"]
+            + snap.gauges["stream.pool1.blocked_frac"];
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_report_shares_are_distributions() {
+        let p = pipeline();
+        let fs = frames(48);
+        let (_, stats) = run_streaming(&p, &fs, 4);
+        let report = correlation_report(&p, &stats);
+        assert_eq!(report.stages.len(), 4);
+        let m: f64 = report.stages.iter().map(|s| s.measured_share).sum();
+        let c: f64 = report.stages.iter().map(|s| s.model_share).sum();
+        assert!((m - 1.0).abs() < 1e-9, "measured shares sum {m}");
+        assert!((c - 1.0).abs() < 1e-9, "model shares sum {c}");
+        for s in &report.stages {
+            assert!(s.error_pct.is_finite());
+            assert!(s.error_pct.abs() <= 999.0, "{}: unbounded error", s.name);
+        }
+        let text = report.render_text();
+        assert!(text.contains("conv1") && text.contains("error%"));
     }
 }

@@ -108,7 +108,12 @@ mod tests {
 
     #[test]
     fn quant_windows_match_binary_layout() {
-        let mut q = QuantMap { c: 2, h: 3, w: 3, values: vec![0; 18] };
+        let mut q = QuantMap {
+            c: 2,
+            h: 3,
+            w: 3,
+            values: vec![0; 18],
+        };
         q.values[3 * 3 + 2] = 77; // channel 1, y 0, x 2
         let ws = windows_quant(&q, 3);
         assert_eq!(ws.len(), 1);

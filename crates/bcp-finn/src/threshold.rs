@@ -79,11 +79,7 @@ mod tests {
                 // Reference on the float scale: accumulator value a/255.
                 let sigma = (var[c] + eps).sqrt();
                 let float_ref = gamma[c] * (a as f64 / 255.0 - mean[c]) / sigma + beta[c] >= 0.0;
-                assert_eq!(
-                    unit.apply(c, a),
-                    float_ref,
-                    "channel {c}, acc {a}"
-                );
+                assert_eq!(unit.apply(c, a), float_ref, "channel {c}, acc {a}");
             }
         }
     }

@@ -65,7 +65,11 @@ pub fn gradcam(
         *seed.at_mut(&[s, cls]) = 1.0;
     }
     let grads = net.backward_to(&seed, layer_idx);
-    assert_eq!(grads.shape(), activations.shape(), "gradient/activation mismatch");
+    assert_eq!(
+        grads.shape(),
+        activations.shape(),
+        "gradient/activation mismatch"
+    );
 
     let (c, h, w) = (
         activations.shape().dim(1),
@@ -99,7 +103,10 @@ pub fn gradcam(
             }
         }
         let small = Tensor::from_vec(Shape::d2(h, w), cam);
-        maps.push(CamMap { heat: upsample_bilinear(&small, out_size), class: classes[s] });
+        maps.push(CamMap {
+            heat: upsample_bilinear(&small, out_size),
+            class: classes[s],
+        });
     }
     maps
 }
@@ -132,7 +139,11 @@ pub fn cam(
 
     let outs = net.forward_collect(input, Mode::Eval);
     let activations = outs[layer_idx].clone();
-    assert_eq!(activations.shape().rank(), 4, "target layer must be convolutional");
+    assert_eq!(
+        activations.shape().rank(),
+        4,
+        "target layer must be convolutional"
+    );
     let fc = net
         .layer_as::<Linear>(fc_idx)
         .unwrap_or_else(|| panic!("layer '{fc_layer}' is not a Linear"));
@@ -169,7 +180,10 @@ pub fn cam(
             }
         }
         let small = Tensor::from_vec(Shape::d2(h, w), heat);
-        maps.push(CamMap { heat: upsample_bilinear(&small, out_size), class: cls });
+        maps.push(CamMap {
+            heat: upsample_bilinear(&small, out_size),
+            class: cls,
+        });
     }
     maps
 }
@@ -184,8 +198,16 @@ pub fn upsample_bilinear(map: &Tensor, target: usize) -> Tensor {
     for ty in 0..target {
         for tx in 0..target {
             // Align corners: map the target grid onto the source grid.
-            let fy = if target == 1 { 0.0 } else { ty as f32 * (h - 1) as f32 / (target - 1) as f32 };
-            let fx = if target == 1 { 0.0 } else { tx as f32 * (w - 1) as f32 / (target - 1) as f32 };
+            let fy = if target == 1 {
+                0.0
+            } else {
+                ty as f32 * (h - 1) as f32 / (target - 1) as f32
+            };
+            let fx = if target == 1 {
+                0.0
+            } else {
+                tx as f32 * (w - 1) as f32 / (target - 1) as f32
+            };
             let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
             let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
             let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);

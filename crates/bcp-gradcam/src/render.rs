@@ -41,7 +41,11 @@ pub fn overlay_ppm(image: &Tensor, heat: &Tensor, alpha: f32) -> Vec<u8> {
     assert_eq!(image.shape().rank(), 3, "overlay expects a CHW image");
     assert_eq!(image.shape().dim(0), 3, "overlay expects 3 channels");
     let (h, w) = (image.shape().dim(1), image.shape().dim(2));
-    assert_eq!(heat.shape().dims(), &[h, w], "heat map must match the image size");
+    assert_eq!(
+        heat.shape().dims(),
+        &[h, w],
+        "heat map must match the image size"
+    );
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
     let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
     let plane = h * w;
@@ -132,7 +136,10 @@ mod tests {
         let heat = Tensor::ones(Shape::d2(1, 1));
         let ppm = overlay_ppm(&img, &heat, 1.0);
         let (r, g, b) = (ppm[11], ppm[12], ppm[13]);
-        assert!(r > 200 && g < 120 && b < 60, "hot pixel should be red, got {r},{g},{b}");
+        assert!(
+            r > 200 && g < 120 && b < 60,
+            "hot pixel should be red, got {r},{g},{b}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct AttentionAccumulator {
 impl AttentionAccumulator {
     /// New accumulator for `size × size` maps.
     pub fn new(size: usize) -> Self {
-        AttentionAccumulator { sum: Tensor::zeros(Shape::d2(size, size)), count: 0 }
+        AttentionAccumulator {
+            sum: Tensor::zeros(Shape::d2(size, size)),
+            count: 0,
+        }
     }
 
     /// Add one map.
@@ -131,7 +134,10 @@ mod tests {
         // Bottom-row region contains 2 of 3 units of mass.
         let f = region_fraction(&map, |y, _| y == 3);
         assert!((f - 2.0 / 3.0).abs() < 1e-6);
-        assert_eq!(region_fraction(&Tensor::zeros(Shape::d2(4, 4)), |_, _| true), 0.0);
+        assert_eq!(
+            region_fraction(&Tensor::zeros(Shape::d2(4, 4)), |_, _| true),
+            0.0
+        );
     }
 
     #[test]
@@ -142,6 +148,9 @@ mod tests {
         assert!(!band(2, 16), "forehead outside");
         assert!(!band(20, 0), "left edge outside");
         let area = region_area_fraction(32, mask_band(32));
-        assert!((0.3..0.5).contains(&area), "band area {area} should be ~38%");
+        assert!(
+            (0.3..0.5).contains(&area),
+            "band area {area} should be ~38%"
+        );
     }
 }

@@ -15,7 +15,10 @@ pub struct SignSte {
 impl SignSte {
     /// New sign activation.
     pub fn new(name: impl Into<String>) -> Self {
-        SignSte { name: name.into(), cache_x: None }
+        SignSte {
+            name: name.into(),
+            cache_x: None,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ pub struct Relu {
 impl Relu {
     /// New ReLU.
     pub fn new(name: impl Into<String>) -> Self {
-        Relu { name: name.into(), cache_x: None }
+        Relu {
+            name: name.into(),
+            cache_x: None,
+        }
     }
 }
 
@@ -92,7 +98,10 @@ pub struct HardTanh {
 impl HardTanh {
     /// New hard-tanh.
     pub fn new(name: impl Into<String>) -> Self {
-        HardTanh { name: name.into(), cache_x: None }
+        HardTanh {
+            name: name.into(),
+            cache_x: None,
+        }
     }
 }
 

@@ -107,7 +107,11 @@ impl BatchNorm {
     #[allow(clippy::needless_range_loop)] // symmetric per-channel loops read clearer
     fn batch_stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
         let (n, c, l) = decompose(x.shape());
-        assert_eq!(c, self.channels, "channel mismatch: {} vs {}", c, self.channels);
+        assert_eq!(
+            c, self.channels,
+            "channel mismatch: {} vs {}",
+            c, self.channels
+        );
         let count = (n * l) as f32;
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
@@ -125,7 +129,10 @@ impl BatchNorm {
             for ci in 0..c {
                 let base = (ni * c + ci) * l;
                 let m = mean[ci];
-                var[ci] += src[base..base + l].iter().map(|&v| (v - m) * (v - m)).sum::<f32>();
+                var[ci] += src[base..base + l]
+                    .iter()
+                    .map(|&v| (v - m) * (v - m))
+                    .sum::<f32>();
             }
         }
         for v in &mut var {
@@ -198,12 +205,20 @@ impl Layer for BatchNorm {
         };
         let (xhat, inv_std) = self.normalize(x, &mean, &var);
         let y = self.affine(&xhat);
-        self.cache = Some(BnCache { xhat, inv_std, shape: x.shape().clone() });
+        self.cache = Some(BnCache {
+            xhat,
+            inv_std,
+            shape: x.shape().clone(),
+        });
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let BnCache { xhat, inv_std, shape } = take_cache(&mut self.cache, &self.name);
+        let BnCache {
+            xhat,
+            inv_std,
+            shape,
+        } = take_cache(&mut self.cache, &self.name);
         assert_eq!(*dy.shape(), shape, "backward shape mismatch");
         let (n, c, l) = decompose(&shape);
         let count = (n * l) as f32;
@@ -303,7 +318,12 @@ mod tests {
     #[test]
     fn backward_matches_finite_difference() {
         let mut bn = BatchNorm::new("bn", 2);
-        bn.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+        bn.set_state(
+            vec![1.5, -0.5],
+            vec![0.2, 0.1],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
         let x = uniform(Shape::nchw(2, 2, 3, 3), -1.0, 1.0, 5);
         // Loss = Σ y².
         let y = bn.forward(&x, Mode::Train);
@@ -311,18 +331,32 @@ mod tests {
         let dx = bn.backward(&dy);
         let eps = 1e-2f32;
         let loss = |bn: &mut BatchNorm, xx: &Tensor| -> f32 {
-            bn.forward(xx, Mode::Train).as_slice().iter().map(|v| v * v).sum()
+            bn.forward(xx, Mode::Train)
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
         };
         for probe in [0usize, 9, x.numel() - 1] {
             let mut xp = x.clone();
             xp.as_mut_slice()[probe] += eps;
             let mut bnp = BatchNorm::new("bn", 2);
-            bnp.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+            bnp.set_state(
+                vec![1.5, -0.5],
+                vec![0.2, 0.1],
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+            );
             let fp = loss(&mut bnp, &xp);
             let mut xm = x.clone();
             xm.as_mut_slice()[probe] -= eps;
             let mut bnm = BatchNorm::new("bn", 2);
-            bnm.set_state(vec![1.5, -0.5], vec![0.2, 0.1], vec![0.0, 0.0], vec![1.0, 1.0]);
+            bnm.set_state(
+                vec![1.5, -0.5],
+                vec![0.2, 0.1],
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+            );
             let fm = loss(&mut bnm, &xm);
             let numeric = (fp - fm) / (2.0 * eps);
             let analytic = dx.as_slice()[probe];

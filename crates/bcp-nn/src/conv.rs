@@ -22,7 +22,12 @@ impl Conv2d {
     pub fn new(name: impl Into<String>, spec: Conv2dSpec, seed: u64) -> Self {
         let fan_in = spec.c_in * spec.window.k * spec.window.k;
         let w = kaiming(spec.weight_shape(), fan_in, seed);
-        Conv2d { name: name.into(), spec, weight: Param::new("weight", w), cache: None }
+        Conv2d {
+            name: name.into(),
+            spec,
+            weight: Param::new("weight", w),
+            cache: None,
+        }
     }
 
     /// Layer geometry.
@@ -86,7 +91,12 @@ impl BinaryConv2d {
     pub fn new(name: impl Into<String>, spec: Conv2dSpec, seed: u64) -> Self {
         let fan_in = spec.c_in * spec.window.k * spec.window.k;
         let w = kaiming(spec.weight_shape(), fan_in, seed);
-        BinaryConv2d { name: name.into(), spec, weight: Param::latent("weight", w), cache: None }
+        BinaryConv2d {
+            name: name.into(),
+            spec,
+            weight: Param::latent("weight", w),
+            cache: None,
+        }
     }
 
     /// Layer geometry.
@@ -189,8 +199,9 @@ mod tests {
         // with fan-in parity: the arithmetic the XNOR datapath reproduces.
         let spec = Conv2dSpec::new(2, 4, 3, 0);
         let mut l = BinaryConv2d::new("bconv", spec, 3);
-        let x = uniform(Shape::nchw(1, 2, 5, 5), -1.0, 1.0, 4)
-            .map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let x =
+            uniform(Shape::nchw(1, 2, 5, 5), -1.0, 1.0, 4)
+                .map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
         let y = l.forward(&x, Mode::Train);
         let fan_in = 2 * 9i32;
         for &v in y.as_slice() {

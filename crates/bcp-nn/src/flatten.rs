@@ -12,7 +12,10 @@ pub struct Flatten {
 impl Flatten {
     /// New flatten layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Flatten { name: name.into(), cache_shape: None }
+        Flatten {
+            name: name.into(),
+            cache_shape: None,
+        }
     }
 }
 
@@ -30,7 +33,12 @@ impl Layer for Flatten {
     }
 
     fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        assert_eq!(x.shape().rank(), 4, "Flatten expects NCHW, got {}", x.shape());
+        assert_eq!(
+            x.shape().rank(),
+            4,
+            "Flatten expects NCHW, got {}",
+            x.shape()
+        );
         let n = x.shape().dim(0);
         let f = x.numel() / n;
         self.cache_shape = Some(x.shape().clone());

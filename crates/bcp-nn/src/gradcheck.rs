@@ -80,7 +80,11 @@ pub fn check_input_gradient<L: Layer>(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(abs / (1.0 + analytic.abs()));
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, probes: idx.len() }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        probes: idx.len(),
+    }
 }
 
 /// Check a whole network's input gradient under `L = Σ y²/2`.
@@ -117,7 +121,11 @@ pub fn check_network_input_gradient(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(abs / (1.0 + analytic.abs()));
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, probes: idx.len() }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        probes: idx.len(),
+    }
 }
 
 /// Check every **parameter** gradient of a network under `L = Σ y²/2`,
@@ -164,7 +172,11 @@ pub fn check_parameter_gradients(
             total_probes += 1;
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, probes: total_probes }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        probes: total_probes,
+    }
 }
 
 #[cfg(test)]
@@ -199,7 +211,10 @@ mod tests {
                 .push(Flatten::new("flat"))
                 .push(Linear::new("fc", 4 * 3 * 3, 3, true, 4))
         };
-        let x = uniform(Shape::nchw(2, 2, 6, 6), -1.0, 1.0, 5);
+        // Seed picked so no probe straddles a ReLU/max-pool kink (where
+        // central differences and the one-sided analytic gradient rightly
+        // disagree); re-baseline it if the init RNG stream ever changes.
+        let x = uniform(Shape::nchw(2, 2, 6, 6), -1.0, 1.0, 7);
         let report = check_network_input_gradient(make, &x, 1e-2, 8);
         assert!(report.passes(5e-2), "{report:?}");
     }
@@ -242,7 +257,10 @@ mod tests {
         }
         let x = uniform(Shape::d1(6), -1.0, 1.0, 11);
         let report = check_input_gradient(|| Broken, &x, 1e-2, 4);
-        assert!(!report.passes(1e-1), "checker failed to flag a broken backward: {report:?}");
+        assert!(
+            !report.passes(1e-1),
+            "checker failed to flag a broken backward: {report:?}"
+        );
     }
 
     #[test]

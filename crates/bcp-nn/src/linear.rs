@@ -47,7 +47,12 @@ impl Linear {
 /// actually multiplied (latent for [`Linear`], binarized for
 /// [`BinaryLinear`]).
 fn dense_forward(x: &Tensor, w_eff: &Tensor, bias: Option<&Param>) -> Tensor {
-    assert_eq!(x.shape().rank(), 2, "dense input must be N×F, got {}", x.shape());
+    assert_eq!(
+        x.shape().rank(),
+        2,
+        "dense input must be N×F, got {}",
+        x.shape()
+    );
     let mut y = matmul_tb(x, w_eff); // (N×Fi)·(Fo×Fi)ᵀ = N×Fo
     if let Some(b) = bias {
         let f_out = b.value.numel();
@@ -233,7 +238,10 @@ mod tests {
         lm.weight.value.as_mut_slice()[probe] -= eps;
         let fm: f32 = lm.forward(&x, Mode::Train).as_slice().iter().sum();
         let numeric = (fp - fm) / (2.0 * eps);
-        assert!((numeric - analytic).abs() < 1e-2, "dW {numeric} vs {analytic}");
+        assert!(
+            (numeric - analytic).abs() < 1e-2,
+            "dW {numeric} vs {analytic}"
+        );
 
         // Input grad check.
         let probe = 7usize;

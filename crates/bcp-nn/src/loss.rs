@@ -13,7 +13,12 @@ pub struct LossOutput {
 }
 
 fn check_inputs(logits: &Tensor, labels: &[usize]) -> (usize, usize) {
-    assert_eq!(logits.shape().rank(), 2, "logits must be N×C, got {}", logits.shape());
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "logits must be N×C, got {}",
+        logits.shape()
+    );
     let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
     assert_eq!(labels.len(), n, "label count {} vs batch {n}", labels.len());
     for &l in labels {

@@ -36,7 +36,10 @@ impl ConfusionMatrix {
     /// Empty matrix over `classes` classes.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -46,7 +49,10 @@ impl ConfusionMatrix {
 
     /// Record one (true, predicted) observation.
     pub fn record(&mut self, truth: usize, predicted: usize) {
-        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + predicted] += 1;
     }
 
@@ -103,8 +109,16 @@ impl ConfusionMatrix {
             s.push_str(&format!("{:>8} |", class_names[i]));
             for j in 0..self.classes {
                 let n = self.get(i, j);
-                let pct = if row_total == 0 { 0.0 } else { 100.0 * n as f64 / row_total as f64 };
-                s.push_str(&format!("{:>width$}", format!("{n} ({pct:.0}%)"), width = colw));
+                let pct = if row_total == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / row_total as f64
+                };
+                s.push_str(&format!(
+                    "{:>width$}",
+                    format!("{n} ({pct:.0}%)"),
+                    width = colw
+                ));
             }
             s.push('\n');
         }

@@ -51,12 +51,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+        }
     }
 
     /// Add L2 weight decay.
@@ -117,7 +125,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with the canonical (0.9, 0.999, 1e-8) constants.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 }
 
@@ -265,7 +279,11 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = StepDecay { base_lr: 1.0, factor: 0.5, every: 10 };
+        let s = StepDecay {
+            base_lr: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.lr_at(0), 1.0);
         assert_eq!(s.lr_at(9), 1.0);
         assert_eq!(s.lr_at(10), 0.5);

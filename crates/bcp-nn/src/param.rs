@@ -71,7 +71,8 @@ impl Param {
     /// the optimizer update loops.
     pub fn slot_value_grad(&mut self, i: usize) -> (&mut Tensor, &Tensor, &Tensor) {
         while self.opt_state.len() <= i {
-            self.opt_state.push(Tensor::zeros(self.value.shape().clone()));
+            self.opt_state
+                .push(Tensor::zeros(self.value.shape().clone()));
         }
         // Split borrow: slot from opt_state, value/grad from the rest.
         let slot = &mut self.opt_state[i];

@@ -15,7 +15,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// New pooling layer.
     pub fn new(name: impl Into<String>, spec: MaxPoolSpec) -> Self {
-        MaxPool2d { name: name.into(), spec, cache: None }
+        MaxPool2d {
+            name: name.into(),
+            spec,
+            cache: None,
+        }
     }
 
     /// The paper's 2×2/stride-2 pool.
@@ -69,7 +73,10 @@ pub struct GlobalAvgPool {
 impl GlobalAvgPool {
     /// New GAP layer.
     pub fn new(name: impl Into<String>) -> Self {
-        GlobalAvgPool { name: name.into(), cache_shape: None }
+        GlobalAvgPool {
+            name: name.into(),
+            cache_shape: None,
+        }
     }
 }
 
@@ -146,22 +153,15 @@ mod tests {
     #[test]
     fn gap_gradient_checks_numerically() {
         let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 4, 4), -1.0, 1.0, 7);
-        let report = crate::gradcheck::check_input_gradient(
-            || GlobalAvgPool::new("gap"),
-            &x,
-            1e-2,
-            6,
-        );
+        let report =
+            crate::gradcheck::check_input_gradient(|| GlobalAvgPool::new("gap"), &x, 1e-2, 6);
         assert!(report.passes(2e-2), "{report:?}");
     }
 
     #[test]
     fn layer_wraps_kernel() {
         let mut p = MaxPool2d::two_by_two("pool1");
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 1, 2, 2),
-            vec![1.0, 4.0, 2.0, 3.0],
-        );
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]);
         let y = p.forward(&x, Mode::Train);
         assert_eq!(y.as_slice(), &[4.0]);
         let dx = p.backward(&Tensor::from_vec(y.shape().clone(), vec![7.0]));

@@ -232,9 +232,7 @@ mod tests {
         let dx = l.backward(&Tensor::ones(y.shape().clone()));
         assert_eq!(dx.shape(), x.shape());
         let mut grads = 0;
-        l.visit_params(&mut |p| {
-            grads += p.grad.as_slice().iter().filter(|v| **v != 0.0).count()
-        });
+        l.visit_params(&mut |p| grads += p.grad.as_slice().iter().filter(|v| **v != 0.0).count());
         assert!(grads > 0);
     }
 

@@ -22,7 +22,10 @@ pub struct Sequential {
 impl Sequential {
     /// Empty network.
     pub fn new(name: impl Into<String>) -> Self {
-        Sequential { name: name.into(), layers: Vec::new() }
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// Builder-style layer append.
@@ -112,7 +115,10 @@ impl Sequential {
     ///
     /// `down_to == len()-1` returns `dy` itself (gradient at the logits).
     pub fn backward_to(&mut self, dy: &Tensor, down_to: usize) -> Tensor {
-        assert!(down_to < self.layers.len(), "layer index {down_to} out of range");
+        assert!(
+            down_to < self.layers.len(),
+            "layer index {down_to} out of range"
+        );
         let mut cur = dy.clone();
         for layer in self.layers[down_to + 1..].iter_mut().rev() {
             cur = layer.backward(&cur);
@@ -152,7 +158,10 @@ impl Sequential {
         let mut s = format!("{} ({} layers)\n", self.name, self.layers.len());
         for i in 0..self.layers.len() {
             let count = self.layers[i].param_count();
-            s.push_str(&format!("  [{i:2}] {:<12} params={count}\n", self.layers[i].name()));
+            s.push_str(&format!(
+                "  [{i:2}] {:<12} params={count}\n",
+                self.layers[i].name()
+            ));
         }
         s
     }

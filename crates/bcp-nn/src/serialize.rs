@@ -25,7 +25,10 @@ pub struct TensorState {
 
 impl From<&Tensor> for TensorState {
     fn from(t: &Tensor) -> Self {
-        TensorState { shape: t.shape().dims().to_vec(), data: t.as_slice().to_vec() }
+        TensorState {
+            shape: t.shape().dims().to_vec(),
+            data: t.as_slice().to_vec(),
+        }
     }
 }
 
@@ -58,13 +61,17 @@ pub struct StateDict {
 pub fn state_dict(net: &mut Sequential) -> StateDict {
     let mut sd = StateDict::default();
     net.visit_named_params(&mut |layer, p| {
-        sd.params.insert(format!("{layer}.{}", p.name), TensorState::from(&p.value));
+        sd.params
+            .insert(format!("{layer}.{}", p.name), TensorState::from(&p.value));
     });
     for i in 0..net.len() {
         if let Some(bn) = net.layer_as::<BatchNorm>(i) {
             sd.bn_stats.insert(
                 bn.name().to_string(),
-                BnStats { mean: bn.running_mean().to_vec(), var: bn.running_var().to_vec() },
+                BnStats {
+                    mean: bn.running_mean().to_vec(),
+                    var: bn.running_var().to_vec(),
+                },
             );
         }
     }

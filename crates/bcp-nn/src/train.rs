@@ -65,6 +65,15 @@ pub struct EpochStats {
     pub train_accuracy: f32,
     /// Validation accuracy, when a validation set was supplied.
     pub val_accuracy: Option<f32>,
+    /// Mean (over minibatches) global L2 norm of all parameter gradients.
+    pub grad_norm: f32,
+    /// Fraction of latent binary weights (`clip_unit` params) whose sign
+    /// changed across the epoch — the effective-flip-rate lens on BNN
+    /// training dynamics (high early, decaying as binarization settles).
+    /// Zero for networks without latent binary weights.
+    pub sign_flip_rate: f32,
+    /// Wall-clock duration of the epoch (training + validation).
+    pub epoch_seconds: f64,
 }
 
 /// Deterministic Fisher–Yates shuffle driven by a split-mix PRNG — cheap,
@@ -104,8 +113,20 @@ pub fn gather_batch(images: &Tensor, indices: &[usize]) -> Tensor {
     Tensor::from_vec(Shape::nchw(indices.len(), c, h, w), data)
 }
 
-/// One epoch of minibatch SGD. Returns (mean loss, training accuracy).
-pub fn train_epoch(
+/// Extended single-epoch result from [`train_epoch_detailed`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochDetail {
+    /// Mean minibatch loss.
+    pub loss: f32,
+    /// On-line training accuracy.
+    pub train_accuracy: f32,
+    /// Mean over minibatches of the global L2 gradient norm (computed
+    /// after `backward`, before the optimizer update).
+    pub grad_norm: f32,
+}
+
+/// One epoch of minibatch SGD with gradient-norm tracking.
+pub fn train_epoch_detailed(
     net: &mut Sequential,
     opt: &mut dyn Optimizer,
     images: &Tensor,
@@ -113,12 +134,13 @@ pub fn train_epoch(
     batch_size: usize,
     loss: LossKind,
     shuffle_seed: u64,
-) -> (f32, f32) {
+) -> EpochDetail {
     let n = images.shape().dim(0);
     assert_eq!(labels.len(), n, "label count mismatch");
     assert!(batch_size > 0, "batch size must be positive");
     let order = shuffled_indices(n, shuffle_seed);
     let mut total_loss = 0.0f64;
+    let mut total_grad_norm = 0.0f64;
     let mut batches = 0usize;
     let mut correct = 0usize;
     for chunk in order.chunks(batch_size) {
@@ -133,15 +155,62 @@ pub fn train_epoch(
             .filter(|(p, l)| p == l)
             .count();
         net.backward(&out.grad);
+        let mut sq_sum = 0.0f64;
+        net.visit_params(&mut |p| {
+            sq_sum += p
+                .grad
+                .as_slice()
+                .iter()
+                .map(|&g| (g as f64) * (g as f64))
+                .sum::<f64>();
+        });
+        total_grad_norm += sq_sum.sqrt();
         net.visit_params(&mut |p| opt.update(p));
         opt.advance();
         total_loss += out.loss as f64;
         batches += 1;
     }
-    (
-        (total_loss / batches.max(1) as f64) as f32,
-        correct as f32 / n as f32,
-    )
+    let b = batches.max(1) as f64;
+    EpochDetail {
+        loss: (total_loss / b) as f32,
+        train_accuracy: correct as f32 / n as f32,
+        grad_norm: (total_grad_norm / b) as f32,
+    }
+}
+
+/// One epoch of minibatch SGD. Returns (mean loss, training accuracy).
+pub fn train_epoch(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    loss: LossKind,
+    shuffle_seed: u64,
+) -> (f32, f32) {
+    let d = train_epoch_detailed(net, opt, images, labels, batch_size, loss, shuffle_seed);
+    (d.loss, d.train_accuracy)
+}
+
+/// Signs of every latent binary weight (`clip_unit` params), in
+/// `visit_params` order. The basis for the per-epoch sign-flip rate.
+fn latent_signs(net: &mut Sequential) -> Vec<bool> {
+    let mut signs = Vec::new();
+    net.visit_params(&mut |p| {
+        if p.clip_unit {
+            signs.extend(p.value.as_slice().iter().map(|&v| v >= 0.0));
+        }
+    });
+    signs
+}
+
+fn flip_rate(before: &[bool], after: &[bool]) -> f32 {
+    debug_assert_eq!(before.len(), after.len());
+    if before.is_empty() {
+        return 0.0;
+    }
+    let flips = before.iter().zip(after).filter(|(a, b)| a != b).count();
+    flips as f32 / before.len() as f32
 }
 
 /// Evaluate accuracy (and optionally fill a confusion matrix) in eval mode.
@@ -162,7 +231,11 @@ pub fn evaluate(
         let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
         let logits = net.forward(&batch, Mode::Eval);
         let preds = predictions(&logits);
-        correct += preds.iter().zip(&batch_labels).filter(|(p, l)| p == l).count();
+        correct += preds
+            .iter()
+            .zip(&batch_labels)
+            .filter(|(p, l)| p == l)
+            .count();
         if let Some(ref mut m) = cm {
             m.record_batch(&batch_labels, &preds);
         }
@@ -181,6 +254,34 @@ pub fn fit(
     train_labels: &[usize],
     val: Option<(&Tensor, &[usize])>,
     cfg: &TrainConfig,
+    on_epoch: impl FnMut(&EpochStats) -> bool,
+) -> Vec<EpochStats> {
+    fit_instrumented(
+        net,
+        opt,
+        train_images,
+        train_labels,
+        val,
+        cfg,
+        None,
+        on_epoch,
+    )
+}
+
+/// [`fit`] with an optional telemetry registry. Per epoch this exports
+/// `train.epoch.{loss,train_accuracy,val_accuracy,grad_norm,sign_flip_rate,lr}`
+/// gauges, a `train.epoch_ns` histogram, `train.{epochs,samples}` counters
+/// and — when the registry has an event sink — one `train.epoch` mark
+/// event carrying the same numbers as JSONL fields.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_instrumented(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    train_images: &Tensor,
+    train_labels: &[usize],
+    val: Option<(&Tensor, &[usize])>,
+    cfg: &TrainConfig,
+    telemetry: Option<&bcp_telemetry::Registry>,
     mut on_epoch: impl FnMut(&EpochStats) -> bool,
 ) -> Vec<EpochStats> {
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -188,7 +289,9 @@ pub fn fit(
         if let Some(s) = cfg.schedule {
             opt.set_lr(s.lr_at(epoch));
         }
-        let (loss, train_accuracy) = train_epoch(
+        let t0 = std::time::Instant::now();
+        let signs_before = latent_signs(net);
+        let detail = train_epoch_detailed(
             net,
             opt,
             train_images,
@@ -197,9 +300,21 @@ pub fn fit(
             cfg.loss,
             cfg.shuffle_seed.wrapping_add(epoch as u64),
         );
-        let val_accuracy =
-            val.map(|(vi, vl)| evaluate(net, vi, vl, cfg.batch_size, None));
-        let stats = EpochStats { epoch, loss, train_accuracy, val_accuracy };
+        let val_accuracy = val.map(|(vi, vl)| evaluate(net, vi, vl, cfg.batch_size, None));
+        let sign_flip_rate = flip_rate(&signs_before, &latent_signs(net));
+        let epoch_seconds = t0.elapsed().as_secs_f64();
+        let stats = EpochStats {
+            epoch,
+            loss: detail.loss,
+            train_accuracy: detail.train_accuracy,
+            val_accuracy,
+            grad_norm: detail.grad_norm,
+            sign_flip_rate,
+            epoch_seconds,
+        };
+        if let Some(registry) = telemetry {
+            record_epoch(registry, &stats, opt.lr(), train_labels.len());
+        }
         let proceed = on_epoch(&stats);
         history.push(stats);
         if !proceed {
@@ -207,6 +322,46 @@ pub fn fit(
         }
     }
     history
+}
+
+fn record_epoch(registry: &bcp_telemetry::Registry, s: &EpochStats, lr: f32, samples: usize) {
+    use serde::{Map, Value};
+    registry.counter("train.epochs").inc();
+    registry.counter("train.samples").add(samples as u64);
+    registry.gauge("train.epoch.loss").set(s.loss as f64);
+    registry
+        .gauge("train.epoch.train_accuracy")
+        .set(s.train_accuracy as f64);
+    if let Some(v) = s.val_accuracy {
+        registry.gauge("train.epoch.val_accuracy").set(v as f64);
+    }
+    registry
+        .gauge("train.epoch.grad_norm")
+        .set(s.grad_norm as f64);
+    registry
+        .gauge("train.epoch.sign_flip_rate")
+        .set(s.sign_flip_rate as f64);
+    registry.gauge("train.epoch.lr").set(lr as f64);
+    registry
+        .histogram("train.epoch_ns")
+        .record((s.epoch_seconds * 1e9) as u64);
+    let mut fields = Map::new();
+    fields.insert("epoch".into(), Value::UInt(s.epoch as u64));
+    fields.insert("loss".into(), Value::Float(s.loss as f64));
+    fields.insert(
+        "train_accuracy".into(),
+        Value::Float(s.train_accuracy as f64),
+    );
+    if let Some(v) = s.val_accuracy {
+        fields.insert("val_accuracy".into(), Value::Float(v as f64));
+    }
+    fields.insert("grad_norm".into(), Value::Float(s.grad_norm as f64));
+    fields.insert(
+        "sign_flip_rate".into(),
+        Value::Float(s.sign_flip_rate as f64),
+    );
+    fields.insert("epoch_ms".into(), Value::Float(s.epoch_seconds * 1e3));
+    registry.mark("train.epoch", fields);
 }
 
 #[cfg(test)]
@@ -261,7 +416,11 @@ mod tests {
         let (images, labels) = blob_data(256, 3);
         let mut net = blob_net(10);
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 30, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..Default::default()
+        };
         let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |_| true);
         assert!(history.len() == 30);
         assert!(
@@ -289,7 +448,11 @@ mod tests {
             .push(SignSte::new("sign2"))
             .push(Linear::new("fc3", 16, 2, true, 22));
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 40, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            ..Default::default()
+        };
         fit(&mut net, &mut opt, &images, &labels, None, &cfg, |_| true);
         let acc = evaluate(&mut net, &images, &labels, 64, None);
         assert!(acc > 0.85, "binary blob accuracy {acc} too low");
@@ -310,9 +473,93 @@ mod tests {
         let (images, labels) = blob_data(32, 6);
         let mut net = blob_net(40);
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 50, batch_size: 16, ..Default::default() };
-        let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |s| s.epoch < 2);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |s| {
+            s.epoch < 2
+        });
         assert_eq!(history.len(), 3); // epochs 0,1,2 run; callback stops after 2.
+    }
+
+    #[test]
+    fn epoch_stats_carry_training_dynamics() {
+        let (images, labels) = blob_data(128, 3);
+        let mut net = Sequential::new("dyn")
+            .push(crate::flatten::Flatten::new("flat"))
+            .push(Linear::new("fc1", 2, 8, true, 60))
+            .push(BatchNorm::new("bn1", 8))
+            .push(SignSte::new("sign1"))
+            .push(BinaryLinear::new("bfc", 8, 8, 61))
+            .push(BatchNorm::new("bn2", 8))
+            .push(SignSte::new("sign2"))
+            .push(Linear::new("fc2", 8, 2, true, 62));
+        let mut opt = Adam::new(0.02);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            ..Default::default()
+        };
+        let history = fit(&mut net, &mut opt, &images, &labels, None, &cfg, |_| true);
+        for s in &history {
+            assert!(s.grad_norm > 0.0, "epoch {} grad norm", s.epoch);
+            assert!((0.0..=1.0).contains(&s.sign_flip_rate), "epoch {}", s.epoch);
+            assert!(s.epoch_seconds > 0.0);
+        }
+        // Latent weights must actually move early in training.
+        assert!(
+            history.iter().any(|s| s.sign_flip_rate > 0.0),
+            "no latent sign ever flipped: {history:?}"
+        );
+    }
+
+    #[test]
+    fn instrumented_fit_exports_metrics_and_events() {
+        let registry = bcp_telemetry::Registry::with_event_buffer();
+        let (images, labels) = blob_data(64, 9);
+        let (val_images, val_labels) = blob_data(32, 10);
+        let mut net = blob_net(70);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..Default::default()
+        };
+        fit_instrumented(
+            &mut net,
+            &mut opt,
+            &images,
+            &labels,
+            Some((&val_images, &val_labels)),
+            &cfg,
+            Some(&registry),
+            |_| true,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["train.epochs"], 3);
+        assert_eq!(snap.counters["train.samples"], 3 * 64);
+        assert!(snap.gauges.contains_key("train.epoch.loss"));
+        assert!(snap.gauges.contains_key("train.epoch.val_accuracy"));
+        assert!(snap.gauges.contains_key("train.epoch.sign_flip_rate"));
+        assert_eq!(snap.histograms["train.epoch_ns"].count, 3);
+        let events = registry.take_events();
+        assert_eq!(events.len(), 3);
+        for line in &events {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["name"].as_str(), Some("train.epoch"));
+            assert!(!v["loss"].is_null() && !v["grad_norm"].is_null());
+        }
+    }
+
+    #[test]
+    fn flip_rate_counts_sign_changes() {
+        assert_eq!(flip_rate(&[], &[]), 0.0);
+        assert_eq!(
+            flip_rate(&[true, true, false, false], &[true, false, false, true]),
+            0.5
+        );
     }
 
     #[test]

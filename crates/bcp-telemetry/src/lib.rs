@@ -1,0 +1,43 @@
+//! Instrumentation for the BinaryCoP workspace.
+//!
+//! A deliberately small observability layer — counters, gauges,
+//! log-bucketed histograms, RAII span timers, a JSONL event stream and an
+//! end-of-run summary report — built only on std plus the workspace's
+//! existing `parking_lot`/`serde`/`serde_json`. No external telemetry
+//! dependency: the edge-deployment story of the paper (a Zynq SoC with no
+//! network guarantees) wants metrics that can be dumped to a file and
+//! scraped later, not a live exporter.
+//!
+//! # Model
+//!
+//! A [`Registry`] is a cheaply-cloneable handle to a shared metric store:
+//!
+//! * **Counters** — monotonic `u64` (frames processed, per-class
+//!   predictions, optimizer steps).
+//! * **Gauges** — last-write-wins `f64` (current learning rate, FIFO
+//!   occupancy at sample time).
+//! * **Histograms** — log₂-bucketed `u64` distributions with `p50/p95/p99`
+//!   summaries (per-frame latency in ns, per-epoch wall time).
+//! * **Spans** — RAII timers ([`Registry::span`]) that record their
+//!   lifetime into a histogram and optionally emit a JSONL event.
+//!
+//! [`Registry::snapshot`] freezes everything into a serializable
+//! [`Snapshot`]; [`Registry::write_artifacts`] writes `events.jsonl` and
+//! `summary.json` into a directory.
+//!
+//! # Naming convention
+//!
+//! Dotted lowercase paths, unit suffix last: `stream.stage0.busy_ns`,
+//! `train.epoch.loss` (gauge), `predict.latency_ns` (histogram),
+//! `predict.class.correct` (counter). Keep cardinality bounded — names are
+//! map keys, not label sets.
+
+mod histogram;
+mod registry;
+mod report;
+mod sink;
+
+pub use histogram::{HistogramSummary, LogHistogram};
+pub use registry::{Counter, Gauge, Histogram, Registry, Span};
+pub use report::Snapshot;
+pub use sink::Event;

@@ -1,0 +1,367 @@
+//! The shared metric store and its handle types.
+
+use crate::histogram::LogHistogram;
+use crate::report::Snapshot;
+use crate::sink::{Event, Sink};
+use parking_lot::{Mutex, RwLock};
+use serde::{Map, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    start: Instant,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Mutex<f64>>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Mutex<LogHistogram>>>>,
+    sink: Mutex<Sink>,
+}
+
+/// Cheaply-cloneable handle to a shared metric store. All methods are
+/// thread-safe; handles returned by [`counter`](Registry::counter) /
+/// [`gauge`](Registry::gauge) / [`histogram`](Registry::histogram) keep
+/// working after the registry handle they came from is dropped.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Metrics-only registry: events are dropped.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                start: Instant::now(),
+                counters: RwLock::new(BTreeMap::new()),
+                gauges: RwLock::new(BTreeMap::new()),
+                histograms: RwLock::new(BTreeMap::new()),
+                sink: Mutex::new(Sink::Null),
+            }),
+        }
+    }
+
+    /// Registry that buffers JSONL events in memory (drain with
+    /// [`take_events`](Registry::take_events) or write via
+    /// [`write_artifacts`](Registry::write_artifacts)).
+    pub fn with_event_buffer() -> Registry {
+        let r = Registry::new();
+        *r.inner.sink.lock() = Sink::Memory(Vec::new());
+        r
+    }
+
+    /// Registry that streams JSONL events to `path` as they happen.
+    pub fn with_jsonl_file(path: impl AsRef<Path>) -> std::io::Result<Registry> {
+        let r = Registry::new();
+        *r.inner.sink.lock() = Sink::file(path.as_ref())?;
+        Ok(r)
+    }
+
+    /// Microseconds elapsed since the registry was created (the `ts_us`
+    /// timebase of every event).
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.start.elapsed().as_micros() as u64
+    }
+
+    /// Monotonic counter handle, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return Counter(c.clone());
+        }
+        let mut map = self.inner.counters.write();
+        Counter(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+                .clone(),
+        )
+    }
+
+    /// Last-write-wins gauge handle, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return Gauge(g.clone());
+        }
+        let mut map = self.inner.gauges.write();
+        Gauge(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(0.0)))
+                .clone(),
+        )
+    }
+
+    /// Log-bucketed histogram handle, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return Histogram(h.clone());
+        }
+        let mut map = self.inner.histograms.write();
+        Histogram(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(LogHistogram::new())))
+                .clone(),
+        )
+    }
+
+    /// Start an RAII span timer. On drop it records its lifetime (ns) into
+    /// the histogram `name` and, when an event sink is attached, emits a
+    /// `{"kind":"span","name":…,"dur_ns":…}` JSONL event.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            registry: self.clone(),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Emit a free-form `mark` event carrying `fields`. No-op without a
+    /// sink, so it is safe to call from hot-ish paths.
+    pub fn mark(&self, name: &str, fields: Map) {
+        self.emit("mark", name, fields);
+    }
+
+    pub(crate) fn emit(&self, kind: &'static str, name: &str, fields: Map) {
+        let mut sink = self.inner.sink.lock();
+        if sink.is_null() {
+            return;
+        }
+        let event = Event {
+            ts_us: self.elapsed_us(),
+            kind,
+            name: name.to_string(),
+            fields,
+        };
+        sink.emit(&event);
+    }
+
+    /// Drain buffered events (memory sink only; empty otherwise). Each
+    /// string is one JSON object line.
+    pub fn take_events(&self) -> Vec<String> {
+        match &mut *self.inner.sink.lock() {
+            Sink::Memory(lines) => std::mem::take(lines),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Freeze all metrics into a serializable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v.lock()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().summarize()))
+            .collect();
+        Snapshot {
+            elapsed_us: self.elapsed_us(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Write run artifacts into `dir` (created if missing):
+    /// `events.jsonl` (buffered events; for a file sink the stream is
+    /// flushed wherever it already points) and `summary.json` (the
+    /// [`Snapshot`]). Returns the summary path.
+    pub fn write_artifacts(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        {
+            let mut sink = self.inner.sink.lock();
+            if let Sink::Memory(lines) = &mut *sink {
+                let mut body = lines.join("\n");
+                if !body.is_empty() {
+                    body.push('\n');
+                }
+                std::fs::write(dir.join("events.jsonl"), body)?;
+            } else {
+                sink.flush();
+            }
+        }
+        let summary = dir.join("summary.json");
+        std::fs::write(&summary, self.snapshot().to_pretty_json())?;
+        Ok(summary)
+    }
+}
+
+/// Monotonic counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<Mutex<f64>>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        *self.0.lock() = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        *self.0.lock()
+    }
+}
+
+/// Log-bucketed histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<LogHistogram>>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0.lock().record(v);
+    }
+
+    /// Record a duration as nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Summarize the current state.
+    pub fn summarize(&self) -> crate::HistogramSummary {
+        self.0.lock().summarize()
+    }
+}
+
+/// RAII span timer from [`Registry::span`]. Dropping records the elapsed
+/// time; [`Span::finish`] drops explicitly and returns the duration.
+pub struct Span {
+    registry: Registry,
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    /// End the span now and return its duration.
+    pub fn finish(self) -> Duration {
+        let d = self.start.elapsed();
+        drop(self);
+        d
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        self.registry.histogram(&self.name).record(ns);
+        let mut fields = Map::new();
+        fields.insert("dur_ns".into(), Value::UInt(ns));
+        self.registry.emit("span", &self.name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let r = Registry::new();
+        r.counter("frames").add(3);
+        r.counter("frames").inc();
+        r.gauge("lr").set(0.02);
+        r.histogram("lat").record(100);
+        r.histogram("lat").record(200);
+        let s = r.snapshot();
+        assert_eq!(s.counters["frames"], 4);
+        assert_eq!(s.gauges["lr"], 0.02);
+        assert_eq!(s.histograms["lat"].count, 2);
+    }
+
+    #[test]
+    fn handles_outlive_cloned_registries() {
+        let c = {
+            let r = Registry::new();
+            r.counter("x")
+        };
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = r.counter("hits");
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits").get(), 80_000);
+    }
+
+    #[test]
+    fn span_records_into_histogram_and_events() {
+        let r = Registry::with_event_buffer();
+        {
+            let _s = r.span("work");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.histograms["work"].count, 1);
+        assert!(s.histograms["work"].min >= 1_000_000, "span under 1ms?");
+        let events = r.take_events();
+        assert_eq!(events.len(), 1);
+        let v: Value = serde_json::from_str(&events[0]).unwrap();
+        assert_eq!(v["kind"].as_str(), Some("span"));
+        assert_eq!(v["name"].as_str(), Some("work"));
+        assert!(v["dur_ns"].as_u64().unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn mark_events_carry_fields() {
+        let r = Registry::with_event_buffer();
+        let mut fields = Map::new();
+        fields.insert("epoch".into(), Value::UInt(3));
+        r.mark("train.epoch", fields);
+        let events = r.take_events();
+        let v: Value = serde_json::from_str(&events[0]).unwrap();
+        assert_eq!(v["epoch"].as_u64(), Some(3));
+        assert_eq!(v["kind"].as_str(), Some("mark"));
+    }
+}

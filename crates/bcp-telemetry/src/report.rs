@@ -1,0 +1,117 @@
+//! Frozen metric snapshots and the `summary.json` format.
+
+use crate::histogram::HistogramSummary;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Point-in-time copy of every metric in a registry. This is the schema
+/// of `summary.json`: `{"elapsed_us":…,"counters":{…},"gauges":{…},
+/// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}`.
+#[derive(Clone, Debug, Serialize)]
+pub struct Snapshot {
+    /// Registry age at snapshot time, microseconds.
+    pub elapsed_us: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// Pretty-printed JSON (the on-disk `summary.json` form).
+    pub fn to_pretty_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("snapshot json")
+    }
+
+    /// Compact human-readable rendering for terminal output — histograms
+    /// as `count/mean/p50/p95/p99`, everything sorted by name.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry summary ({} ms elapsed)",
+            self.elapsed_us / 1000
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "    {k} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "    {k} = {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "  histograms (n | mean | p50 | p95 | p99):");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "    {k}: {} | {:.0} | {} | {} | {}",
+                    h.count, h.mean, h.p50, h.p95, h.p99
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+    use serde::Value;
+
+    #[test]
+    fn summary_json_parses_back_with_expected_schema() {
+        let r = Registry::new();
+        r.counter("a.b").add(7);
+        r.gauge("g").set(1.5);
+        for v in [10u64, 20, 40, 80] {
+            r.histogram("h.ns").record(v);
+        }
+        let json = r.snapshot().to_pretty_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["counters"]["a.b"].as_u64(), Some(7));
+        assert_eq!(v["gauges"]["g"].as_f64(), Some(1.5));
+        let h = &v["histograms"]["h.ns"];
+        for key in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+            assert!(!h[key].is_null(), "missing {key}");
+        }
+        assert_eq!(h["count"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn artifacts_land_in_directory() {
+        let dir = std::env::temp_dir().join(format!("bcp-telemetry-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = Registry::with_event_buffer();
+        r.counter("n").inc();
+        drop(r.span("s"));
+        let summary_path = r.write_artifacts(&dir).unwrap();
+        let summary: Value =
+            serde_json::from_str(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(summary["counters"]["n"].as_u64(), Some(1));
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        for line in events.lines() {
+            let e: Value = serde_json::from_str(line).unwrap();
+            assert!(!e["ts_us"].is_null() && !e["kind"].is_null());
+        }
+        assert_eq!(events.lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("frames").add(2);
+        r.histogram("lat").record(5);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("frames = 2"));
+        assert!(text.contains("lat:"));
+    }
+}

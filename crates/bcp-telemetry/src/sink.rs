@@ -1,0 +1,78 @@
+//! JSONL event stream.
+//!
+//! Events are point-in-time records (span completions, explicit marks)
+//! serialized one JSON object per line. The sink either buffers in memory
+//! (tests, short runs) or streams through a `BufWriter` to a file so long
+//! runs don't accumulate unbounded state.
+
+use serde::{Map, Serialize, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// One telemetry event. Flat on purpose: every field lands at the top
+/// level of the JSON object so `grep`/`jq` one-liners work on the stream.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Microseconds since the owning registry was created.
+    pub ts_us: u64,
+    /// Event kind: `"span"`, `"mark"`, …
+    pub kind: &'static str,
+    /// Metric/span name (dotted path, see crate docs).
+    pub name: String,
+    /// Kind-specific payload, merged into the top-level object.
+    pub fields: Map,
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("ts_us".into(), Value::UInt(self.ts_us));
+        m.insert("kind".into(), Value::Str(self.kind.into()));
+        m.insert("name".into(), Value::Str(self.name.clone()));
+        for (k, v) in &self.fields {
+            m.insert(k.clone(), v.clone());
+        }
+        Value::Object(m)
+    }
+}
+
+pub(crate) enum Sink {
+    /// Drop events (metrics-only operation).
+    Null,
+    /// Keep serialized lines in memory.
+    Memory(Vec<String>),
+    /// Stream lines to a file.
+    File(BufWriter<File>),
+}
+
+impl Sink {
+    pub(crate) fn file(path: &Path) -> std::io::Result<Sink> {
+        Ok(Sink::File(BufWriter::new(File::create(path)?)))
+    }
+
+    pub(crate) fn emit(&mut self, event: &Event) {
+        match self {
+            Sink::Null => {}
+            Sink::Memory(lines) => {
+                lines.push(serde_json::to_string(&event.to_value()).expect("event json"))
+            }
+            Sink::File(w) => {
+                let line = serde_json::to_string(&event.to_value()).expect("event json");
+                // A full disk shouldn't take down the pipeline; drop the
+                // event instead.
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    pub(crate) fn flush(&mut self) {
+        if let Sink::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+
+    pub(crate) fn is_null(&self) -> bool {
+        matches!(self, Sink::Null)
+    }
+}

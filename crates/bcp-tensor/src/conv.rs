@@ -27,7 +27,11 @@ impl Conv2dSpec {
     /// Convenience constructor for the K×K, pad, stride=1 layers BinaryCoP
     /// uses (all convolutions in Table I are K=3, stride 1).
     pub fn new(c_in: usize, c_out: usize, k: usize, pad: usize) -> Self {
-        Conv2dSpec { c_in, c_out, window: WindowSpec { k, pad, stride: 1 } }
+        Conv2dSpec {
+            c_in,
+            c_out,
+            window: WindowSpec { k, pad, stride: 1 },
+        }
     }
 
     /// Expected weight shape.
@@ -58,7 +62,10 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
     assert_eq!(x.shape().dim(1), spec.c_in, "input channel mismatch");
     let (n, h, win) = (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3));
     let (oh, ow) = spec.window.out_hw(h, win);
-    let wmat = w.reshaped(Shape::d2(spec.c_out, spec.c_in * spec.window.k * spec.window.k));
+    let wmat = w.reshaped(Shape::d2(
+        spec.c_out,
+        spec.c_in * spec.window.k * spec.window.k,
+    ));
     let mut out = Vec::with_capacity(n * spec.c_out * oh * ow);
     for s in 0..n {
         let col = im2col(&x.sample(s), spec.window);
@@ -104,7 +111,10 @@ pub fn conv2d_backward_input(
     assert_eq!(dy.shape().dim(1), spec.c_out, "output channel mismatch");
     let n = dy.shape().dim(0);
     let ohow = dy.shape().dim(2) * dy.shape().dim(3);
-    let wmat = w.reshaped(Shape::d2(spec.c_out, spec.c_in * spec.window.k * spec.window.k));
+    let wmat = w.reshaped(Shape::d2(
+        spec.c_out,
+        spec.c_in * spec.window.k * spec.window.k,
+    ));
     let mut out = Vec::with_capacity(n * spec.c_in * in_hw.0 * in_hw.1);
     for s in 0..n {
         let dys = dy.sample(s).reshape(Shape::d2(spec.c_out, ohow));
@@ -168,7 +178,11 @@ mod tests {
         let spec = Conv2dSpec::new(3, 5, 3, 1);
         let x = uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, 1);
         let w = uniform(spec.weight_shape(), -1.0, 1.0, 2);
-        assert!(close(&conv2d_forward(&x, &w, spec), &conv2d_direct(&x, &w, spec), 1e-4));
+        assert!(close(
+            &conv2d_forward(&x, &w, spec),
+            &conv2d_direct(&x, &w, spec),
+            1e-4
+        ));
     }
 
     #[test]

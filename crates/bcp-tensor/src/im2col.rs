@@ -70,7 +70,11 @@ pub fn im2col(x: &Tensor, spec: WindowSpec) -> Tensor {
 /// Adjoint of [`im2col`]: scatter-add a `(C·K·K) × (OH·OW)` column-gradient
 /// matrix back to a CHW gradient of the original `(c, h, w)` input.
 pub fn col2im(dcol: &Tensor, c: usize, h: usize, w: usize, spec: WindowSpec) -> Tensor {
-    assert_eq!(dcol.shape().rank(), 2, "col2im expects a rank-2 column matrix");
+    assert_eq!(
+        dcol.shape().rank(),
+        2,
+        "col2im expects a rank-2 column matrix"
+    );
     let (oh, ow) = spec.out_hw(h, w);
     let cols = oh * ow;
     assert_eq!(
@@ -115,7 +119,14 @@ mod tests {
     fn identity_kernel_geometry() {
         // K=1 stride=1 pad=0: im2col is a reshape.
         let x = Tensor::from_vec(Shape::d3(2, 2, 2), (0..8).map(|i| i as f32).collect());
-        let col = im2col(&x, WindowSpec { k: 1, pad: 0, stride: 1 });
+        let col = im2col(
+            &x,
+            WindowSpec {
+                k: 1,
+                pad: 0,
+                stride: 1,
+            },
+        );
         assert_eq!(col.shape().dims(), &[2, 4]);
         assert_eq!(col.as_slice(), x.as_slice());
     }
@@ -124,7 +135,14 @@ mod tests {
     fn known_3x3_patch() {
         // Single channel 3×3 input, K=3: one column equal to the whole image.
         let x = Tensor::from_vec(Shape::d3(1, 3, 3), (1..=9).map(|i| i as f32).collect());
-        let col = im2col(&x, WindowSpec { k: 3, pad: 0, stride: 1 });
+        let col = im2col(
+            &x,
+            WindowSpec {
+                k: 3,
+                pad: 0,
+                stride: 1,
+            },
+        );
         assert_eq!(col.shape().dims(), &[9, 1]);
         assert_eq!(col.as_slice(), x.as_slice());
     }
@@ -132,7 +150,14 @@ mod tests {
     #[test]
     fn padding_reads_zero() {
         let x = Tensor::ones(Shape::d3(1, 2, 2));
-        let col = im2col(&x, WindowSpec { k: 3, pad: 1, stride: 1 });
+        let col = im2col(
+            &x,
+            WindowSpec {
+                k: 3,
+                pad: 1,
+                stride: 1,
+            },
+        );
         assert_eq!(col.shape().dims(), &[9, 4]);
         // Center tap (ky=1,kx=1) always hits the image.
         let center = &col.as_slice()[4 * 4..5 * 4];
@@ -145,7 +170,14 @@ mod tests {
     #[test]
     fn stride_two_samples_every_other() {
         let x = Tensor::from_vec(Shape::d3(1, 4, 4), (0..16).map(|i| i as f32).collect());
-        let col = im2col(&x, WindowSpec { k: 2, pad: 0, stride: 2 });
+        let col = im2col(
+            &x,
+            WindowSpec {
+                k: 2,
+                pad: 0,
+                stride: 2,
+            },
+        );
         assert_eq!(col.shape().dims(), &[4, 4]);
         // Tap (0,0) picks the top-left of each 2×2 block.
         assert_eq!(&col.as_slice()[0..4], &[0.0, 2.0, 8.0, 10.0]);
@@ -156,9 +188,19 @@ mod tests {
         let x = uniform(Shape::d3(c, h, w), -1.0, 1.0, seed);
         let col = im2col(&x, spec);
         let g = uniform(col.shape().clone(), -1.0, 1.0, seed + 1);
-        let lhs: f32 = col.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = col
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let back = col2im(&g, c, h, w, spec);
-        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!(
             (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
             "adjoint mismatch {lhs} vs {rhs} for spec {spec:?}"
@@ -167,12 +209,32 @@ mod tests {
 
     #[test]
     fn adjoint_no_padding() {
-        adjoint_check(3, 8, 8, WindowSpec { k: 3, pad: 0, stride: 1 }, 10);
+        adjoint_check(
+            3,
+            8,
+            8,
+            WindowSpec {
+                k: 3,
+                pad: 0,
+                stride: 1,
+            },
+            10,
+        );
     }
 
     #[test]
     fn adjoint_with_padding_and_stride() {
-        adjoint_check(2, 7, 5, WindowSpec { k: 3, pad: 1, stride: 2 }, 20);
+        adjoint_check(
+            2,
+            7,
+            5,
+            WindowSpec {
+                k: 3,
+                pad: 1,
+                stride: 2,
+            },
+            20,
+        );
     }
 
     proptest! {

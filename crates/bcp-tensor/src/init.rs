@@ -91,7 +91,7 @@ mod tests {
             let m = ops::mean(t);
             ops::mean(&t.map(|x| (x - m) * (x - m))).sqrt()
         };
-        assert!((std(&narrow) - 0.5) .abs() < 0.05); // sqrt(2/8)
+        assert!((std(&narrow) - 0.5).abs() < 0.05); // sqrt(2/8)
         assert!((std(&wide) - 0.0625).abs() < 0.01); // sqrt(2/512)
     }
 

@@ -18,7 +18,10 @@ const KBLOCK: usize = 256;
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "A");
     let (kb, n) = dims2(b, "B");
-    assert_eq!(k, kb, "matmul inner dims disagree: A is {m}×{k}, B is {kb}×{n}");
+    assert_eq!(
+        k, kb,
+        "matmul inner dims disagree: A is {m}×{k}, B is {kb}×{n}"
+    );
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
@@ -47,7 +50,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "A");
     let (kb, n) = dims2(b, "B");
-    assert_eq!(k, kb, "matmul_ta inner dims disagree: Aᵀ is {m}×{k}, B is {kb}×{n}");
+    assert_eq!(
+        k, kb,
+        "matmul_ta inner dims disagree: Aᵀ is {m}×{k}, B is {kb}×{n}"
+    );
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut out = vec![0.0f32; m * n];
@@ -75,7 +81,10 @@ pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "A");
     let (n, kb) = dims2(b, "B");
-    assert_eq!(k, kb, "matmul_tb inner dims disagree: A is {m}×{k}, Bᵀ is {kb}×{n}");
+    assert_eq!(
+        k, kb,
+        "matmul_tb inner dims disagree: A is {m}×{k}, Bᵀ is {kb}×{n}"
+    );
     let av = a.as_slice();
     let bv = b.as_slice();
     let mut out = vec![0.0f32; m * n];
@@ -112,7 +121,12 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn dims2(t: &Tensor, name: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "matmul operand {name} must be rank 2, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "matmul operand {name} must be rank 2, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 

@@ -47,7 +47,10 @@ pub fn mean(a: &Tensor) -> f32 {
 
 /// Maximum element; `f32::NEG_INFINITY` for an empty tensor.
 pub fn max(a: &Tensor) -> f32 {
-    a.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    a.as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
 }
 
 /// Index of the maximum element of a rank-1 tensor (first on ties).
@@ -64,7 +67,11 @@ pub fn argmax(a: &[f32]) -> usize {
 /// Row-wise softmax of a rank-2 tensor (rows = samples, cols = logits),
 /// numerically stabilised by subtracting the row max.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.shape().rank(), 2, "softmax_rows expects rank-2 logits");
+    assert_eq!(
+        logits.shape().rank(),
+        2,
+        "softmax_rows expects rank-2 logits"
+    );
     let (rows, cols) = (logits.shape().dim(0), logits.shape().dim(1));
     let mut out = vec![0.0f32; rows * cols];
     let src = logits.as_slice();
@@ -128,7 +135,10 @@ pub fn channel_mean_var(x: &Tensor) -> (Vec<f32>, Vec<f32>) {
         for ci in 0..c {
             let base = (ni * c + ci) * plane;
             let m = mean[ci];
-            let s: f32 = src[base..base + plane].iter().map(|&v| (v - m) * (v - m)).sum();
+            let s: f32 = src[base..base + plane]
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum();
             var[ci] += s;
         }
     }

@@ -27,7 +27,10 @@ impl MaxPoolSpec {
     /// Output spatial size (no padding — windows must tile within bounds).
     pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         assert!(h >= self.k && w >= self.k, "pool window larger than input");
-        ((h - self.k) / self.stride + 1, (w - self.k) / self.stride + 1)
+        (
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
     }
 }
 

@@ -66,7 +66,10 @@ impl Shape {
         debug_assert_eq!(index.len(), self.0.len(), "index rank mismatch");
         let mut off = 0usize;
         for (i, (&ix, &ext)) in index.iter().zip(self.0.iter()).enumerate() {
-            debug_assert!(ix < ext, "index {ix} out of bounds for dim {i} (extent {ext})");
+            debug_assert!(
+                ix < ext,
+                "index {ix} out of bounds for dim {i} (extent {ext})"
+            );
             off = off * ext + ix;
         }
         off

@@ -19,13 +19,19 @@ impl Tensor {
     /// Tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(shape: Shape, value: f32) -> Self {
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Tensor of ones.
@@ -176,7 +182,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "{:?})", self.data)
         } else {
-            write!(f, "[{:.4}, {:.4}, …, {:.4}])", self.data[0], self.data[1], self.data[self.data.len() - 1])
+            write!(
+                f,
+                "[{:.4}, {:.4}, …, {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
         }
     }
 }

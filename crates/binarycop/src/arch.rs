@@ -71,17 +71,50 @@ impl ArchKind {
                 name: "CNV".into(),
                 input_size: 32,
                 convs: vec![
-                    ConvLayer { c_in: 3, c_out: 64, pool_after: false },
-                    ConvLayer { c_in: 64, c_out: 64, pool_after: true },
-                    ConvLayer { c_in: 64, c_out: 128, pool_after: false },
-                    ConvLayer { c_in: 128, c_out: 128, pool_after: true },
-                    ConvLayer { c_in: 128, c_out: 256, pool_after: false },
-                    ConvLayer { c_in: 256, c_out: 256, pool_after: false },
+                    ConvLayer {
+                        c_in: 3,
+                        c_out: 64,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 64,
+                        c_out: 64,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 64,
+                        c_out: 128,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 128,
+                        c_out: 128,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 128,
+                        c_out: 256,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 256,
+                        c_out: 256,
+                        pool_after: false,
+                    },
                 ],
                 fcs: vec![
-                    FcLayer { f_in: 256, f_out: 512 },
-                    FcLayer { f_in: 512, f_out: 512 },
-                    FcLayer { f_in: 512, f_out: CLASSES },
+                    FcLayer {
+                        f_in: 256,
+                        f_out: 512,
+                    },
+                    FcLayer {
+                        f_in: 512,
+                        f_out: 512,
+                    },
+                    FcLayer {
+                        f_in: 512,
+                        f_out: CLASSES,
+                    },
                 ],
                 pe: vec![16, 32, 16, 16, 4, 1, 1, 1, 4],
                 simd: vec![3, 32, 32, 32, 32, 32, 4, 8, 1],
@@ -91,17 +124,50 @@ impl ArchKind {
                 name: "n-CNV".into(),
                 input_size: 32,
                 convs: vec![
-                    ConvLayer { c_in: 3, c_out: 16, pool_after: false },
-                    ConvLayer { c_in: 16, c_out: 16, pool_after: true },
-                    ConvLayer { c_in: 16, c_out: 32, pool_after: false },
-                    ConvLayer { c_in: 32, c_out: 32, pool_after: true },
-                    ConvLayer { c_in: 32, c_out: 64, pool_after: false },
-                    ConvLayer { c_in: 64, c_out: 64, pool_after: false },
+                    ConvLayer {
+                        c_in: 3,
+                        c_out: 16,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 16,
+                        c_out: 16,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 16,
+                        c_out: 32,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 32,
+                        c_out: 32,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 32,
+                        c_out: 64,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 64,
+                        c_out: 64,
+                        pool_after: false,
+                    },
                 ],
                 fcs: vec![
-                    FcLayer { f_in: 64, f_out: 128 },
-                    FcLayer { f_in: 128, f_out: 128 },
-                    FcLayer { f_in: 128, f_out: CLASSES },
+                    FcLayer {
+                        f_in: 64,
+                        f_out: 128,
+                    },
+                    FcLayer {
+                        f_in: 128,
+                        f_out: 128,
+                    },
+                    FcLayer {
+                        f_in: 128,
+                        f_out: CLASSES,
+                    },
                 ],
                 pe: vec![16, 16, 16, 16, 4, 1, 1, 1, 1],
                 simd: vec![3, 16, 16, 32, 32, 32, 4, 8, 1],
@@ -111,15 +177,41 @@ impl ArchKind {
                 name: "μ-CNV".into(),
                 input_size: 32,
                 convs: vec![
-                    ConvLayer { c_in: 3, c_out: 16, pool_after: false },
-                    ConvLayer { c_in: 16, c_out: 16, pool_after: true },
-                    ConvLayer { c_in: 16, c_out: 32, pool_after: false },
-                    ConvLayer { c_in: 32, c_out: 32, pool_after: true },
-                    ConvLayer { c_in: 32, c_out: 64, pool_after: false },
+                    ConvLayer {
+                        c_in: 3,
+                        c_out: 16,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 16,
+                        c_out: 16,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 16,
+                        c_out: 32,
+                        pool_after: false,
+                    },
+                    ConvLayer {
+                        c_in: 32,
+                        c_out: 32,
+                        pool_after: true,
+                    },
+                    ConvLayer {
+                        c_in: 32,
+                        c_out: 64,
+                        pool_after: false,
+                    },
                 ],
                 fcs: vec![
-                    FcLayer { f_in: 576, f_out: 128 },
-                    FcLayer { f_in: 128, f_out: CLASSES },
+                    FcLayer {
+                        f_in: 576,
+                        f_out: 128,
+                    },
+                    FcLayer {
+                        f_in: 128,
+                        f_out: CLASSES,
+                    },
                 ],
                 pe: vec![4, 4, 4, 4, 1, 1, 1],
                 simd: vec![3, 16, 16, 32, 32, 16, 1],
@@ -139,7 +231,10 @@ impl Arch {
             hw -= K - 1; // valid 3×3 convolution
             outs.push(hw);
             if conv.pool_after {
-                assert!(hw.is_multiple_of(2), "pool requires an even extent, got {hw}");
+                assert!(
+                    hw.is_multiple_of(2),
+                    "pool requires an even extent, got {hw}"
+                );
                 hw /= 2;
             }
         }
@@ -151,7 +246,11 @@ impl Arch {
     /// the flattened conv output, PE/SIMD vector lengths, pool parity.
     pub fn validate(&self) {
         for w in self.convs.windows(2) {
-            assert_eq!(w[0].c_out, w[1].c_in, "conv channel chain broken in {}", self.name);
+            assert_eq!(
+                w[0].c_out, w[1].c_in,
+                "conv channel chain broken in {}",
+                self.name
+            );
         }
         let (_, flat) = self.spatial_plan();
         assert_eq!(
@@ -166,7 +265,12 @@ impl Arch {
         assert_eq!(self.fcs.last().map(|f| f.f_out), Some(CLASSES));
         let n_layers = self.convs.len() + self.fcs.len();
         assert_eq!(self.pe.len(), n_layers, "{}: PE vector length", self.name);
-        assert_eq!(self.simd.len(), n_layers, "{}: SIMD vector length", self.name);
+        assert_eq!(
+            self.simd.len(),
+            n_layers,
+            "{}: SIMD vector length",
+            self.name
+        );
     }
 
     /// The folding of compute layer `i` (convs then FCs, Table I order).
@@ -227,7 +331,11 @@ impl Arch {
         }
         let pe: Vec<String> = self.pe.iter().map(|p| p.to_string()).collect();
         let simd: Vec<String> = self.simd.iter().map(|p| p.to_string()).collect();
-        s.push_str(&format!("  PE:   {}\n  SIMD: {}\n", pe.join(", "), simd.join(", ")));
+        s.push_str(&format!(
+            "  PE:   {}\n  SIMD: {}\n",
+            pe.join(", "),
+            simd.join(", ")
+        ));
         s
     }
 }

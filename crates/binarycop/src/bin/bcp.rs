@@ -10,12 +10,17 @@
 //!
 //! Input images are binary PPM (P6); arbitrary sizes are box-resized to
 //! the 32×32 accelerator input, mirroring the paper's preprocessing.
+//!
+//! `train`, `classify` and `demo` additionally accept `--telemetry <dir>`:
+//! metrics and JSONL events are collected during the run and written to
+//! `<dir>/events.jsonl` + `<dir>/summary.json` (see the bcp-telemetry
+//! crate for the schema), with a human summary printed to stderr.
 
+use bcp_dataset::ppm::{decode_ppm, resize_to};
 use binarycop::arch::{Arch, ArchKind};
 use binarycop::model::build_bnn;
 use binarycop::predictor::{BinaryCoP, OperatingMode};
-use binarycop::recipe::{run, Recipe};
-use bcp_dataset::ppm::{decode_ppm, resize_to};
+use binarycop::recipe::{run_instrumented, Recipe};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -67,6 +72,32 @@ fn arch_of(args: &Args) -> Arch {
     parse_arch(required(args, "arch")).arch()
 }
 
+/// `--telemetry <dir>` → an event-buffering registry plus the artifact
+/// directory it should be flushed to at the end of the command.
+fn telemetry_of(args: &Args) -> Option<(bcp_telemetry::Registry, std::path::PathBuf)> {
+    args.flags.get("telemetry").map(|dir| {
+        (
+            bcp_telemetry::Registry::with_event_buffer(),
+            std::path::PathBuf::from(dir),
+        )
+    })
+}
+
+fn finish_telemetry(telemetry: Option<(bcp_telemetry::Registry, std::path::PathBuf)>) {
+    if let Some((registry, dir)) = telemetry {
+        let summary = registry.write_artifacts(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot write telemetry artifacts to {}: {e}", dir.display());
+            exit(1);
+        });
+        eprint!("{}", registry.snapshot().render_text());
+        eprintln!(
+            "telemetry artifacts: {} and {}",
+            summary.display(),
+            dir.join("events.jsonl").display()
+        );
+    }
+}
+
 fn cmd_train(args: &Args) {
     let kind = parse_arch(required(args, "arch"));
     let out = required(args, "out");
@@ -86,8 +117,12 @@ fn cmd_train(args: &Args) {
         epochs,
         ..Recipe::quick(kind)
     };
-    eprintln!("training {} ({per_class}/class, {epochs} epochs)…", recipe.arch.name);
-    let mut model = run(&recipe, |s| {
+    eprintln!(
+        "training {} ({per_class}/class, {epochs} epochs)…",
+        recipe.arch.name
+    );
+    let telemetry = telemetry_of(args);
+    let mut model = run_instrumented(&recipe, telemetry.as_ref().map(|(r, _)| r), |s| {
         eprintln!(
             "  epoch {:>3}: loss {:.4}, train acc {:.1}%",
             s.epoch,
@@ -98,6 +133,7 @@ fn cmd_train(args: &Args) {
     eprintln!("test accuracy: {:.2}%", model.test_accuracy * 100.0);
     bcp_nn::serialize::save_json(&mut model.net, out).expect("writing checkpoint");
     eprintln!("checkpoint written to {out}");
+    finish_telemetry(telemetry);
 }
 
 fn cmd_deploy(args: &Args) {
@@ -107,7 +143,9 @@ fn cmd_deploy(args: &Args) {
     let mut net = build_bnn(&arch, 0);
     bcp_nn::serialize::load_json(&mut net, model_path).expect("reading checkpoint");
     let predictor = BinaryCoP::from_trained(&net, &arch);
-    predictor.save_image(out).expect("writing accelerator image");
+    predictor
+        .save_image(out)
+        .expect("writing accelerator image");
     eprintln!("{}", predictor.pipeline().describe());
     eprintln!("accelerator image written to {out}");
 }
@@ -119,7 +157,11 @@ fn load_predictor(args: &Args) -> BinaryCoP {
 }
 
 fn cmd_classify(args: &Args) {
-    let predictor = load_predictor(args);
+    let telemetry = telemetry_of(args);
+    let mut predictor = load_predictor(args);
+    if let Some((registry, _)) = &telemetry {
+        predictor = predictor.with_telemetry(registry.clone());
+    }
     if args.positional.is_empty() {
         eprintln!("no input images (pass one or more .ppm files)");
         exit(2);
@@ -137,6 +179,7 @@ fn cmd_classify(args: &Args) {
         let class = predictor.classify(&sized);
         println!("{path}: {}", class.full_name());
     }
+    finish_telemetry(telemetry);
 }
 
 fn cmd_info(args: &Args) {
@@ -164,12 +207,14 @@ fn cmd_info(args: &Args) {
     println!("{}", predictor.summary());
     println!(
         "gate power @0.5 subjects/s: {:.3} W; crowd power: {:.2} W",
-        predictor.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 }),
+        predictor.board_power_w(OperatingMode::SingleGate {
+            subjects_per_s: 0.5
+        }),
         predictor.board_power_w(OperatingMode::CrowdStatistics),
     );
 }
 
-fn cmd_demo() {
+fn cmd_demo(args: &Args) {
     // Train tiny, deploy, classify a generated face — zero configuration.
     use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
     let recipe = Recipe {
@@ -179,10 +224,17 @@ fn cmd_demo() {
         ..Recipe::test_scale()
     };
     eprintln!("demo: training {} …", recipe.arch.name);
-    let model = run(&recipe, |_| {});
+    let telemetry = telemetry_of(args);
+    let model = run_instrumented(&recipe, telemetry.as_ref().map(|(r, _)| r), |_| {});
     eprintln!("test accuracy: {:.1}%", model.test_accuracy * 100.0);
-    let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 3 };
+    let mut predictor = BinaryCoP::from_trained(&model.net, &model.arch);
+    if let Some((registry, _)) = &telemetry {
+        predictor = predictor.with_telemetry(registry.clone());
+    }
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 3,
+    };
     let ds = Dataset::generate_balanced(&gen, 2, 0xDE30);
     for i in 0..ds.len() {
         println!(
@@ -192,6 +244,7 @@ fn cmd_demo() {
         );
     }
     println!("{}", predictor.summary());
+    finish_telemetry(telemetry);
 }
 
 fn main() {
@@ -203,7 +256,7 @@ fn main() {
         "deploy" => cmd_deploy(&args),
         "classify" => cmd_classify(&args),
         "info" => cmd_info(&args),
-        "demo" => cmd_demo(),
+        "demo" => cmd_demo(&args),
         _ => {
             eprintln!("usage: bcp <train|deploy|classify|info|demo> [flags]");
             eprintln!("  bcp train    --arch ncnv --out model.json [--per-class 100] [--epochs 8]");
@@ -211,6 +264,7 @@ fn main() {
             eprintln!("  bcp classify --arch ncnv --accel accel.json face.ppm …");
             eprintln!("  bcp info     --arch ncnv [--accel accel.json]");
             eprintln!("  bcp demo");
+            eprintln!("  (train/classify/demo also take --telemetry <dir> for JSONL metrics)");
             exit(2);
         }
     }

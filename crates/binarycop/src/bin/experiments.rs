@@ -14,15 +14,15 @@
 //! `--quick` (default) trains small synthetic sets for seconds-scale runs;
 //! `--full` approaches the paper's scale and can take hours.
 
+use bcp_nn::Sequential;
 use binarycop::arch::ArchKind;
+use binarycop::eval::render_fig2;
 use binarycop::experiments::{
     dataset_report, fig1_report, gradcam_figure_ppms, gradcam_figure_report, perf_power_report,
     robustness_report, robustness_sweep, table1_report, table2_report, table2_rows,
     variant_ablation,
 };
-use binarycop::eval::render_fig2;
 use binarycop::recipe::{run, Recipe, TrainedModel};
-use bcp_nn::Sequential;
 use std::path::PathBuf;
 
 struct Options {
@@ -48,9 +48,7 @@ fn parse(args: &[String]) -> (String, Options) {
             "--resources-only" => opts.resources_only = true,
             "--ppm" => {
                 i += 1;
-                opts.ppm_dir = Some(PathBuf::from(
-                    args.get(i).expect("--ppm needs a directory"),
-                ));
+                opts.ppm_dir = Some(PathBuf::from(args.get(i).expect("--ppm needs a directory")));
             }
             "all" => opts.figures = (3..=9).collect(),
             f if f.parse::<u8>().is_ok() => {
@@ -131,11 +129,18 @@ fn cmd_gradcam(opts: &Options) {
             .iter_mut()
             .map(|(n, net)| (n.as_str(), net, "conv4"))
             .collect();
-        println!("{}", gradcam_figure_report(fig, 32, 1000 + fig as u64, &mut models));
+        println!(
+            "{}",
+            gradcam_figure_report(fig, 32, 1000 + fig as u64, &mut models)
+        );
         if let Some(dir) = &opts.ppm_dir {
             let files = gradcam_figure_ppms(fig, 32, 1000 + fig as u64, &mut models, dir)
                 .expect("writing PPM artifacts");
-            eprintln!("[gradcam] wrote {} PPM files under {}", files.len(), dir.display());
+            eprintln!(
+                "[gradcam] wrote {} PPM files under {}",
+                files.len(),
+                dir.display()
+            );
         }
     }
 }
@@ -165,8 +170,7 @@ fn main() {
                 "n-CNV",
             );
             let total = model.arch.weight_bits() as usize;
-            let counts: Vec<usize> =
-                vec![0, total / 1000, total / 200, total / 50, total / 10];
+            let counts: Vec<usize> = vec![0, total / 1000, total / 200, total / 50, total / 10];
             let points = robustness_sweep(&model.net, &model.arch, &counts, 40, 11);
             println!("{}", robustness_report(&model.arch.name, &points));
         }
@@ -190,7 +194,10 @@ fn main() {
             let (t, e) = if opts.quick { (60, 8) } else { (500, 40) };
             println!("{}", variant_ablation(&arch, t, 25, e, 42));
         }
-        "dataset" => println!("{}", dataset_report(if opts.quick { 2_000 } else { 133_783 }, 7)),
+        "dataset" => println!(
+            "{}",
+            dataset_report(if opts.quick { 2_000 } else { 133_783 }, 7)
+        ),
         "all" => {
             println!("{}", table1_report());
             println!("{}", fig1_report(ArchKind::NCnv));

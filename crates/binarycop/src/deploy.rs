@@ -153,7 +153,11 @@ mod tests {
         // An image on the u8 grid plus its normalized float twin.
         let px: Vec<f32> = (0..3 * 32 * 32)
             .map(|i| {
-                let q = ((i as u64).wrapping_mul(seed * 2 + 1).wrapping_mul(2654435761) >> 24) % 256;
+                let q = ((i as u64)
+                    .wrapping_mul(seed * 2 + 1)
+                    .wrapping_mul(2654435761)
+                    >> 24)
+                    % 256;
                 q as f32 / 255.0
             })
             .collect();
@@ -209,7 +213,10 @@ mod tests {
     fn first_stage_consumes_quantized_input() {
         let (_, p) = trained_net_and_pipeline(ArchKind::MicroCnv, 2);
         assert!(matches!(p.stages()[0], Stage::ConvFixed { .. }));
-        assert!(matches!(p.stages().last().unwrap(), Stage::DenseLogits { .. }));
+        assert!(matches!(
+            p.stages().last().unwrap(),
+            Stage::DenseLogits { .. }
+        ));
     }
 
     #[test]

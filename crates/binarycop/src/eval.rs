@@ -36,7 +36,10 @@ mod tests {
     fn untrained_network_is_near_chance() {
         let arch = tiny_arch();
         let mut net = build_bnn(&arch, 1);
-        let gen = GeneratorConfig { img_size: arch.input_size, supersample: 2 };
+        let gen = GeneratorConfig {
+            img_size: arch.input_size,
+            supersample: 2,
+        };
         let ds = Dataset::generate_balanced(&gen, 16, 3);
         let (acc, cm) = confusion_matrix(&mut net, &ds, 16);
         assert_eq!(cm.total(), 64);

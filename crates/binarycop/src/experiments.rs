@@ -215,12 +215,24 @@ fn render_row(
     size: usize,
     rng: &mut StdRng,
 ) -> FigureRow {
-    let cfg = GeneratorConfig { img_size: size, supersample: 3 };
+    let cfg = GeneratorConfig {
+        img_size: size,
+        supersample: 3,
+    };
     let lm = face.landmarks();
     let placed = place_mask(class, &lm, &mask, rng);
     assert_eq!(placed.landmark_coverage(&lm), class.coverage());
-    let spec = SampleSpec { face, mask, placed, class };
-    FigureRow { label: label.into(), class, image: render_sample(&cfg, &spec) }
+    let spec = SampleSpec {
+        face,
+        mask,
+        placed,
+        class,
+    };
+    FigureRow {
+        label: label.into(),
+        class,
+        image: render_sample(&cfg, &spec),
+    }
 }
 
 /// Build the subjects of Grad-CAM figure `fig` (3–9) at `size`×`size`.
@@ -232,7 +244,10 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
             let (class, title) = match fig {
                 3 => (MaskClass::CorrectlyMasked, "Fig. 3: correctly-masked class"),
                 4 => (MaskClass::NoseExposed, "Fig. 4: nose-exposed class"),
-                5 => (MaskClass::NoseMouthExposed, "Fig. 5: nose+mouth-exposed class"),
+                5 => (
+                    MaskClass::NoseMouthExposed,
+                    "Fig. 5: nose+mouth-exposed class",
+                ),
                 _ => (MaskClass::ChinExposed, "Fig. 6: chin-exposed class"),
             };
             let mut rows = Vec::new();
@@ -264,7 +279,14 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
                 let mut face = base_face(&mut rng);
                 face.age = age;
                 let m = std_mask(&mut rng);
-                rows.push(render_row(label, MaskClass::CorrectlyMasked, face, m, size, &mut rng));
+                rows.push(render_row(
+                    label,
+                    MaskClass::CorrectlyMasked,
+                    face,
+                    m,
+                    size,
+                    &mut rng,
+                ));
             }
             ("Fig. 7: age generalization (correctly masked)".into(), rows)
         }
@@ -279,12 +301,12 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
             let mut f3 = base_face(&mut rng);
             f3.headgear = Headgear::Cap;
             f3.headgear_color = Rgb(0.9, 0.2, 0.2);
-            let blue_mask = MaskParams { color: MASK_BLUE, double_mask: None, jitter: 0.01 };
-            for (label, face) in [
-                ("blue hair", f1),
-                ("blue scarf", f2),
-                ("red cap", f3),
-            ] {
+            let blue_mask = MaskParams {
+                color: MASK_BLUE,
+                double_mask: None,
+                jitter: 0.01,
+            };
+            for (label, face) in [("blue hair", f1), ("blue scarf", f2), ("red cap", f3)] {
                 rows.push(render_row(
                     label,
                     MaskClass::CorrectlyMasked,
@@ -294,7 +316,10 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
                     &mut rng,
                 ));
             }
-            ("Fig. 8: hair/headgear generalization (correctly masked)".into(), rows)
+            (
+                "Fig. 8: hair/headgear generalization (correctly masked)".into(),
+                rows,
+            )
         }
         9 => {
             let mut rows = Vec::new();
@@ -309,7 +334,14 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
             let mut f3 = base_face(&mut rng);
             f3.sunglasses = true;
             f1.age = AgeGroup::Adult;
-            rows.push(render_row("double mask", MaskClass::CorrectlyMasked, f1, double, size, &mut rng));
+            rows.push(render_row(
+                "double mask",
+                MaskClass::CorrectlyMasked,
+                f1,
+                double,
+                size,
+                &mut rng,
+            ));
             rows.push(render_row(
                 "face paint",
                 MaskClass::NoseExposed,
@@ -326,7 +358,10 @@ pub fn figure_rows(fig: u8, size: usize, seed: u64) -> (String, Vec<FigureRow>) 
                 size,
                 &mut rng,
             ));
-            ("Fig. 9: face manipulation (double mask / paint / sunglasses)".into(), rows)
+            (
+                "Fig. 9: face manipulation (double mask / paint / sunglasses)".into(),
+                rows,
+            )
         }
         _ => panic!("Grad-CAM figures are numbered 3–9, got {fig}"),
     }
@@ -356,7 +391,11 @@ pub fn gradcam_figure_report(
     let (title, rows) = figure_rows(fig, size, seed);
     let mut s = format!("{title}\n");
     for row in &rows {
-        s.push_str(&format!("\n[{}] true class: {}\n", row.label, row.class.full_name()));
+        s.push_str(&format!(
+            "\n[{}] true class: {}\n",
+            row.label,
+            row.class.full_name()
+        ));
         let batch = Tensor::stack(std::slice::from_ref(&row.image));
         let norm = batch.map(|v| 2.0 * v - 1.0);
         let mut blocks: Vec<(String, Vec<String>)> = Vec::new();
@@ -459,7 +498,10 @@ pub fn robustness_sweep(
     // Probe with in-distribution face images: robustness on real inputs is
     // the quantity of interest (random-noise probes sit at logit ties and
     // overstate fragility).
-    let gen = GeneratorConfig { img_size: arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: arch.input_size,
+        supersample: 2,
+    };
     let probe_set = Dataset::generate_balanced(&gen, probes.div_ceil(4), seed ^ 0xFA17);
     let frames: Vec<bcp_finn::data::QuantMap> = (0..probes)
         .map(|i| {
@@ -518,7 +560,9 @@ pub fn robustness_report(arch_name: &str, points: &[RobustnessPoint]) -> String 
 /// and the fraction of attention mass inside the mask-decisive band,
 /// compared against the uniform-attention chance level.
 pub fn attention_focus_report(net: &mut Sequential, test: &Dataset, target_layer: &str) -> String {
-    use bcp_gradcam::stats::{mask_band, region_area_fraction, region_fraction, AttentionAccumulator};
+    use bcp_gradcam::stats::{
+        mask_band, region_area_fraction, region_fraction, AttentionAccumulator,
+    };
     let size = test.img_size();
     let mut accs: Vec<AttentionAccumulator> =
         (0..4).map(|_| AttentionAccumulator::new(size)).collect();
@@ -573,7 +617,10 @@ pub fn variant_ablation(
     use bcp_nn::optim::Adam;
     use bcp_nn::train::{evaluate, fit, LossKind, TrainConfig};
 
-    let gen = GeneratorConfig { img_size: arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: arch.input_size,
+        supersample: 2,
+    };
     let train = Dataset::generate_balanced(&gen, train_per_class, seed);
     let test = Dataset::generate_balanced(&gen, test_per_class, seed ^ 0x7E57);
     let train_images = train.normalized_images();
@@ -582,15 +629,24 @@ pub fn variant_ablation(
     let variants: [(&str, ModelOptions); 3] = [
         (
             "plain BNN (paper)",
-            ModelOptions { weights: WeightMode::Plain, input: InputMode::FixedPoint8 },
+            ModelOptions {
+                weights: WeightMode::Plain,
+                input: InputMode::FixedPoint8,
+            },
         ),
         (
             "XNOR-Net scaled α·sign(W)",
-            ModelOptions { weights: WeightMode::Scaled, input: InputMode::FixedPoint8 },
+            ModelOptions {
+                weights: WeightMode::Scaled,
+                input: InputMode::FixedPoint8,
+            },
         ),
         (
             "binary input sign(2x−1)",
-            ModelOptions { weights: WeightMode::Plain, input: InputMode::Binary },
+            ModelOptions {
+                weights: WeightMode::Plain,
+                input: InputMode::Binary,
+            },
         ),
     ];
     let mut s = format!(
@@ -608,14 +664,26 @@ pub fn variant_ablation(
             loss: LossKind::CrossEntropy,
             schedule: None,
         };
-        fit(&mut net, &mut opt, &train_images, &train.labels, None, &cfg, |_| true);
+        fit(
+            &mut net,
+            &mut opt,
+            &train_images,
+            &train.labels,
+            None,
+            &cfg,
+            |_| true,
+        );
         let acc = evaluate(&mut net, &test_images, &test.labels, 32, None);
         let deployable = opts.weights == WeightMode::Plain && opts.input == InputMode::FixedPoint8;
         s.push_str(&format!(
             "{:<28}{:>9.1}%  {:>20}\n",
             label,
             acc * 100.0,
-            if deployable { "XNOR pipeline" } else { "no (training only)" }
+            if deployable {
+                "XNOR pipeline"
+            } else {
+                "no (training only)"
+            }
         ));
     }
     s.push_str(
@@ -753,7 +821,10 @@ mod tests {
         let _ = net.forward(&x, Mode::Train);
         let points = robustness_sweep(&net, &arch, &[0, 8, 256], 12, 3);
         assert_eq!(points.len(), 3);
-        assert_eq!(points[0].class_change_rate, 0.0, "zero faults must change nothing");
+        assert_eq!(
+            points[0].class_change_rate, 0.0,
+            "zero faults must change nothing"
+        );
         assert!(points[2].fault_rate > points[1].fault_rate);
         for p in &points {
             assert!((0.0..=1.0).contains(&p.class_change_rate));
@@ -768,7 +839,10 @@ mod tests {
         let mut net = crate::model::build_bnn(&arch, 3);
         let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 4);
         let _ = net.forward(&x, Mode::Train);
-        let gen = bcp_dataset::GeneratorConfig { img_size: 16, supersample: 2 };
+        let gen = bcp_dataset::GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        };
         let test = Dataset::generate_balanced(&gen, 2, 5);
         let s = attention_focus_report(&mut net, &test, "conv3");
         assert!(s.contains("mask-band area"));

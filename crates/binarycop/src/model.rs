@@ -67,9 +67,11 @@ pub fn build_bnn_with(arch: &Arch, seed: u64, opts: ModelOptions) -> Sequential 
     for (i, conv) in arch.convs.iter().enumerate() {
         let spec = Conv2dSpec::new(conv.c_in, conv.c_out, K, 0);
         net = match opts.weights {
-            WeightMode::Plain => {
-                net.push(BinaryConv2d::new(format!("conv{}", i + 1), spec, seed + i as u64))
-            }
+            WeightMode::Plain => net.push(BinaryConv2d::new(
+                format!("conv{}", i + 1),
+                spec,
+                seed + i as u64,
+            )),
             WeightMode::Scaled => net.push(ScaledBinaryConv2d::new(
                 format!("conv{}", i + 1),
                 spec,
@@ -236,7 +238,10 @@ mod tests {
         let mut net = build_bnn_with(
             &arch,
             1,
-            ModelOptions { weights: WeightMode::Scaled, input: InputMode::FixedPoint8 },
+            ModelOptions {
+                weights: WeightMode::Scaled,
+                input: InputMode::FixedPoint8,
+            },
         );
         let x = uniform(Shape::nchw(1, 3, 16, 16), -1.0, 1.0, 2);
         let y = net.forward(&x, Mode::Train);
@@ -257,7 +262,10 @@ mod tests {
         let mut net = build_bnn_with(
             &arch,
             1,
-            ModelOptions { weights: WeightMode::Plain, input: InputMode::Binary },
+            ModelOptions {
+                weights: WeightMode::Plain,
+                input: InputMode::Binary,
+            },
         );
         assert_eq!(net.index_of("sign_input"), Some(0));
         let x = uniform(Shape::nchw(1, 3, 16, 16), -1.0, 1.0, 3);

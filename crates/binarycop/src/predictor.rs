@@ -18,7 +18,9 @@ use bcp_finn::resource::estimate;
 use bcp_finn::stream::run_streaming;
 use bcp_finn::Pipeline;
 use bcp_nn::Sequential;
+use bcp_telemetry::Registry;
 use bcp_tensor::Tensor;
+use std::time::Instant;
 
 /// Deployment operating mode.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +42,17 @@ pub struct BinaryCoP {
     clock: ClockModel,
     power: PowerModel,
     usage: ResourceUsage,
+    telemetry: Option<Registry>,
+}
+
+/// Counter-name suffix for a predicted class (`predict.class.<slug>`).
+fn class_slug(c: MaskClass) -> &'static str {
+    match c {
+        MaskClass::CorrectlyMasked => "correct",
+        MaskClass::NoseExposed => "nose_exposed",
+        MaskClass::NoseMouthExposed => "nose_mouth_exposed",
+        MaskClass::ChinExposed => "chin_exposed",
+    }
 }
 
 impl BinaryCoP {
@@ -53,6 +66,34 @@ impl BinaryCoP {
             clock: CLOCK_100MHZ,
             power: DEFAULT_POWER,
             usage,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry registry. Afterwards every [`classify`]
+    /// (BinaryCoP::classify) records its wall time into the
+    /// `predict.latency_ns` histogram and bumps `predict.frames` plus a
+    /// `predict.class.<slug>` counter; [`classify_batch`]
+    /// (BinaryCoP::classify_batch) additionally exports the streaming
+    /// pipeline's per-stage busy/idle/blocked metrics.
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
+    }
+
+    fn record_prediction(&self, class: MaskClass, latency: Option<std::time::Duration>) {
+        if let Some(t) = &self.telemetry {
+            t.counter("predict.frames").inc();
+            t.counter(&format!("predict.class.{}", class_slug(class)))
+                .inc();
+            if let Some(d) = latency {
+                t.histogram("predict.latency_ns").record_duration(d);
+            }
         }
     }
 
@@ -86,15 +127,31 @@ impl BinaryCoP {
 
     /// Classify one frame (gate mode).
     pub fn classify(&self, image: &Tensor) -> MaskClass {
-        MaskClass::from_label(self.pipeline.classify(&self.quantize(image)))
+        let t0 = Instant::now();
+        let class = MaskClass::from_label(self.pipeline.classify(&self.quantize(image)));
+        self.record_prediction(class, Some(t0.elapsed()));
+        class
     }
 
     /// Classify a batch through the threaded streaming pipeline (crowd
     /// mode); results in input order.
     pub fn classify_batch(&self, images: &[Tensor]) -> Vec<MaskClass> {
+        self.classify_batch_with_stats(images).0
+    }
+
+    /// [`classify_batch`](BinaryCoP::classify_batch), also returning the
+    /// streaming run's [`StreamStats`](bcp_finn::StreamStats) — feed them
+    /// to [`bcp_finn::correlation_report`] to compare measured stage time
+    /// against the analytical cycle model.
+    pub fn classify_batch_with_stats(
+        &self,
+        images: &[Tensor],
+    ) -> (Vec<MaskClass>, bcp_finn::StreamStats) {
         let frames: Vec<QuantMap> = images.iter().map(|i| self.quantize(i)).collect();
-        let (logits, _) = run_streaming(&self.pipeline, &frames, 4);
-        logits
+        let t0 = Instant::now();
+        let (logits, stats) = run_streaming(&self.pipeline, &frames, 4);
+        let wall = t0.elapsed();
+        let classes: Vec<MaskClass> = logits
             .iter()
             .map(|l| {
                 let mut best = 0usize;
@@ -105,7 +162,19 @@ impl BinaryCoP {
                 }
                 MaskClass::from_label(best)
             })
-            .collect()
+            .collect();
+        if let Some(t) = &self.telemetry {
+            stats.record_into(t);
+            // Per-frame latency in crowd mode is the amortized pipeline
+            // time, not a per-frame wall measurement (frames overlap).
+            let per_frame = wall
+                .checked_div(classes.len().max(1) as u32)
+                .unwrap_or_default();
+            for &class in &classes {
+                self.record_prediction(class, Some(per_frame));
+            }
+        }
+        (classes, stats)
     }
 
     /// Timing report at the 100 MHz target clock.
@@ -163,10 +232,7 @@ impl BinaryCoP {
     /// Restore a predictor from a pipeline image saved by
     /// [`BinaryCoP::save_image`]. The architecture metadata is needed to
     /// re-derive the resource/power models.
-    pub fn load_image(
-        path: impl AsRef<std::path::Path>,
-        arch: &Arch,
-    ) -> std::io::Result<Self> {
+    pub fn load_image(path: impl AsRef<std::path::Path>, arch: &Arch) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
         let img: bcp_finn::image::PipelineImage = serde_json::from_str(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
@@ -180,6 +246,7 @@ impl BinaryCoP {
             clock: CLOCK_100MHZ,
             power: DEFAULT_POWER,
             usage,
+            telemetry: None,
         })
     }
 
@@ -196,7 +263,9 @@ impl BinaryCoP {
             self.usage.luts,
             self.usage.bram18,
             self.usage.dsps,
-            self.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 }),
+            self.board_power_w(OperatingMode::SingleGate {
+                subjects_per_s: 0.5
+            }),
             self.board_power_w(OperatingMode::CrowdStatistics),
         )
     }
@@ -220,7 +289,10 @@ mod tests {
     }
 
     fn images(n: usize) -> Vec<Tensor> {
-        let gen = GeneratorConfig { img_size: 16, supersample: 2 };
+        let gen = GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        };
         let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), 9);
         (0..n).map(|i| ds.image(i)).collect()
     }
@@ -245,9 +317,14 @@ mod tests {
     #[test]
     fn gate_power_is_near_idle_crowd_is_higher() {
         let p = predictor();
-        let gate = p.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 });
+        let gate = p.board_power_w(OperatingMode::SingleGate {
+            subjects_per_s: 0.5,
+        });
         let crowd = p.board_power_w(OperatingMode::CrowdStatistics);
-        assert!((gate - 1.6).abs() < 0.05, "gate power {gate} should be ≈1.6 W");
+        assert!(
+            (gate - 1.6).abs() < 0.05,
+            "gate power {gate} should be ≈1.6 W"
+        );
         assert!(crowd > gate, "crowd {crowd} must exceed gate {gate}");
     }
 
@@ -266,7 +343,10 @@ mod tests {
     fn sequence_vote_matches_majority() {
         let p = predictor();
         let seq = bcp_dataset::video::gate_sequence(
-            &GeneratorConfig { img_size: 16, supersample: 2 },
+            &GeneratorConfig {
+                img_size: 16,
+                supersample: 2,
+            },
             MaskClass::NoseExposed,
             5,
             3,
@@ -326,5 +406,82 @@ mod tests {
     fn wrong_image_size_rejected() {
         let p = predictor();
         p.classify(&Tensor::zeros(Shape::d3(3, 32, 32)));
+    }
+
+    #[test]
+    fn telemetry_counts_every_prediction() {
+        let registry = Registry::with_event_buffer();
+        let p = predictor().with_telemetry(registry.clone());
+        let imgs = images(12);
+        let single: Vec<MaskClass> = imgs[..4].iter().map(|i| p.classify(i)).collect();
+        let batch = p.classify_batch(&imgs[4..]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["predict.frames"], 12);
+        let per_class: u64 = MaskClass::ALL
+            .iter()
+            .map(|c| {
+                snap.counters
+                    .get(&format!("predict.class.{}", class_slug(*c)))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(per_class, 12);
+        // Per-class counts must match the actual decisions.
+        for c in MaskClass::ALL {
+            let expected = single
+                .iter()
+                .chain(batch.iter())
+                .filter(|&&x| x == c)
+                .count() as u64;
+            let got = snap
+                .counters
+                .get(&format!("predict.class.{}", class_slug(c)))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(got, expected, "count for {c:?}");
+        }
+        assert_eq!(snap.histograms["predict.latency_ns"].count, 12);
+        // Batch mode also exports the streaming pipeline's stage metrics.
+        assert_eq!(snap.counters["stream.frames"], 8);
+    }
+
+    #[test]
+    fn telemetry_artifacts_parse_with_latency_percentiles_and_class_counts() {
+        // The ISSUE acceptance check: a telemetry run must leave valid
+        // JSONL + a summary.json carrying p50/p95/p99 and per-class counts.
+        use serde::Value;
+        let registry = Registry::with_event_buffer();
+        let p = predictor().with_telemetry(registry.clone());
+        for img in images(8) {
+            p.classify(&img);
+        }
+        registry.mark("run.done", serde::Map::new());
+        let dir =
+            std::env::temp_dir().join(format!("bcp-predictor-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary_path = registry.write_artifacts(&dir).unwrap();
+        let summary: Value =
+            serde_json::from_str(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        let lat = &summary["histograms"]["predict.latency_ns"];
+        assert_eq!(lat["count"].as_u64(), Some(8));
+        for q in ["p50", "p95", "p99"] {
+            assert!(lat[q].as_u64().unwrap_or(0) > 0, "{q} missing or zero");
+        }
+        let counters = summary["counters"].as_object().expect("counters object");
+        let class_total: u64 = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("predict.class."))
+            .map(|(_, v)| v.as_u64().unwrap())
+            .sum();
+        assert_eq!(class_total, 8);
+        // Every event line is standalone JSON with the envelope fields.
+        let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        assert!(!events.is_empty());
+        for line in events.lines() {
+            let e: Value = serde_json::from_str(line).unwrap();
+            assert!(!e["ts_us"].is_null() && !e["kind"].is_null() && !e["name"].is_null());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -88,7 +88,11 @@ impl IntegerReference {
                 }
             })
             .collect();
-        IntegerReference { input_size: arch.input_size, convs, fcs }
+        IntegerReference {
+            input_size: arch.input_size,
+            convs,
+            fcs,
+        }
     }
 
     /// Evaluate one quantized frame to integer logits.
@@ -110,8 +114,7 @@ impl IntegerReference {
                     for ci in 0..first.c_in {
                         for ky in 0..K {
                             for kx in 0..K {
-                                let w =
-                                    first.weights[((co * first.c_in + ci) * K + ky) * K + kx];
+                                let w = first.weights[((co * first.c_in + ci) * K + ky) * K + kx];
                                 acc += w as i64 * q.get(ci, oy + ky, ox + kx) as i64;
                             }
                         }
@@ -136,8 +139,7 @@ impl IntegerReference {
                         for ci in 0..conv.c_in {
                             for ky in 0..K {
                                 for kx in 0..K {
-                                    let w = conv.weights
-                                        [((co * conv.c_in + ci) * K + ky) * K + kx];
+                                    let w = conv.weights[((co * conv.c_in + ci) * K + ky) * K + kx];
                                     let b = bits[(ci * hw + oy + ky) * hw + ox + kx];
                                     acc += w as i64 * if b { 1 } else { -1 };
                                 }
@@ -224,7 +226,10 @@ mod tests {
     fn quant_image(seed: u64) -> QuantMap {
         let px: Vec<f32> = (0..3 * 32 * 32)
             .map(|i| {
-                let q = ((i as u64 + 1).wrapping_mul(seed | 1).wrapping_mul(0x9E3779B9) >> 20)
+                let q = ((i as u64 + 1)
+                    .wrapping_mul(seed | 1)
+                    .wrapping_mul(0x9E3779B9)
+                    >> 20)
                     % 256;
                 q as f32 / 255.0
             })
@@ -242,12 +247,7 @@ mod tests {
             for seed in [1u64, 42] {
                 let mut net = build_bnn(&arch, seed);
                 // Populate batch-norm running stats with a train pass.
-                let x = bcp_tensor::init::uniform(
-                    Shape::nchw(4, 3, 32, 32),
-                    -1.0,
-                    1.0,
-                    seed + 100,
-                );
+                let x = bcp_tensor::init::uniform(Shape::nchw(4, 3, 32, 32), -1.0, 1.0, seed + 100);
                 let _ = net.forward(&x, Mode::Train);
                 let pipeline = deploy(&net, &arch);
                 let reference = IntegerReference::from_network(&net, &arch);

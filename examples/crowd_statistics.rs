@@ -11,13 +11,15 @@
 //! cargo run --release --example crowd_statistics
 //! ```
 
-use binarycop::arch::ArchKind;
-use binarycop::predictor::BinaryCoP;
-use binarycop::recipe::{run, Recipe};
 use bcp_dataset::scene::generate_crowd_scene;
 use bcp_dataset::{GeneratorConfig, MaskClass};
+use bcp_telemetry::Registry;
+use binarycop::arch::ArchKind;
+use binarycop::predictor::BinaryCoP;
+use binarycop::recipe::{run_instrumented, Recipe};
 
 fn main() {
+    let telemetry = Registry::new();
     let recipe = Recipe {
         train_per_class: 60,
         augment_copies: 0,
@@ -26,13 +28,17 @@ fn main() {
         ..Recipe::quick(ArchKind::NCnv)
     };
     println!("training n-CNV for crowd statistics …");
-    let model = run(&recipe, |_| {});
+    let model = run_instrumented(&recipe, Some(&telemetry), |_| {});
     println!("test accuracy {:.1}%\n", model.test_accuracy * 100.0);
-    let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
+    let predictor =
+        BinaryCoP::from_trained(&model.net, &model.arch).with_telemetry(telemetry.clone());
 
     // A real "crowd image": an 8×8 grid of faces composed into one 256×256
     // frame, then split back into the 32×32 tiles the accelerator consumes.
-    let gen = GeneratorConfig { img_size: 32, supersample: 3 };
+    let gen = GeneratorConfig {
+        img_size: 32,
+        supersample: 3,
+    };
     let scene = generate_crowd_scene(&gen, 8, 0xC20D);
     let tiles = scene.tiles();
     let crowd_labels = scene.labels.clone();
@@ -45,7 +51,7 @@ fn main() {
 
     // Classify the whole scene through the threaded streaming pipeline.
     let t0 = std::time::Instant::now();
-    let decisions = predictor.classify_batch(&tiles);
+    let (decisions, stream_stats) = predictor.classify_batch_with_stats(&tiles);
     let wall = t0.elapsed().as_secs_f64();
 
     let mut counts = [0usize; 4];
@@ -81,4 +87,14 @@ fn main() {
         perf.throughput_fps,
         modeled * 1e3
     );
+
+    // Does the software pipeline behave like the cycle model predicts?
+    // Compare each stage's share of measured busy time against its share
+    // of modeled cycles.
+    let report = bcp_finn::correlation_report(predictor.pipeline(), &stream_stats);
+    println!("\n{}", report.render_text());
+
+    // Full meter dump: training dynamics, per-stage stream metrics and the
+    // per-tile prediction counters, all from one registry.
+    println!("{}", telemetry.snapshot().render_text());
 }

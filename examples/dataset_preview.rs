@@ -8,10 +8,10 @@
 //! cargo run --release --example dataset_preview
 //! ```
 
-use binarycop::experiments::{dataset_report, luminance};
 use bcp_dataset::generator::{generate_sample, GeneratorConfig};
 use bcp_dataset::MaskClass;
 use bcp_gradcam::render::ascii;
+use binarycop::experiments::{dataset_report, luminance};
 
 fn main() {
     let cfg = GeneratorConfig::default();

@@ -9,9 +9,9 @@
 //! cargo run --release --example design_space_exploration
 //! ```
 
-use binarycop::arch::ArchKind;
 use bcp_finn::dse::{allocate, allocate_for_target};
 use bcp_finn::perf::CLOCK_100MHZ;
+use binarycop::arch::ArchKind;
 
 fn main() {
     println!("{}", binarycop::experiments::table1_report());
@@ -20,7 +20,10 @@ fn main() {
         let arch = kind.arch();
         let layers = arch.layer_dims();
         println!("=== {} frontier (greedy DSE) ===", arch.name);
-        println!("{:>12} {:>12} {:>12} {:>10}", "LUT budget", "MVTU LUTs", "II cycles", "fps@100MHz");
+        println!(
+            "{:>12} {:>12} {:>12} {:>10}",
+            "LUT budget", "MVTU LUTs", "II cycles", "fps@100MHz"
+        );
         for budget in [4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0] {
             let r = allocate(&layers, budget);
             println!(
@@ -46,7 +49,10 @@ fn main() {
             .sum();
         println!(
             "{:>12} {:>12.0} {:>12} {:>10.0}   ← Table I hand dimensioning",
-            "paper", paper_luts, paper_ii, CLOCK_100MHZ.hz / paper_ii as f64
+            "paper",
+            paper_luts,
+            paper_ii,
+            CLOCK_100MHZ.hz / paper_ii as f64
         );
 
         // Inverse problem: what does a target frame rate cost?

@@ -9,12 +9,14 @@
 //! cargo run --release --example gate_monitor
 //! ```
 
+use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
+use bcp_telemetry::Registry;
 use binarycop::arch::ArchKind;
 use binarycop::predictor::{BinaryCoP, OperatingMode};
-use binarycop::recipe::{run, Recipe};
-use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
+use binarycop::recipe::{run_instrumented, Recipe};
 
 fn main() {
+    let telemetry = Registry::new();
     let recipe = Recipe {
         train_per_class: 60,
         augment_copies: 0,
@@ -23,12 +25,13 @@ fn main() {
         ..Recipe::quick(ArchKind::NCnv)
     };
     println!("training n-CNV for the gate …");
-    let model = run(&recipe, |s| {
+    let model = run_instrumented(&recipe, Some(&telemetry), |s| {
         println!("  epoch {:>2}: loss {:.4}", s.epoch, s.loss);
     });
     println!("test accuracy {:.1}%\n", model.test_accuracy * 100.0);
 
-    let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
+    let predictor =
+        BinaryCoP::from_trained(&model.net, &model.arch).with_telemetry(telemetry.clone());
     let perf = predictor.perf();
     println!(
         "deployed {}: latency {:.1} µs per subject, capacity {:.0} fps\n",
@@ -38,7 +41,10 @@ fn main() {
     );
 
     // Simulate a gate: 40 subjects pass, ~1 every 2 seconds.
-    let gen = GeneratorConfig { img_size: 32, supersample: 3 };
+    let gen = GeneratorConfig {
+        img_size: 32,
+        supersample: 3,
+    };
     let subjects = Dataset::generate_balanced(&gen, 10, 0x6A7E);
     let mut admitted = 0usize;
     let mut rejected = [0usize; 4];
@@ -52,17 +58,31 @@ fn main() {
     }
     println!("gate log ({} subjects):", subjects.len());
     println!("  admitted (correctly masked): {admitted}");
-    for class in [MaskClass::NoseExposed, MaskClass::NoseMouthExposed, MaskClass::ChinExposed] {
-        println!("  turned away ({}): {}", class.full_name(), rejected[class.label()]);
+    for class in [
+        MaskClass::NoseExposed,
+        MaskClass::NoseMouthExposed,
+        MaskClass::ChinExposed,
+    ] {
+        println!(
+            "  turned away ({}): {}",
+            class.full_name(),
+            rejected[class.label()]
+        );
     }
 
     // Power accounting: one subject every 2 s keeps the accelerator asleep
     // almost all the time.
-    let gate = predictor.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 });
+    let gate = predictor.board_power_w(OperatingMode::SingleGate {
+        subjects_per_s: 0.5,
+    });
     let crowd = predictor.board_power_w(OperatingMode::CrowdStatistics);
     println!(
         "\npower: gate mode {gate:.3} W (≈ the paper's 1.6 W idle), full pipeline {crowd:.2} W"
     );
     let day_wh = gate * 8.0; // an 8-hour shift
     println!("an 8-hour shift costs ≈ {day_wh:.1} Wh — battery-friendly edge deployment");
+
+    // Everything above was also metered: per-epoch training dynamics plus
+    // the per-subject classification latency histogram.
+    println!("\n{}", telemetry.snapshot().render_text());
 }

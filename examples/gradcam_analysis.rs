@@ -9,17 +9,21 @@
 //! cargo run --release --example gradcam_analysis -- 4       # one figure
 //! ```
 
+use bcp_nn::Sequential;
 use binarycop::arch::ArchKind;
 use binarycop::experiments::gradcam_figure_report;
 use binarycop::recipe::{run, Recipe};
-use bcp_nn::Sequential;
 
 fn main() {
     let figures: Vec<u8> = std::env::args()
         .skip(1)
         .map(|a| a.parse().expect("figure number 3–9"))
         .collect();
-    let figures = if figures.is_empty() { vec![3, 7, 9] } else { figures };
+    let figures = if figures.is_empty() {
+        vec![3, 7, 9]
+    } else {
+        figures
+    };
 
     let recipe = Recipe {
         train_per_class: 80,
@@ -39,7 +43,10 @@ fn main() {
         // conv4 = the paper's conv2_2 Grad-CAM target layer.
         let mut models: Vec<(&str, &mut Sequential, &str)> =
             vec![("BCoP-n-CNV", &mut net, "conv4")];
-        println!("{}", gradcam_figure_report(fig, 32, 1000 + fig as u64, &mut models));
+        println!(
+            "{}",
+            gradcam_figure_report(fig, 32, 1000 + fig as u64, &mut models)
+        );
     }
     println!(
         "legend: ' .:-=+*#%@' from cold to hot; centroids are (row, col) of \

@@ -7,9 +7,9 @@
 //! Runs in a few seconds; for the paper-scale flow see the `experiments`
 //! binary in the `binarycop` crate.
 
+use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
 use binarycop::predictor::{BinaryCoP, OperatingMode};
 use binarycop::recipe::{run, Recipe};
-use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
 
 fn main() {
     // 1. Train: a miniature architecture on the synthetic MaskedFace-Net
@@ -21,7 +21,10 @@ fn main() {
         epochs: 15,
         ..Recipe::test_scale()
     };
-    println!("training {} on {} samples/class …", recipe.arch.name, recipe.train_per_class);
+    println!(
+        "training {} on {} samples/class …",
+        recipe.arch.name, recipe.train_per_class
+    );
     let model = run(&recipe, |s| {
         println!(
             "  epoch {:>2}: loss {:.4}  train acc {:.1}%",
@@ -39,7 +42,10 @@ fn main() {
     println!("{}", predictor.summary());
 
     // 3. Classify fresh faces through the deployed pipeline.
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 3 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 3,
+    };
     let fresh = Dataset::generate_balanced(&gen, 3, 0xFACE);
     let mut correct = 0;
     for i in 0..fresh.len() {
@@ -57,6 +63,8 @@ fn main() {
     println!(
         "\npipeline accuracy on fresh samples: {correct}/{} — gate power {:.2} W",
         fresh.len(),
-        predictor.board_power_w(OperatingMode::SingleGate { subjects_per_s: 0.5 })
+        predictor.board_power_w(OperatingMode::SingleGate {
+            subjects_per_s: 0.5
+        })
     );
 }

@@ -10,11 +10,11 @@
 //! cargo run --release --example video_gate
 //! ```
 
+use bcp_dataset::video::gate_sequence;
+use bcp_dataset::{GeneratorConfig, MaskClass};
 use binarycop::arch::ArchKind;
 use binarycop::predictor::BinaryCoP;
 use binarycop::recipe::{run, Recipe};
-use bcp_dataset::video::gate_sequence;
-use bcp_dataset::{GeneratorConfig, MaskClass};
 
 fn main() {
     let recipe = Recipe {
@@ -29,7 +29,10 @@ fn main() {
     println!("test accuracy {:.1}%\n", model.test_accuracy * 100.0);
     let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
 
-    let gen = GeneratorConfig { img_size: 32, supersample: 3 };
+    let gen = GeneratorConfig {
+        img_size: 32,
+        supersample: 3,
+    };
     let subjects = 24usize;
     let frames_per_subject = 6usize;
     let mut frame_correct = 0usize;

@@ -7,13 +7,13 @@
 //! agrees with the dense integer reference on every logit. This pins the
 //! exporter's generality, not just its behaviour on Table I.
 
+use bcp_finn::data::QuantMap;
+use bcp_nn::Mode;
+use bcp_tensor::Shape;
 use binarycop::arch::{Arch, ConvLayer, FcLayer};
 use binarycop::deploy::deploy;
 use binarycop::model::build_bnn;
 use binarycop::reference::IntegerReference;
-use bcp_finn::data::QuantMap;
-use bcp_nn::Mode;
-use bcp_tensor::Shape;
 
 /// Split-mix PRNG (no rand dependency needed here).
 struct Rng(u64);
@@ -52,7 +52,11 @@ fn random_arch(seed: u64) -> Arch {
         let remaining = n_convs - i - 1;
         let pool_ok = post.is_multiple_of(2) && post / 2 > 2 * remaining + 1;
         let pool_after = pool_ok && rng.chance(50);
-        convs.push(ConvLayer { c_in, c_out, pool_after });
+        convs.push(ConvLayer {
+            c_in,
+            c_out,
+            pool_after,
+        });
         hw = if pool_after { post / 2 } else { post };
         c_in = c_out;
         if hw < 3 {
@@ -64,7 +68,10 @@ fn random_arch(seed: u64) -> Arch {
     let mut f_in = flat;
     if rng.chance(60) {
         let hidden = rng.pick(&[8usize, 16, 24]);
-        fcs.push(FcLayer { f_in, f_out: hidden });
+        fcs.push(FcLayer {
+            f_in,
+            f_out: hidden,
+        });
         f_in = hidden;
     }
     fcs.push(FcLayer { f_in, f_out: 4 });
@@ -72,8 +79,12 @@ fn random_arch(seed: u64) -> Arch {
     let n_layers = convs.len() + fcs.len();
     // Random (not necessarily exact-divisor) foldings: the cycle model pads
     // but functional results must be fold-invariant.
-    let pe: Vec<usize> = (0..n_layers).map(|_| rng.pick(&[1usize, 2, 3, 4])).collect();
-    let simd: Vec<usize> = (0..n_layers).map(|_| rng.pick(&[1usize, 3, 8, 16])).collect();
+    let pe: Vec<usize> = (0..n_layers)
+        .map(|_| rng.pick(&[1usize, 2, 3, 4]))
+        .collect();
+    let simd: Vec<usize> = (0..n_layers)
+        .map(|_| rng.pick(&[1usize, 3, 8, 16]))
+        .collect();
     Arch {
         name: format!("fuzz-{seed}"),
         input_size,
@@ -141,10 +152,7 @@ fn random_architectures_have_consistent_timing_model() {
         let _ = net.forward(&x, Mode::Train);
         let pipeline = deploy(&net, &arch);
         let perf = CLOCK_100MHZ.analyze(&pipeline);
-        assert_eq!(
-            perf.latency_cycles,
-            perf.stage_cycles.iter().sum::<u64>()
-        );
+        assert_eq!(perf.latency_cycles, perf.stage_cycles.iter().sum::<u64>());
         assert_eq!(
             perf.initiation_interval,
             *perf.stage_cycles.iter().max().unwrap()

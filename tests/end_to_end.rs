@@ -4,20 +4,19 @@
 //! miniature scale — the workspace-level counterparts of the paper's
 //! system claims.
 
+use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
+use bcp_finn::perf::CLOCK_100MHZ;
+use bcp_nn::Mode;
 use binarycop::deploy::deploy;
 use binarycop::predictor::{BinaryCoP, OperatingMode};
 use binarycop::recipe::{run, tiny_arch, Recipe};
 use binarycop::reference::IntegerReference;
-use bcp_dataset::{Dataset, GeneratorConfig, MaskClass};
-use bcp_finn::perf::CLOCK_100MHZ;
-use bcp_nn::Mode;
 
 fn small_recipe() -> Recipe {
     Recipe {
         train_per_class: 30,
         augment_copies: 0,
         test_per_class: 10,
-        epochs: 5,
         ..Recipe::test_scale()
     }
 }
@@ -28,11 +27,18 @@ fn train_deploy_classify_roundtrip() {
     // → XNOR pipeline → classification, with the deployed pipeline
     // agreeing with the independent integer reference on every frame.
     let model = run(&small_recipe(), |_| {});
-    assert!(model.test_accuracy > 0.35, "accuracy {}", model.test_accuracy);
+    assert!(
+        model.test_accuracy > 0.35,
+        "accuracy {}",
+        model.test_accuracy
+    );
 
     let pipeline = deploy(&model.net, &model.arch);
     let reference = IntegerReference::from_network(&model.net, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 2,
+    };
     let probe = Dataset::generate_balanced(&gen, 4, 0xBEEF);
     for i in 0..probe.len() {
         let img = probe.image(i);
@@ -54,7 +60,10 @@ fn train_deploy_classify_roundtrip() {
 fn predictor_beats_chance_on_fresh_data() {
     let model = run(&small_recipe(), |_| {});
     let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 2,
+    };
     let fresh = Dataset::generate_balanced(&gen, 10, 0xF00D);
     let correct = (0..fresh.len())
         .filter(|&i| predictor.classify(&fresh.image(i)).label() == fresh.labels[i])
@@ -71,7 +80,10 @@ fn predictor_beats_chance_on_fresh_data() {
 fn streaming_batch_equals_single_frame_classification() {
     let model = run(&small_recipe(), |_| {});
     let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 2,
+    };
     let ds = Dataset::generate_raw(&gen, 12, 0xCAFE);
     let images: Vec<_> = (0..ds.len()).map(|i| ds.image(i)).collect();
     let batch = predictor.classify_batch(&images);
@@ -117,14 +129,19 @@ fn perf_and_power_models_are_consistent_across_modes() {
     let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
     let perf = predictor.perf();
     // The timing model's per-frame capacity bounds the gate duty cycle.
-    let gate = predictor.board_power_w(OperatingMode::SingleGate { subjects_per_s: 1.0 });
+    let gate = predictor.board_power_w(OperatingMode::SingleGate {
+        subjects_per_s: 1.0,
+    });
     let crowd = predictor.board_power_w(OperatingMode::CrowdStatistics);
     assert!(gate >= 1.6 && gate < crowd);
     // Batch time for N frames at full rate beats N sequential latencies.
     let n = 100;
     let batched = perf.batch_seconds(n, &CLOCK_100MHZ);
     let sequential = n as f64 * perf.latency_us * 1e-6;
-    assert!(batched < sequential, "pipelining must amortize: {batched} vs {sequential}");
+    assert!(
+        batched < sequential,
+        "pipelining must amortize: {batched} vs {sequential}"
+    );
 }
 
 #[test]
@@ -139,7 +156,10 @@ fn checkpoint_roundtrip_preserves_deployment() {
 
     let p1 = deploy(&original, &model.arch);
     let p2 = deploy(&restored, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 2,
+    };
     let ds = Dataset::generate_balanced(&gen, 2, 0xD00D);
     for i in 0..ds.len() {
         let img = ds.image(i);
@@ -167,7 +187,10 @@ fn all_four_classes_reachable_by_pipeline() {
     // pipeline emits more than one class, and the generator covers all 4.
     let model = run(&small_recipe(), |_| {});
     let predictor = BinaryCoP::from_trained(&model.net, &model.arch);
-    let gen = GeneratorConfig { img_size: model.arch.input_size, supersample: 2 };
+    let gen = GeneratorConfig {
+        img_size: model.arch.input_size,
+        supersample: 2,
+    };
     let ds = Dataset::generate_balanced(&gen, 8, 0xABCD);
     let mut seen = std::collections::HashSet::new();
     for i in 0..ds.len() {

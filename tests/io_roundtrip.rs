@@ -2,12 +2,12 @@
 //! the PPM reader (`bcp-dataset::ppm`), the figure-artifact writer and the
 //! deployment CLI's preprocessing must all agree on the image format.
 
-use binarycop::experiments::{figure_rows, gradcam_figure_ppms};
 use bcp_dataset::generator::{generate_sample, GeneratorConfig};
 use bcp_dataset::ppm::{decode_ppm, resize_to};
 use bcp_dataset::MaskClass;
 use bcp_gradcam::render::image_ppm;
 use bcp_nn::{Mode, Sequential};
+use binarycop::experiments::{figure_rows, gradcam_figure_ppms};
 
 #[test]
 fn generated_face_survives_ppm_roundtrip() {
@@ -24,7 +24,10 @@ fn generated_face_survives_ppm_roundtrip() {
 fn resized_camera_frame_feeds_the_predictor() {
     // A 96×96 "camera" frame of a generated face, resized by the CLI path
     // to 32×32, must classify without panicking and deterministically.
-    let big_cfg = GeneratorConfig { img_size: 96, supersample: 1 };
+    let big_cfg = GeneratorConfig {
+        img_size: 96,
+        supersample: 1,
+    };
     let (frame, _) = generate_sample(&big_cfg, MaskClass::NoseExposed, 7);
     let bytes = image_ppm(&frame);
     let decoded = decode_ppm(&bytes).unwrap();

@@ -3,15 +3,15 @@
 //! simulation (`cyclesim`), and the threaded software execution
 //! (`stream`) must tell one consistent story.
 
-use binarycop::arch::ArchKind;
-use binarycop::deploy::deploy;
-use binarycop::model::build_bnn;
 use bcp_finn::cyclesim::simulate;
 use bcp_finn::data::QuantMap;
 use bcp_finn::perf::CLOCK_100MHZ;
 use bcp_finn::stream::run_streaming;
 use bcp_nn::Mode;
 use bcp_tensor::Shape;
+use binarycop::arch::ArchKind;
+use binarycop::deploy::deploy;
+use binarycop::model::build_bnn;
 
 fn deployed(kind: ArchKind) -> (bcp_finn::Pipeline, usize) {
     let arch = kind.arch();

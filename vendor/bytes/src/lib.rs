@@ -1,0 +1,216 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the bitstream codec uses: an immutable [`Bytes`]
+//! buffer with a read cursor, a growable [`BytesMut`] writer, and the
+//! little-endian [`Buf`]/[`BufMut`] accessors. `Bytes` keeps the payload
+//! in an `Arc` so clones are cheap, matching the real crate's contract.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-side abstraction: a cursor over a byte sequence.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Advance the cursor by `n` (panics past the end).
+    fn advance(&mut self, n: usize);
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write-side abstraction.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// Cheaply-clonable immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes were consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::new(v),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.pos += n;
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Growable byte writer; freeze into [`Bytes`] when done.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(12);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        let mut b = w.freeze();
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 42);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 0, 0, 0, 9];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.get_u32_le(), 1);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.get_u8(), 9);
+    }
+
+    #[test]
+    fn bytes_indexing_matches_unread_window() {
+        let mut b = Bytes::from(vec![10u8, 11, 12, 13]);
+        b.advance(1);
+        assert_eq!(&b[..2], &[11, 12]);
+        assert_eq!(b.to_vec(), vec![11, 12, 13]);
+    }
+}

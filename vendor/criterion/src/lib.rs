@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench targets compiling
+//! and *useful*: each `bench_function` is warmed up and timed, results
+//! print to stderr, and — unlike the real crate's HTML reports — every
+//! run also merges a machine-readable summary into `BENCH_summary.json`
+//! (override the path with the `BENCH_SUMMARY_PATH` env var) so the perf
+//! trajectory can accumulate across PRs. No statistical analysis is
+//! performed beyond taking the median of the sample batch; treat the
+//! numbers as trend indicators, not confidence intervals.
+
+use serde::Serialize;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter rendering.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone (the group name is the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Setup-cost hint for [`Bencher::iter_batched`]. The stand-in times the
+/// routine per invocation either way, so the hint is accepted but unused.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup value; the real crate amortizes over large batches.
+    SmallInput,
+    /// Large setup value; the real crate uses one-input batches.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    samples: usize,
+    target: Duration,
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`: warm up, pick an iteration count that fills the
+    /// measurement window, then record the median sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration: time a single call.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(50));
+
+        // Iterations per sample so that one sample ≈ target / samples.
+        let per_sample = (self.target.as_nanos() / self.samples.max(1) as u128)
+            .checked_div(one.as_nanos())
+            .unwrap_or(1)
+            .clamp(1, 1_000_000) as usize;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Measure `routine` on values produced by `setup`, excluding the
+    /// setup time from the measurement (each invocation is timed
+    /// individually; the median is recorded).
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        *self.result_ns = samples_ns[samples_ns.len() / 2].max(1.0);
+    }
+}
+
+/// One recorded measurement, as written to `BENCH_summary.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRecord {
+    /// `group/function` name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per second (1e9 / ns_per_iter).
+    pub iters_per_sec: f64,
+    /// Elements (or bytes) per second when the group declared a
+    /// [`Throughput`]; absent otherwise.
+    pub throughput_per_sec: Option<f64>,
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    target: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target = d;
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: self.samples,
+            // The real crate spends the whole window on statistics; the
+            // stand-in only needs a stable median, so a third suffices.
+            target: self.target / 3,
+            result_ns: &mut ns,
+        };
+        f(&mut b);
+        self.record(&id.id, ns);
+        self
+    }
+
+    /// Time a benchmark closure that borrows an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: self.samples,
+            target: self.target / 3,
+            result_ns: &mut ns,
+        };
+        f(&mut b, input);
+        self.record(&id.id, ns);
+        self
+    }
+
+    /// End the group (records are flushed by `criterion_main!`).
+    pub fn finish(self) {}
+
+    fn record(&mut self, id: &str, ns: f64) {
+        let name = format!("{}/{id}", self.name);
+        let throughput_per_sec = self.throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            per_iter * 1e9 / ns
+        });
+        eprintln!(
+            "bench {name}: {ns:.0} ns/iter ({:.1}/s{})",
+            1e9 / ns,
+            throughput_per_sec
+                .map(|t| format!(", throughput {t:.0}/s"))
+                .unwrap_or_default()
+        );
+        self.criterion.records.push(BenchRecord {
+            name,
+            ns_per_iter: ns,
+            iters_per_sec: 1e9 / ns,
+            throughput_per_sec,
+        });
+    }
+}
+
+/// The bench context handed to every registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+            target: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Top-level `bench_function` (no explicit group): group = bench id.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("base", f);
+        self
+    }
+
+    /// Merge this run's records into the JSON summary file. Called by
+    /// `criterion_main!`; path from `BENCH_SUMMARY_PATH` or
+    /// `BENCH_summary.json` in the working directory.
+    pub fn flush_summary(&self) {
+        let path = std::env::var("BENCH_SUMMARY_PATH")
+            .unwrap_or_else(|_| "BENCH_summary.json".to_string());
+        let mut map: serde_json::Map = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+            .and_then(|v| v.as_object().cloned())
+            .unwrap_or_default();
+        for r in &self.records {
+            map.insert(r.name.clone(), r.to_value());
+        }
+        let json =
+            serde_json::to_string_pretty(&serde_json::Value::Object(map)).expect("summary json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion stand-in: cannot write {path}: {e}");
+        } else {
+            eprintln!("bench summary merged into {path}");
+        }
+    }
+}
+
+/// Register bench functions under a group name (compatible subset of the
+/// real macro; the optional `config = …` form is not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main`: run every group, then flush the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` (and plain `cargo test --benches`)
+            // run bench binaries in test mode: skip measurement entirely.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.flush_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: 4,
+            target: Duration::from_millis(20),
+            result_ns: &mut ns,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn records_accumulate_with_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(30))
+                .throughput(Throughput::Elements(100));
+            g.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        }
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].name, "g/f");
+        assert!(c.records[0].throughput_per_sec.unwrap() > 0.0);
+    }
+}

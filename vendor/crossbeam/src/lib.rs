@@ -1,0 +1,277 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the two pieces the workspace uses — `channel::bounded` and
+//! `thread::scope` — on top of std. The channel is a Mutex/Condvar bounded
+//! queue; unlike std's `mpsc::sync_channel` it exposes [`channel::Sender::len`]
+//! and [`channel::Receiver::len`], which the telemetry layer samples for
+//! FIFO-occupancy metrics.
+
+pub mod channel {
+    //! Bounded blocking FIFO channel with back-pressure.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Create a bounded channel with `cap` slots (`cap ≥ 1`).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "this bounded channel needs at least one slot");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until a slot frees up, then enqueue. Errors when every
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf
+                .len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Channel capacity.
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.0.state.lock().unwrap_or_else(|e| e.into_inner()).cap)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives. Errors when the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf
+                .len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Channel capacity.
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.0.state.lock().unwrap_or_else(|e| e.into_inner()).cap)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads in the crossbeam `scope(|s| …)` shape.
+
+    use std::any::Any;
+
+    /// The scope handle passed to the closure; `spawn` borrows from it.
+    /// Copyable so spawned closures can themselves receive a scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (crossbeam
+        /// convention, passed by value here since `Scope` is `Copy`) so it
+        /// can spawn siblings; most callers ignore it.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. A panicking child thread surfaces as `Err(payload)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fifo_and_close() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        thread::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scope_reports_panics_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Everything the workspace calls — `StdRng::seed_from_u64`, `Rng::gen`,
+//! `gen_range`, `gen_bool`, and `distributions::{Uniform, Distribution}` —
+//! backed by xoshiro256\*\* seeded through splitmix64. Streams are
+//! deterministic for a given seed (the repo's own requirement) but are
+//! *not* the same streams the real `rand` produces; all in-repo seeds
+//! were re-baselined against this generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] via the [`distributions::Standard`]
+/// distribution.
+pub trait Rng: RngCore {
+    /// Sample a value from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Per-type uniform sampling — mirrors rand's `SampleUniform` so the two
+/// `SampleRange` impls below stay generic. That matters for inference:
+/// `Range<{float}>` must unify its element type with the surrounding
+/// expression (e.g. `0.5f32 + rng.gen_range(-0.04..0.04)`), which
+/// per-type `SampleRange` impls would block.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty gen_range");
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                // The closed/open distinction is measure-zero for floats.
+                assert!(lo <= hi, "empty gen_range");
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32 => unit_f32, f64 => unit_f64);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+pub mod distributions {
+    //! `Distribution` trait plus the `Uniform` and `Standard` instances.
+
+    use super::{unit_f32, unit_f64, SampleRange};
+    use std::ops::Range;
+
+    /// A sampleable distribution over `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Uniform over the half-open range `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new needs lo < hi");
+            Uniform { lo, hi }
+        }
+    }
+
+    impl<T> Distribution<T> for Uniform<T>
+    where
+        T: Copy,
+        Range<T>: SampleRange<T>,
+    {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T {
+            (self.lo..self.hi).sample_from(rng)
+        }
+    }
+
+    /// The distribution behind `rng.gen()`: full integer ranges, unit
+    /// interval for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f32(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256\*\* — the stand-in for rand's `StdRng`. Fast, passes
+    /// BigCrush, and trivially seedable from 64 bits via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the canonical xoshiro seeding routine.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(0..=255u32);
+            assert!(w <= 255);
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_and_standard_sample() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(0.25f32, 0.75);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!((0.25..0.75).contains(&v));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace only touches `par_iter`, `par_chunks_mut` and
+//! `into_par_iter`, always followed by ordinary iterator combinators.
+//! This stub keeps those entry points compiling by returning the
+//! equivalent *sequential* std iterators — std's `Iterator` already
+//! provides `map`/`zip`/`enumerate`/`for_each`/`collect`/`sum`, so call
+//! chains type-check unchanged. Parallel speedups return when the real
+//! rayon is restorable; correctness and determinism are identical (and
+//! this container is single-core anyway).
+
+pub mod prelude {
+    /// `collection.into_par_iter()` — sequential `into_iter` fallback.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel consuming iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `slice.par_iter()` — sequential shared-slice fallback.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's parallel slice iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `slice.par_iter_mut()` / `slice.par_chunks_mut(n)` — sequential
+    /// mutable-slice fallbacks.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's parallel mutable iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for rayon's parallel mutable chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// Rayon-only combinators that std's `Iterator` doesn't spell the same
+    /// way (`flat_map_iter` takes a *serial* inner iterator in rayon; here
+    /// everything is serial, so it's plain `flat_map`).
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Sequential stand-in for rayon's `flat_map_iter`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+        let mut buf = [0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+}

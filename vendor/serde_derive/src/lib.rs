@@ -1,0 +1,354 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored serde's
+//! `Value`-tree data model. With no `syn`/`quote` available, the item is
+//! parsed directly from the `proc_macro::TokenStream`: attributes are
+//! skipped, angle-bracket depth is tracked to split fields on top-level
+//! commas, and code is emitted as a string re-parsed into tokens.
+//!
+//! Supported shapes (everything the workspace derives on): non-generic
+//! named-field structs, tuple structs, and enums whose variants are unit,
+//! tuple, or named-field. Enum JSON uses serde's externally-tagged
+//! convention: `"Variant"` for unit, `{"Variant": …}` otherwise.
+//! `#[serde(...)]` attributes are NOT interpreted — the workspace uses
+//! none — and generics are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    gen_serialize(&name, &kind)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    gen_deserialize(&name, &kind)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Kind) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let item_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected struct/enum keyword, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive stand-in does not support generic type `{name}`");
+        }
+    }
+    let kind = match item_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_top_level(g.stream()).len())
+            }
+            _ => Kind::TupleStruct(0), // unit struct `struct S;`
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: enum `{name}` without body: {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, got `{other}`"),
+    };
+    (name, kind)
+}
+
+/// Split a token stream on commas at angle-bracket depth 0, dropping empty
+/// trailing chunks.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// From one comma-chunk of a named-field list, extract the field ident
+/// (after skipping attributes and visibility).
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return id.to_string(),
+            other => panic!("derive: expected field name, got {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|c| field_name(c))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let mut i = 0;
+            while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("derive: expected variant name, got {other:?}"),
+            };
+            let kind = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                _ => VariantKind::Unit,
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn gen_serialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            s.push_str("])");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            )
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({}) => {{\nlet mut m = ::serde::Map::new();\nm.insert(String::from(\"{vn}\"), {inner});\n::serde::Value::Object(m)\n}},\n",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}let mut m = ::serde::Map::new();\nm.insert(String::from(\"{vn}\"), ::serde::Value::Object(fm));\n::serde::Value::Object(m)\n}},\n",
+                            fields.join(",")
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n"
+            );
+            s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(m.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_field(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v).map_err(|e| e.in_field(\"{name}.0\"))?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\nif a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::expected(\"{n}-array\", \"{name}\")); }}\n"
+            );
+            s.push_str(&format!("::core::result::Result::Ok({name}("));
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&a[{i}])?,"));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::Enum(variants) => {
+            // Unit variants arrive as bare strings; payload variants as
+            // single-key objects {"Variant": …}. Accept {"Unit": null} too.
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            obj_arms.push_str(&format!(
+                                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner).map_err(|e| e.in_field(\"{name}::{vn}\"))?)),\n"
+                            ));
+                        } else {
+                            let mut arm = format!(
+                                "\"{vn}\" => {{\nlet a = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\nif a.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::expected(\"{n}-array\", \"{name}::{vn}\")); }}\n::core::result::Result::Ok({name}::{vn}("
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!("::serde::Deserialize::from_value(&a[{i}])?,"));
+                            }
+                            arm.push_str("))\n},\n");
+                            obj_arms.push_str(&arm);
+                        }
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\nlet fm = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n::core::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(fm.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| e.in_field(\"{name}::{vn}.{f}\"))?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n},\n");
+                        obj_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{str_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().unwrap();\n\
+                 let _ = inner;\n\
+                 match k.as_str() {{\n{obj_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::expected(\"string or single-key object\", \"{name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\nfn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
