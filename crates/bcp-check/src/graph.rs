@@ -1,0 +1,524 @@
+//! The checker's view of a model/accelerator description, and whole-graph
+//! shape inference over it.
+//!
+//! [`ArchSpec`] is a plain-data mirror of `binarycop::Arch` (this crate
+//! sits *below* `binarycop` in the dependency order, so it defines its own
+//! input type; `Arch::spec()` converts). Shape inference walks the conv
+//! trunk and dense head exactly the way `deploy()` would build stages,
+//! but instead of asserting it emits localized [`Diagnostic`]s and — when
+//! the graph is consistent — a [`StagePlan`] per hardware stage for the
+//! downstream folding/timing/rate/resource analyses.
+
+use crate::diag::{Code, Diagnostic};
+use serde::{Deserialize, Serialize};
+
+/// One conv layer, as the checker sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// 2×2 max-pool follows this layer.
+    pub pool_after: bool,
+}
+
+/// One FC layer, as the checker sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FcSpec {
+    /// Input features.
+    pub f_in: usize,
+    /// Output features.
+    pub f_out: usize,
+}
+
+/// A complete architecture description to verify.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Display name (used in diagnostic locations).
+    pub name: String,
+    /// Input image edge.
+    pub input_size: usize,
+    /// Convolution kernel edge (3 for every BinaryCoP prototype).
+    pub kernel: usize,
+    /// Output class count (4 for BinaryCoP).
+    pub classes: usize,
+    /// Conv trunk, in order.
+    pub convs: Vec<ConvSpec>,
+    /// Dense head, in order.
+    pub fcs: Vec<FcSpec>,
+    /// PE count per compute layer (convs then FCs).
+    pub pe: Vec<usize>,
+    /// SIMD lanes per compute layer.
+    pub simd: Vec<usize>,
+    /// OrthrusPE-style XNOR-to-DSP offload (μ-CNV on the Z7010).
+    pub dsp_offload: bool,
+}
+
+/// What kind of hardware stage a [`StagePlan`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageKind {
+    /// First conv: fixed-point input MVTU (accumulators scale ×255).
+    ConvFixed,
+    /// Hidden conv: binary MVTU.
+    ConvBinary,
+    /// Boolean-OR 2×2 pool.
+    Pool,
+    /// Hidden dense layer.
+    DenseBinary,
+    /// Final dense layer emitting logits.
+    DenseLogits,
+}
+
+/// One planned hardware stage: everything the folding/timing/rate/resource
+/// analyses need, derived either from an [`ArchSpec`] (pre-deployment) or
+/// from a built `Pipeline` (post-deployment).
+#[derive(Clone, Debug)]
+pub struct StagePlan {
+    /// Stage name (`conv1`, `pool2`, `fc3`, …).
+    pub name: String,
+    /// Stage kind.
+    pub kind: StageKind,
+    /// MVTU matrix rows (output neurons); 0 for pool stages.
+    pub rows: usize,
+    /// MVTU matrix cols (fan-in); 0 for pool stages.
+    pub cols: usize,
+    /// Input vectors per frame (conv windows / 1 for dense); for pool
+    /// stages this is the *output* pixel count (its cycles/frame).
+    pub vectors: usize,
+    /// PE count (1 for pool stages).
+    pub pe: usize,
+    /// SIMD lanes (1 for pool stages).
+    pub simd: usize,
+    /// Compute-layer index into the `pe`/`simd` vectors (`None` for pools).
+    pub layer_index: Option<usize>,
+}
+
+impl StagePlan {
+    /// Weight-memory bits (0 for pool stages).
+    pub fn weight_bits(&self) -> u64 {
+        match self.kind {
+            StageKind::Pool => 0,
+            _ => (self.rows as u64).saturating_mul(self.cols as u64),
+        }
+    }
+
+    /// Cycles per frame under the planned folding, with overflow reported
+    /// rather than wrapped. Pool stages take one cycle per output pixel.
+    /// Requires positive folding factors (gate on `BCP010` first).
+    pub fn cycles_per_frame(&self) -> Option<u64> {
+        if self.kind == StageKind::Pool {
+            return Some(self.vectors as u64);
+        }
+        if self.pe == 0 || self.simd == 0 {
+            return None;
+        }
+        let fold = (self.rows.div_ceil(self.pe) as u64)
+            .checked_mul(self.cols.div_ceil(self.simd) as u64)?;
+        fold.checked_mul(self.vectors as u64)
+    }
+
+    /// Whether this stage contains an MVTU (pool stages do not).
+    pub fn is_compute(&self) -> bool {
+        self.kind != StageKind::Pool
+    }
+}
+
+/// Shape-inference outcome: diagnostics plus a stage plan when the graph
+/// was consistent enough to lay out hardware stages.
+pub struct ShapeAnalysis {
+    /// Findings from the walk.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Planned stages in dataflow order; `None` when shape errors make a
+    /// layout meaningless.
+    pub plan: Option<Vec<StagePlan>>,
+}
+
+/// Whole-graph shape inference over an [`ArchSpec`] with mismatch
+/// localization. This is the diagnostic twin of `Arch::spatial_plan()` +
+/// `Arch::validate()`: instead of `assert!`ing, it reports every
+/// inconsistency it can find in one pass.
+pub fn infer_shapes(spec: &ArchSpec) -> ShapeAnalysis {
+    let mut diags = Vec::new();
+    let name = &spec.name;
+    let k = spec.kernel;
+
+    if spec.fcs.is_empty() {
+        diags.push(Diagnostic::error(
+            Code::PipelineStructure,
+            format!("{name}.fcs"),
+            "architecture has no dense head; the final logits layer is mandatory",
+        ));
+    }
+    if k == 0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidConfig,
+            format!("{name}.kernel"),
+            "kernel size must be positive",
+        ));
+        return ShapeAnalysis {
+            diagnostics: diags,
+            plan: None,
+        };
+    }
+
+    // Conv channel chaining.
+    for (i, w) in spec.convs.windows(2).enumerate() {
+        if w[0].c_out != w[1].c_in {
+            let j = i.saturating_add(1);
+            diags.push(
+                Diagnostic::error(
+                    Code::ConvChainMismatch,
+                    format!("{name}.convs[{j}].c_in"),
+                    format!(
+                        "conv{} emits {} channels but conv{} expects {}",
+                        j,
+                        w[0].c_out,
+                        j.saturating_add(1),
+                        w[1].c_in
+                    ),
+                )
+                .with_help(format!("set convs[{j}].c_in = {}", w[0].c_out)),
+            );
+        }
+    }
+
+    // Spatial walk: valid k×k convs shrink by k−1; pools halve.
+    let mut hw = spec.input_size;
+    let mut spatial_ok = true;
+    let mut conv_out_hw = Vec::with_capacity(spec.convs.len());
+    for (i, conv) in spec.convs.iter().enumerate() {
+        let stage = i.saturating_add(1);
+        if hw < k {
+            diags.push(Diagnostic::error(
+                Code::SpatialUnderflow,
+                format!("{name}.convs[{i}]"),
+                format!("conv{stage} input extent {hw} is below the {k}×{k} kernel"),
+            ));
+            spatial_ok = false;
+            break;
+        }
+        hw = hw.saturating_sub(k.saturating_sub(1));
+        conv_out_hw.push(hw);
+        if conv.pool_after {
+            if !hw.is_multiple_of(2) {
+                diags.push(
+                    Diagnostic::error(
+                        Code::OddPoolExtent,
+                        format!("{name}.convs[{i}].pool_after"),
+                        format!("2×2 pool after conv{stage} needs an even extent, got {hw}"),
+                    )
+                    .with_help("drop the pool or adjust the input size"),
+                );
+                spatial_ok = false;
+                break;
+            }
+            hw /= 2;
+        }
+    }
+
+    // Flattened feature count feeding the dense head.
+    if spatial_ok {
+        let last_c = spec.convs.last().map(|c| c.c_out).unwrap_or(3);
+        let flat = last_c
+            .checked_mul(hw)
+            .and_then(|v| v.checked_mul(hw))
+            .unwrap_or(usize::MAX);
+        if let Some(fc0) = spec.fcs.first() {
+            if fc0.f_in != flat {
+                diags.push(
+                    Diagnostic::error(
+                        Code::FlattenMismatch,
+                        format!("{name}.fcs[0].f_in"),
+                        format!(
+                            "conv trunk flattens to {last_c}×{hw}×{hw} = {flat} features \
+                             but fc1 expects {}",
+                            fc0.f_in
+                        ),
+                    )
+                    .with_help(format!("set fcs[0].f_in = {flat}")),
+                );
+            }
+        }
+    }
+
+    // FC chaining and head width.
+    for (i, w) in spec.fcs.windows(2).enumerate() {
+        if w[0].f_out != w[1].f_in {
+            let j = i.saturating_add(1);
+            diags.push(Diagnostic::error(
+                Code::FcChainMismatch,
+                format!("{name}.fcs[{j}].f_in"),
+                format!(
+                    "fc{} emits {} features but fc{} expects {}",
+                    j,
+                    w[0].f_out,
+                    j.saturating_add(1),
+                    w[1].f_in
+                ),
+            ));
+        }
+    }
+    if let Some(last) = spec.fcs.last() {
+        if last.f_out != spec.classes {
+            let i = spec.fcs.len().saturating_sub(1);
+            diags.push(Diagnostic::error(
+                Code::HeadWidthMismatch,
+                format!("{name}.fcs[{i}].f_out"),
+                format!(
+                    "classifier head emits {} logits but the task has {} classes",
+                    last.f_out, spec.classes
+                ),
+            ));
+        }
+    }
+
+    // PE/SIMD vector lengths.
+    let n_layers = spec.convs.len().saturating_add(spec.fcs.len());
+    if spec.pe.len() != n_layers {
+        diags.push(Diagnostic::error(
+            Code::PeVectorLength,
+            format!("{name}.pe"),
+            format!(
+                "PE vector has {} entries for {n_layers} compute layers",
+                spec.pe.len()
+            ),
+        ));
+    }
+    if spec.simd.len() != n_layers {
+        diags.push(Diagnostic::error(
+            Code::SimdVectorLength,
+            format!("{name}.simd"),
+            format!(
+                "SIMD vector has {} entries for {n_layers} compute layers",
+                spec.simd.len()
+            ),
+        ));
+    }
+
+    if !diags.is_empty() {
+        return ShapeAnalysis {
+            diagnostics: diags,
+            plan: None,
+        };
+    }
+
+    // Consistent graph: lay out the hardware stages deploy() would build.
+    let mut plan = Vec::new();
+    let mut hw = spec.input_size;
+    let mut pool_idx = 0usize;
+    for (i, conv) in spec.convs.iter().enumerate() {
+        let oh = hw.saturating_sub(k.saturating_sub(1));
+        let stage_no = i.saturating_add(1);
+        plan.push(StagePlan {
+            name: format!("conv{stage_no}"),
+            kind: if i == 0 {
+                StageKind::ConvFixed
+            } else {
+                StageKind::ConvBinary
+            },
+            rows: conv.c_out,
+            cols: conv
+                .c_in
+                .checked_mul(k)
+                .and_then(|v| v.checked_mul(k))
+                .unwrap_or(usize::MAX),
+            vectors: oh.saturating_mul(oh),
+            pe: spec.pe[i],
+            simd: spec.simd[i],
+            layer_index: Some(i),
+        });
+        hw = oh;
+        if conv.pool_after {
+            pool_idx = pool_idx.saturating_add(1);
+            hw /= 2;
+            plan.push(StagePlan {
+                name: format!("pool{pool_idx}"),
+                kind: StageKind::Pool,
+                rows: 0,
+                cols: 0,
+                vectors: hw.saturating_mul(hw),
+                pe: 1,
+                simd: 1,
+                layer_index: None,
+            });
+        }
+    }
+    let n_fc = spec.fcs.len();
+    for (i, fc) in spec.fcs.iter().enumerate() {
+        let li = spec.convs.len().saturating_add(i);
+        plan.push(StagePlan {
+            name: format!("fc{}", i.saturating_add(1)),
+            kind: if i.saturating_add(1) < n_fc {
+                StageKind::DenseBinary
+            } else {
+                StageKind::DenseLogits
+            },
+            rows: fc.f_out,
+            cols: fc.f_in,
+            vectors: 1,
+            pe: spec.pe[li],
+            simd: spec.simd[li],
+            layer_index: Some(li),
+        });
+    }
+
+    ShapeAnalysis {
+        diagnostics: diags,
+        plan: Some(plan),
+    }
+}
+
+/// A 2-conv/2-fc toy spec that is fully consistent (shared test fixture).
+#[cfg(test)]
+pub(crate) fn toy_spec() -> ArchSpec {
+    ArchSpec {
+        name: "toy".into(),
+        input_size: 8,
+        kernel: 3,
+        classes: 4,
+        convs: vec![
+            ConvSpec {
+                c_in: 3,
+                c_out: 8,
+                pool_after: false,
+            },
+            ConvSpec {
+                c_in: 8,
+                c_out: 8,
+                pool_after: true,
+            },
+        ],
+        fcs: vec![
+            FcSpec {
+                f_in: 32,
+                f_out: 16,
+            },
+            FcSpec { f_in: 16, f_out: 4 },
+        ],
+        pe: vec![2, 4, 2, 1],
+        simd: vec![3, 8, 8, 4],
+        dsp_offload: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+
+    #[test]
+    fn consistent_spec_plans_all_stages() {
+        let a = infer_shapes(&toy_spec());
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        let plan = a.plan.unwrap();
+        // conv1, conv2, pool1, fc1, fc2.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan[0].kind, StageKind::ConvFixed);
+        assert_eq!(plan[2].kind, StageKind::Pool);
+        assert_eq!(plan[4].kind, StageKind::DenseLogits);
+        // 8 → 6 → 4 → pool 2; flat = 8·2·2 = 32 = fc1 fan-in.
+        assert_eq!(plan[1].vectors, 16); // 4×4 windows
+        assert_eq!(plan[2].vectors, 4); // 2×2 pooled pixels
+        assert_eq!(plan[3].cols, 32);
+        // Weight bits: conv1 8·27, conv2 8·72, fc1 16·32, fc2 4·16.
+        assert_eq!(plan[0].weight_bits(), 8 * 27);
+        assert_eq!(plan[2].weight_bits(), 0);
+    }
+
+    #[test]
+    fn broken_conv_chain_is_localized() {
+        let mut s = toy_spec();
+        s.convs[1].c_in = 5;
+        let a = infer_shapes(&s);
+        assert!(a.plan.is_none());
+        let d = &a.diagnostics[0];
+        assert_eq!(d.code, Code::ConvChainMismatch);
+        assert_eq!(d.location, "toy.convs[1].c_in");
+        assert!(d.message.contains("8 channels"));
+        assert!(d.help.as_deref().unwrap().contains("= 8"));
+    }
+
+    #[test]
+    fn odd_pool_and_underflow_detected() {
+        let mut s = toy_spec();
+        s.input_size = 7; // 7→5→3: pool on odd 3.
+        let a = infer_shapes(&s);
+        assert!(a.diagnostics.iter().any(|d| d.code == Code::OddPoolExtent));
+
+        let mut s = toy_spec();
+        s.input_size = 4; // 4→2: below the 3×3 kernel for conv2.
+        let a = infer_shapes(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::SpatialUnderflow));
+    }
+
+    #[test]
+    fn fc_head_checks() {
+        let mut s = toy_spec();
+        s.fcs[1].f_in = 99;
+        let a = infer_shapes(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::FcChainMismatch));
+
+        let mut s = toy_spec();
+        s.fcs[1].f_out = 5;
+        let a = infer_shapes(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::HeadWidthMismatch));
+
+        let mut s = toy_spec();
+        s.fcs[0].f_in = 31;
+        let a = infer_shapes(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::FlattenMismatch));
+    }
+
+    #[test]
+    fn vector_length_checks() {
+        let mut s = toy_spec();
+        s.pe.pop();
+        let a = infer_shapes(&s);
+        assert!(a.diagnostics.iter().any(|d| d.code == Code::PeVectorLength));
+
+        let mut s = toy_spec();
+        s.simd.push(1);
+        let a = infer_shapes(&s);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::SimdVectorLength));
+    }
+
+    #[test]
+    fn cycles_use_ceiling_division_and_detect_overflow() {
+        let p = StagePlan {
+            name: "x".into(),
+            kind: StageKind::ConvBinary,
+            rows: 65,
+            cols: 100,
+            vectors: 49,
+            pe: 16,
+            simd: 32,
+            layer_index: Some(0),
+        };
+        assert_eq!(p.cycles_per_frame(), Some(5 * 4 * 49));
+        let huge = StagePlan {
+            rows: usize::MAX,
+            cols: usize::MAX,
+            vectors: usize::MAX,
+            pe: 1,
+            simd: 1,
+            ..p
+        };
+        assert_eq!(huge.cycles_per_frame(), None);
+    }
+}

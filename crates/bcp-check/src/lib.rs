@@ -1,0 +1,329 @@
+//! Static model/accelerator verifier for BinaryCoP designs.
+//!
+//! Everything here runs *before* any weights are packed or hardware stages
+//! are constructed: a broken architecture should be rejected with a typed,
+//! localized diagnostic — never an `assert!` panic deep inside `deploy()`.
+//! Five analyses cooperate, all funnelling into the [`diag`] engine's
+//! stable `BCP0xx` codes:
+//!
+//! 1. **Shape inference** ([`graph`]) — walks the conv trunk and dense head
+//!    of an [`ArchSpec`], localizing every chain/flatten/head mismatch, and
+//!    lays out the hardware stages `deploy()` would build.
+//! 2. **Folding legality** — PE must divide each layer's output neurons and
+//!    SIMD its fan-in, and both must be positive.
+//! 3. **Cycle budgets** — each stage's cycles/frame (ceiling-division fold
+//!    arithmetic, overflow-checked) against the `target_fps` budget.
+//! 4. **Rate balance / FIFO deadlock** — the tandem-queue discrete-event
+//!    model (`bcp_finn::cyclesim`) replayed on the planned service times;
+//!    zero-capacity FIFOs, back-pressure throttling, and starved stages.
+//! 5. **Resource & threshold soundness** — the shared Table II estimator
+//!    against the device budget, and (for built pipelines) every folded
+//!    batch-norm threshold against its accumulator's reachable range.
+//!
+//! Entry points: [`check_arch`] for a pre-deployment architecture
+//! description, [`check_pipeline`] for a built `bcp_finn::Pipeline`.
+//! `binarycop` calls these from `Arch::try_validate` / `deploy` and the
+//! `bcp check` CLI subcommand.
+
+#![warn(clippy::arithmetic_side_effects)]
+
+pub mod analyses;
+pub mod diag;
+pub mod graph;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use graph::{infer_shapes, ArchSpec, ConvSpec, FcSpec, ShapeAnalysis, StageKind, StagePlan};
+
+use bcp_finn::device::{Device, Z7010, Z7020};
+use bcp_finn::perf::{ClockModel, CLOCK_100MHZ};
+use bcp_finn::pipeline::{Pipeline, Stage};
+
+/// Knobs for a verification run.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Device the resource-fit analysis runs against; `None` means the
+    /// design's paper target device ([`ArchSpec::target_device`]).
+    pub device: Option<Device>,
+    /// Frame-rate the cycle-budget analysis must sustain. The paper's
+    /// camera scenario needs real-time video, so the default is 30 fps —
+    /// far below the ~6400 fps the dimensioned designs reach, but the
+    /// budget that *must* hold for the application to work.
+    pub target_fps: f64,
+    /// Inter-stage FIFO depth for the rate/deadlock analysis.
+    pub fifo_depth: usize,
+    /// Clock model (100 MHz for every BinaryCoP prototype).
+    pub clock: ClockModel,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            device: None,
+            target_fps: 30.0,
+            fifo_depth: 4,
+            clock: CLOCK_100MHZ,
+        }
+    }
+}
+
+impl ArchSpec {
+    /// The device this design targets in the paper: the Z7010 for the
+    /// DSP-offloaded μ-CNV (Sec. IV-A, OrthrusPE), the Z7020 otherwise.
+    /// Resource overruns on the target are errors; on any other device
+    /// they are expected and degrade to warnings.
+    pub fn target_device(&self) -> Device {
+        if self.dsp_offload {
+            Z7010
+        } else {
+            Z7020
+        }
+    }
+}
+
+/// Statically verify an architecture description. Runs shape inference,
+/// folding legality, cycle budgets, rate balance, and resource fit; the
+/// returned [`Report`] is clean iff a pipeline may be constructed.
+pub fn check_arch(spec: &ArchSpec, cfg: &CheckConfig) -> Report {
+    let target = spec.target_device();
+    let device = cfg.device.unwrap_or(target);
+    let mut report = Report::new(&spec.name, device.name, target.name);
+    analyses::check_config(cfg, &mut report.diagnostics);
+
+    let shapes = graph::infer_shapes(spec);
+    report.diagnostics.extend(shapes.diagnostics);
+    let Some(plan) = shapes.plan else {
+        return report; // shape errors make the later analyses meaningless
+    };
+
+    analyses::check_folding(&spec.name, &plan, &mut report.diagnostics);
+    if let Some(service) = analyses::check_cycles(&spec.name, &plan, cfg, &mut report.diagnostics) {
+        analyses::check_rates(&spec.name, &plan, &service, cfg, &mut report.diagnostics);
+    }
+    analyses::check_resources(
+        &spec.name,
+        &plan,
+        spec.dsp_offload,
+        &device,
+        &target,
+        &mut report.diagnostics,
+    );
+    report
+}
+
+/// Statically verify a *built* pipeline: the same folding/cycle/rate/
+/// resource analyses as [`check_arch`] (on a plan derived from the real
+/// stages), plus threshold soundness, which needs the folded integer
+/// thresholds to exist.
+pub fn check_pipeline(pipeline: &Pipeline, dsp_offload: bool, cfg: &CheckConfig) -> Report {
+    let target = if dsp_offload { Z7010 } else { Z7020 };
+    let device = cfg.device.unwrap_or(target);
+    let subject = pipeline.name().to_owned();
+    let mut report = Report::new(&subject, device.name, target.name);
+    analyses::check_config(cfg, &mut report.diagnostics);
+
+    let plan = plan_from_pipeline(pipeline);
+    analyses::check_folding(&subject, &plan, &mut report.diagnostics);
+    if let Some(service) = analyses::check_cycles(&subject, &plan, cfg, &mut report.diagnostics) {
+        analyses::check_rates(&subject, &plan, &service, cfg, &mut report.diagnostics);
+    }
+    analyses::check_resources(
+        &subject,
+        &plan,
+        dsp_offload,
+        &device,
+        &target,
+        &mut report.diagnostics,
+    );
+    analyses::check_thresholds(&subject, pipeline, &mut report.diagnostics);
+    report
+}
+
+/// Derive [`StagePlan`]s from a built pipeline, so the plan-based analyses
+/// see exactly the stages the hardware would run. `layer_index` counts
+/// compute layers only, matching the `pe`/`simd` vector indexing of the
+/// architecture that produced the pipeline.
+fn plan_from_pipeline(pipeline: &Pipeline) -> Vec<StagePlan> {
+    let mut compute_idx = 0usize;
+    pipeline
+        .stages()
+        .iter()
+        .map(|s| {
+            let (_, oh, ow) = s.out_dims();
+            let f = s.folding();
+            let (kind, rows, cols, vectors) = match s {
+                Stage::ConvFixed { mvtu, .. } => (
+                    StageKind::ConvFixed,
+                    mvtu.rows(),
+                    mvtu.cols(),
+                    oh.saturating_mul(ow),
+                ),
+                Stage::ConvBinary { mvtu, .. } => (
+                    StageKind::ConvBinary,
+                    mvtu.rows(),
+                    mvtu.cols(),
+                    oh.saturating_mul(ow),
+                ),
+                Stage::PoolOr { .. } => (StageKind::Pool, 0, 0, oh.saturating_mul(ow)),
+                Stage::DenseBinary { mvtu, .. } => {
+                    (StageKind::DenseBinary, mvtu.rows(), mvtu.cols(), 1)
+                }
+                Stage::DenseLogits { mvtu, .. } => {
+                    (StageKind::DenseLogits, mvtu.rows(), mvtu.cols(), 1)
+                }
+            };
+            let layer_index = if kind == StageKind::Pool {
+                None
+            } else {
+                let i = compute_idx;
+                compute_idx = compute_idx.saturating_add(1);
+                Some(i)
+            };
+            StagePlan {
+                name: s.name().to_owned(),
+                kind,
+                rows,
+                cols,
+                vectors,
+                pe: f.pe,
+                simd: f.simd,
+                layer_index,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+    use bcp_bitpack::pack::pack_matrix;
+    use bcp_bitpack::{ThresholdChannel, ThresholdUnit};
+    use bcp_finn::mvtu::{BinaryMvtu, FixedInputMvtu};
+    use bcp_finn::Folding;
+
+    fn w(r: usize, c: usize) -> bcp_bitpack::BitMatrix {
+        pack_matrix(r, c, &vec![1.0f32; r * c])
+    }
+
+    fn t(r: usize) -> ThresholdUnit {
+        ThresholdUnit::new(vec![ThresholdChannel::Ge(0); r])
+    }
+
+    fn toy_pipeline() -> Pipeline {
+        Pipeline::new(
+            "toy-pipe",
+            vec![
+                Stage::ConvFixed {
+                    name: "conv1".into(),
+                    mvtu: FixedInputMvtu::new(w(8, 27), t(8), Folding::new(2, 3)),
+                    k: 3,
+                    in_dims: (3, 8, 8),
+                },
+                Stage::ConvBinary {
+                    name: "conv2".into(),
+                    mvtu: BinaryMvtu::new(w(8, 72), Some(t(8)), Folding::new(4, 8)),
+                    k: 3,
+                    in_dims: (8, 6, 6),
+                },
+                Stage::PoolOr {
+                    name: "pool1".into(),
+                    k: 2,
+                    in_dims: (8, 4, 4),
+                },
+                Stage::DenseBinary {
+                    name: "fc1".into(),
+                    mvtu: BinaryMvtu::new(w(16, 32), Some(t(16)), Folding::new(2, 8)),
+                },
+                Stage::DenseLogits {
+                    name: "fc2".into(),
+                    mvtu: BinaryMvtu::new(w(4, 16), None, Folding::new(1, 4)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn toy_arch_checks_clean() {
+        let spec = crate::graph::toy_spec();
+        let report = check_arch(&spec, &CheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+        assert_eq!(report.device, "XC7Z020");
+        assert_eq!(report.target_device, "XC7Z020");
+    }
+
+    #[test]
+    fn toy_pipeline_checks_clean() {
+        let report = check_pipeline(&toy_pipeline(), false, &CheckConfig::default());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn pipeline_plan_reproduces_stage_cycles() {
+        let p = toy_pipeline();
+        let plan = plan_from_pipeline(&p);
+        assert_eq!(plan.len(), p.stages().len());
+        for (sp, st) in plan.iter().zip(p.stages()) {
+            assert_eq!(
+                sp.cycles_per_frame(),
+                Some(st.cycles_per_frame()),
+                "plan/stage cycle mismatch at {}",
+                sp.name
+            );
+            assert_eq!(sp.weight_bits(), st.weight_bits());
+        }
+        // Compute layers are indexed skipping pools.
+        assert_eq!(plan[2].layer_index, None);
+        assert_eq!(plan[3].layer_index, Some(2));
+    }
+
+    #[test]
+    fn arch_mutations_are_rejected_with_typed_codes() {
+        let mut spec = crate::graph::toy_spec();
+        spec.pe[1] = 3; // 3 ∤ 8 output channels
+        let report = check_arch(&spec, &CheckConfig::default());
+        assert!(!report.is_clean());
+        assert!(report.has_code(Code::PeNotDivisor));
+
+        let mut spec = crate::graph::toy_spec();
+        spec.fcs[0].f_in = 33;
+        let report = check_arch(&spec, &CheckConfig::default());
+        assert!(report.has_code(Code::FlattenMismatch));
+        // Shape errors suppress the downstream analyses entirely.
+        assert!(!report.has_code(Code::SimdNotDivisor));
+    }
+
+    #[test]
+    fn pipeline_threshold_mutation_is_caught() {
+        let mut p = toy_pipeline();
+        if let Stage::ConvBinary { mvtu, .. } = p.stage_mut(1) {
+            // conv2 has 72 inputs: accumulators live in [−72, 72].
+            *mvtu = BinaryMvtu::new(
+                w(8, 72),
+                Some(ThresholdUnit::new(vec![ThresholdChannel::Ge(500); 8])),
+                Folding::new(4, 8),
+            );
+        }
+        let report = check_pipeline(&p, false, &CheckConfig::default());
+        assert!(report.has_code(Code::ThresholdOutOfRange));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn device_override_degrades_foreign_overruns_to_warnings() {
+        // The toy design fits everything; force a huge one instead.
+        let mut spec = crate::graph::toy_spec();
+        spec.convs[1].c_out = 512;
+        spec.fcs[0].f_in = 512 * 2 * 2;
+        spec.pe[1] = 512;
+        spec.simd[1] = 72;
+        let cfg = CheckConfig {
+            device: Some(Z7010),
+            ..CheckConfig::default()
+        };
+        let report = check_arch(&spec, &cfg);
+        // Over budget on the Z7010, but the target is the Z7020 → warning.
+        assert!(report.has_code(Code::LutOverBudget));
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+}

@@ -32,12 +32,20 @@ pub struct CycleSimReport {
 /// consecutive stages (≥ 1). Service times are each stage's per-frame
 /// cycles; the source can always supply the next frame immediately.
 pub fn simulate(pipeline: &Pipeline, frames: usize, fifo_depth: usize) -> CycleSimReport {
-    assert!(fifo_depth >= 1, "inter-stage FIFOs need at least one slot");
     let service: Vec<u64> = pipeline
         .stages()
         .iter()
         .map(|s| s.cycles_per_frame())
         .collect();
+    simulate_service(&service, frames, fifo_depth)
+}
+
+/// [`simulate`] over a raw per-stage service-time vector. This is the
+/// actual tandem-queue recurrence; `bcp-check`'s rate-balance analysis
+/// calls it on cycle counts derived from an architecture description alone,
+/// before any weights exist.
+pub fn simulate_service(service: &[u64], frames: usize, fifo_depth: usize) -> CycleSimReport {
+    assert!(fifo_depth >= 1, "inter-stage FIFOs need at least one slot");
     let n = service.len();
     assert!(n > 0, "empty pipeline");
     if frames == 0 {
@@ -193,6 +201,37 @@ mod tests {
         assert_eq!(one.measured_ii, 0);
         let zero = simulate(&p, 0, 2);
         assert!(zero.completion_cycles.is_empty());
+    }
+
+    #[test]
+    fn service_vector_entry_point_matches_pipeline_entry_point() {
+        let p = pipeline();
+        let service: Vec<u64> = p.stages().iter().map(|s| s.cycles_per_frame()).collect();
+        let a = simulate(&p, 60, 3);
+        let b = simulate_service(&service, 60, 3);
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.stage_utilization, b.stage_utilization);
+    }
+
+    #[test]
+    fn non_exact_folds_pin_measured_ii() {
+        // Ceiling-division audit (ISSUE 2): a stage whose matrix does not
+        // divide by its folding must be timed with the rounded-*up* fold.
+        // rows=65 under PE=16 → 5 passes; cols=100 under SIMD=32 → 4 passes;
+        // 49 windows → 980 cycles — the pipeline bottleneck, and the
+        // discrete-event II must land on exactly that number (floor division
+        // would predict 4·3·49 = 588 and disagree).
+        let ragged = Folding::new(16, 32);
+        assert_eq!(ragged.cycles_per_frame(65, 100, 49), 980);
+        let service = vec![980u64, 196, 5, 32];
+        let sim = simulate_service(&service, 120, 2);
+        assert_eq!(sim.measured_ii, 980);
+        // And a second ragged stage between exact ones keeps the recurrence
+        // consistent: II is still the (ceiling-division) maximum.
+        let service = vec![512u64, Folding::new(4, 4).cycles_per_frame(7, 13, 3), 600];
+        let sim = simulate_service(&service, 120, 4);
+        assert_eq!(sim.measured_ii, 600);
+        assert_eq!(service[1], 24);
     }
 
     #[test]

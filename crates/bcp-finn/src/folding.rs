@@ -10,6 +10,27 @@
 //! the entire pipeline").
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a folding is unconstructible (see [`Folding::try_new`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldingError {
+    /// `pe == 0`.
+    ZeroPe,
+    /// `simd == 0`.
+    ZeroSimd,
+}
+
+impl fmt::Display for FoldingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldingError::ZeroPe => write!(f, "folding factors must be positive (pe = 0)"),
+            FoldingError::ZeroSimd => write!(f, "folding factors must be positive (simd = 0)"),
+        }
+    }
+}
+
+impl std::error::Error for FoldingError {}
 
 /// An MVTU dimensioning choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,10 +42,25 @@ pub struct Folding {
 }
 
 impl Folding {
-    /// New folding; both factors must be positive.
+    /// New folding; both factors must be positive. Panicking wrapper around
+    /// [`Folding::try_new`] for call sites with known-good constants.
     pub fn new(pe: usize, simd: usize) -> Self {
-        assert!(pe > 0 && simd > 0, "folding factors must be positive");
-        Folding { pe, simd }
+        match Self::try_new(pe, simd) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: static analyzers (`bcp-check`) route this error
+    /// into a diagnostic instead of dying mid-pipeline.
+    pub fn try_new(pe: usize, simd: usize) -> Result<Self, FoldingError> {
+        if pe == 0 {
+            return Err(FoldingError::ZeroPe);
+        }
+        if simd == 0 {
+            return Err(FoldingError::ZeroSimd);
+        }
+        Ok(Folding { pe, simd })
     }
 
     /// Fully sequential (1 PE, 1 lane).
@@ -113,5 +149,32 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_folding_rejected() {
         Folding::new(0, 4);
+    }
+
+    #[test]
+    fn try_new_reports_which_factor_is_zero() {
+        assert_eq!(Folding::try_new(0, 4), Err(FoldingError::ZeroPe));
+        assert_eq!(Folding::try_new(4, 0), Err(FoldingError::ZeroSimd));
+        assert_eq!(Folding::try_new(0, 0), Err(FoldingError::ZeroPe));
+        assert_eq!(Folding::try_new(2, 3), Ok(Folding { pe: 2, simd: 3 }));
+    }
+
+    #[test]
+    fn non_exact_cycles_per_frame_pinned() {
+        // Ceiling-division audit (ISSUE 2): every non-exact fold must round
+        // *up* — the padded rows/cols still occupy hardware cycles. Pin the
+        // exact cycle counts so a future regression to floor division fails.
+        let f = Folding::new(16, 32);
+        // 65 rows → 5 PE passes (not 4), 100 cols → 4 SIMD passes (not 3).
+        assert_eq!(f.fold(65, 100), 5 * 4);
+        assert_eq!(f.cycles_per_frame(65, 100, 49), 5 * 4 * 49);
+        // One row / one col over an exact boundary costs a whole extra pass.
+        assert_eq!(f.fold(64, 576), 4 * 18);
+        assert_eq!(f.fold(65, 576), 5 * 18);
+        assert_eq!(f.fold(64, 577), 4 * 19);
+        // Folding wider than the matrix clamps to a single pass.
+        assert_eq!(Folding::new(128, 1024).fold(64, 576), 1);
+        // Prime dims never divide: 7×13 under 4×4 → ⌈7/4⌉·⌈13/4⌉ = 2·4.
+        assert_eq!(Folding::new(4, 4).cycles_per_frame(7, 13, 3), 2 * 4 * 3);
     }
 }

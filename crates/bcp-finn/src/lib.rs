@@ -45,6 +45,6 @@ pub mod threshold;
 
 pub use data::{BinMap, QuantMap, StageData};
 pub use device::Device;
-pub use folding::Folding;
+pub use folding::{Folding, FoldingError};
 pub use pipeline::{Pipeline, Stage};
 pub use stream::{correlation_report, run_streaming, CorrelationReport, StreamStats};

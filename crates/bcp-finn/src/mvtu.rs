@@ -65,6 +65,11 @@ impl BinaryMvtu {
         self.thresholds.is_some()
     }
 
+    /// Threshold bank access (static analysis reads τ ranges).
+    pub fn thresholds(&self) -> Option<&ThresholdUnit> {
+        self.thresholds.as_ref()
+    }
+
     /// Toggle one weight bit (fault injection).
     pub fn flip_weight(&mut self, r: usize, c: usize) {
         self.weights.flip(r, c);
@@ -141,6 +146,11 @@ impl FixedInputMvtu {
     /// Weight matrix access.
     pub fn weights(&self) -> &BitMatrix {
         &self.weights
+    }
+
+    /// Threshold bank access (static analysis reads τ ranges).
+    pub fn thresholds(&self) -> &ThresholdUnit {
+        &self.thresholds
     }
 
     /// Toggle one weight bit (fault injection).

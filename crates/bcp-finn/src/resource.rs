@@ -16,6 +16,7 @@
 //! (exactly for CNV's LUTs); EXPERIMENTS.md records the deltas.
 
 use crate::device::ResourceUsage;
+use crate::folding::Folding;
 use crate::pipeline::{Pipeline, Stage};
 
 /// LUTs per synapse-bit of parallelism (XNOR gate + popcount-tree share).
@@ -35,18 +36,47 @@ pub const BRAM18_BITS: u64 = 18 * 1024;
 /// Fixed DSP infrastructure.
 pub const DSP_BASE: u64 = 6;
 
+/// Abstract per-stage input to the resource model: what the estimator needs
+/// to know about a stage, without weights or thresholds existing yet.
+/// `bcp-check` derives these from an architecture description for its
+/// device-fit analysis; [`estimate`] derives them from a built pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct StageResourceSpec {
+    /// PE×SIMD dimensioning (ignored for pool stages).
+    pub folding: Folding,
+    /// Weight-memory size in bits (0 for pool stages).
+    pub weight_bits: u64,
+    /// Boolean-OR pool stage (costs only control logic).
+    pub is_pool: bool,
+}
+
 /// Estimate resources for a pipeline. `dsp_offload` models the
 /// OrthrusPE-style XNOR-to-DSP mapping used to fit the Z7010.
 pub fn estimate(pipeline: &Pipeline, dsp_offload: bool) -> ResourceUsage {
+    let specs: Vec<StageResourceSpec> = pipeline
+        .stages()
+        .iter()
+        .map(|stage| StageResourceSpec {
+            folding: stage.folding(),
+            weight_bits: stage.weight_bits(),
+            is_pool: matches!(stage, Stage::PoolOr { .. }),
+        })
+        .collect();
+    estimate_specs(&specs, dsp_offload)
+}
+
+/// [`estimate`] over abstract stage specs — the shared model both the built
+/// pipeline and the pre-deployment static checker are costed with.
+pub fn estimate_specs(specs: &[StageResourceSpec], dsp_offload: bool) -> ResourceUsage {
     let mut luts = LUT_BASE;
     let mut bram18 = 0u64;
     let mut total_parallelism = 0u64;
     let mut first_layer_pe = 0u64;
 
-    for (i, stage) in pipeline.stages().iter().enumerate() {
-        let f = stage.folding();
-        let bits = stage.weight_bits();
-        if matches!(stage, Stage::PoolOr { .. }) {
+    for (i, spec) in specs.iter().enumerate() {
+        let f = spec.folding;
+        let bits = spec.weight_bits;
+        if spec.is_pool {
             luts += LUT_PER_STAGE / 2.0; // pooling is a trivial OR tree
             continue;
         }
@@ -178,6 +208,23 @@ mod tests {
         let off = estimate(&small_pipeline(8, 16), true);
         assert!(off.dsps > plain.dsps);
         assert!(off.luts < plain.luts);
+    }
+
+    #[test]
+    fn spec_entry_point_matches_pipeline_entry_point() {
+        let p = small_pipeline(8, 16);
+        let specs: Vec<StageResourceSpec> = p
+            .stages()
+            .iter()
+            .map(|s| StageResourceSpec {
+                folding: s.folding(),
+                weight_bits: s.weight_bits(),
+                is_pool: matches!(s, Stage::PoolOr { .. }),
+            })
+            .collect();
+        for offload in [false, true] {
+            assert_eq!(estimate(&p, offload), estimate_specs(&specs, offload));
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The Table I architectures and their hardware dimensioning.
 
+use bcp_check::{ArchSpec, ConvSpec, Diagnostic, FcSpec};
 use bcp_finn::dse::LayerDims;
 use bcp_finn::Folding;
 use serde::{Deserialize, Serialize};
@@ -242,35 +243,67 @@ impl Arch {
         (outs, flat)
     }
 
+    /// The static checker's plain-data view of this architecture
+    /// (`bcp-check` sits below this crate, so it defines its own type).
+    pub fn spec(&self) -> ArchSpec {
+        ArchSpec {
+            name: self.name.clone(),
+            input_size: self.input_size,
+            kernel: K,
+            classes: CLASSES,
+            convs: self
+                .convs
+                .iter()
+                .map(|c| ConvSpec {
+                    c_in: c.c_in,
+                    c_out: c.c_out,
+                    pool_after: c.pool_after,
+                })
+                .collect(),
+            fcs: self
+                .fcs
+                .iter()
+                .map(|f| FcSpec {
+                    f_in: f.f_in,
+                    f_out: f.f_out,
+                })
+                .collect(),
+            pe: self.pe.clone(),
+            simd: self.simd.clone(),
+            dsp_offload: self.dsp_offload,
+        }
+    }
+
     /// Validate internal consistency: channel chaining, FC fan-in matching
     /// the flattened conv output, PE/SIMD vector lengths, pool parity.
+    /// Every inconsistency is reported as a typed, localized `BCP0xx`
+    /// diagnostic; `Ok(())` means a pipeline can be laid out.
+    ///
+    /// This is the shape-inference band only — scheduling and resource
+    /// findings (folding divisibility, cycle budgets, device fit) come from
+    /// the full [`bcp_check::check_arch`], which `bcp check` runs; foldings
+    /// that don't divide their matrices are functionally legal (the fuzz
+    /// suite deploys them), just never used by the published designs.
+    pub fn try_validate(&self) -> Result<(), Vec<Diagnostic>> {
+        let analysis = bcp_check::infer_shapes(&self.spec());
+        if analysis.diagnostics.is_empty() {
+            Ok(())
+        } else {
+            Err(analysis.diagnostics)
+        }
+    }
+
+    /// Panicking wrapper over [`Arch::try_validate`] for call sites where a
+    /// broken architecture is a programming error.
     pub fn validate(&self) {
-        for w in self.convs.windows(2) {
-            assert_eq!(
-                w[0].c_out, w[1].c_in,
-                "conv channel chain broken in {}",
-                self.name
+        if let Err(diags) = self.try_validate() {
+            let rendered: Vec<String> = diags.iter().map(|d| d.render()).collect();
+            panic!(
+                "architecture {} failed validation:\n{}",
+                self.name,
+                rendered.join("\n")
             );
         }
-        let (_, flat) = self.spatial_plan();
-        assert_eq!(
-            self.fcs.first().map(|f| f.f_in),
-            Some(flat),
-            "{}: first FC fan-in must equal flattened conv output",
-            self.name
-        );
-        for w in self.fcs.windows(2) {
-            assert_eq!(w[0].f_out, w[1].f_in, "FC chain broken in {}", self.name);
-        }
-        assert_eq!(self.fcs.last().map(|f| f.f_out), Some(CLASSES));
-        let n_layers = self.convs.len() + self.fcs.len();
-        assert_eq!(self.pe.len(), n_layers, "{}: PE vector length", self.name);
-        assert_eq!(
-            self.simd.len(),
-            n_layers,
-            "{}: SIMD vector length",
-            self.name
-        );
     }
 
     /// The folding of compute layer `i` (convs then FCs, Table I order).
@@ -348,7 +381,43 @@ mod tests {
     fn all_archs_validate() {
         for kind in ArchKind::ALL {
             kind.arch().validate();
+            assert!(kind.arch().try_validate().is_ok());
         }
+    }
+
+    #[test]
+    fn try_validate_reports_typed_diagnostics() {
+        let mut a = ArchKind::NCnv.arch();
+        a.convs[2].c_in = 99; // break the channel chain
+        a.fcs[2].f_out = 7; // and the head width
+        let diags = a.try_validate().unwrap_err();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == bcp_check::Code::ConvChainMismatch
+                && d.location == "n-CNV.convs[2].c_in"));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == bcp_check::Code::HeadWidthMismatch));
+    }
+
+    #[test]
+    #[should_panic(expected = "BCP003")]
+    fn validate_panics_with_rendered_diagnostics() {
+        let mut a = ArchKind::Cnv.arch();
+        a.fcs[0].f_in = 300; // flatten mismatch
+        a.validate();
+    }
+
+    #[test]
+    fn spec_mirrors_arch_and_targets_paper_devices() {
+        let a = ArchKind::MicroCnv.arch();
+        let s = a.spec();
+        assert_eq!(s.convs.len(), a.convs.len());
+        assert_eq!(s.pe, a.pe);
+        assert_eq!(s.kernel, K);
+        assert_eq!(s.classes, CLASSES);
+        assert_eq!(s.target_device().name, "XC7Z010");
+        assert_eq!(ArchKind::Cnv.arch().spec().target_device().name, "XC7Z020");
     }
 
     #[test]

@@ -1,12 +1,19 @@
 //! `bcp` — the BinaryCoP deployment CLI.
 //!
 //! ```text
+//! bcp check    --arch <cnv|ncnv|ucnv> | --all-arches
+//!              [--device z7020|z7010] [--target-fps N] [--fifo-depth N] [--json]
 //! bcp train    --arch <cnv|ncnv|ucnv> --out model.json [--per-class N] [--epochs N]
 //! bcp deploy   --arch <...> --model model.json --out accel.json
 //! bcp classify --arch <...> --accel accel.json IMG.ppm [IMG2.ppm …]
 //! bcp info     --arch <...> [--accel accel.json]
 //! bcp demo
 //! ```
+//!
+//! `check` runs the `bcp-check` static verifier (shape inference, folding
+//! legality, cycle budgets, FIFO/rate balance, device resource fit) and
+//! exits non-zero when any architecture carries an error-severity
+//! `BCP0xx` diagnostic. `--json` emits the machine-readable report list.
 //!
 //! Input images are binary PPM (P6); arbitrary sizes are box-resized to
 //! the 32×32 accelerator input, mirroring the paper's preprocessing.
@@ -41,12 +48,20 @@ struct Args {
     positional: Vec<String>,
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 2] = ["all-arches", "json"];
+
 fn parse_args(raw: &[String]) -> Args {
     let mut flags = HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0;
     while i < raw.len() {
         if let Some(name) = raw[i].strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = raw.get(i + 1).cloned().unwrap_or_else(|| {
                 eprintln!("flag --{name} needs a value");
                 exit(2);
@@ -98,6 +113,59 @@ fn finish_telemetry(telemetry: Option<(bcp_telemetry::Registry, std::path::PathB
     }
 }
 
+fn cmd_check(args: &Args) {
+    use bcp_check::{check_arch, CheckConfig};
+    let mut cfg = CheckConfig::default();
+    if let Some(d) = args.flags.get("device") {
+        cfg.device = Some(match d.to_ascii_lowercase().as_str() {
+            "z7020" | "xc7z020" => bcp_finn::device::Z7020,
+            "z7010" | "xc7z010" => bcp_finn::device::Z7010,
+            other => {
+                eprintln!("unknown device '{other}' (use z7020 | z7010)");
+                exit(2);
+            }
+        });
+    }
+    if let Some(v) = args.flags.get("target-fps") {
+        cfg.target_fps = v.parse().unwrap_or_else(|_| {
+            eprintln!("--target-fps needs a number, got '{v}'");
+            exit(2);
+        });
+    }
+    if let Some(v) = args.flags.get("fifo-depth") {
+        cfg.fifo_depth = v.parse().unwrap_or_else(|_| {
+            eprintln!("--fifo-depth needs an integer, got '{v}'");
+            exit(2);
+        });
+    }
+    let kinds: Vec<ArchKind> = if args.flags.contains_key("all-arches") {
+        ArchKind::ALL.to_vec()
+    } else {
+        vec![parse_arch(required(args, "arch"))]
+    };
+    let json = args.flags.contains_key("json");
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for kind in kinds {
+        let report = check_arch(&kind.arch().spec(), &cfg);
+        failed |= !report.is_clean();
+        if json {
+            reports.push(report);
+        } else {
+            print!("{}", report.render_text());
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&reports).expect("reports serialize")
+        );
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn cmd_train(args: &Args) {
     let kind = parse_arch(required(args, "arch"));
     let out = required(args, "out");
@@ -138,6 +206,13 @@ fn cmd_train(args: &Args) {
 
 fn cmd_deploy(args: &Args) {
     let arch = arch_of(args);
+    // Full static verification before any pipeline stage is constructed.
+    let report = bcp_check::check_arch(&arch.spec(), &bcp_check::CheckConfig::default());
+    if !report.is_clean() {
+        eprint!("{}", report.render_text());
+        eprintln!("static checks failed; refusing to deploy");
+        exit(1);
+    }
     let model_path = required(args, "model");
     let out = required(args, "out");
     let mut net = build_bnn(&arch, 0);
@@ -252,13 +327,18 @@ fn main() {
     let command = raw.first().cloned().unwrap_or_default();
     let args = parse_args(&raw[1.min(raw.len())..]);
     match command.as_str() {
+        "check" => cmd_check(&args),
         "train" => cmd_train(&args),
         "deploy" => cmd_deploy(&args),
         "classify" => cmd_classify(&args),
         "info" => cmd_info(&args),
         "demo" => cmd_demo(&args),
         _ => {
-            eprintln!("usage: bcp <train|deploy|classify|info|demo> [flags]");
+            eprintln!("usage: bcp <check|train|deploy|classify|info|demo> [flags]");
+            eprintln!(
+                "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
+                 [--target-fps 30] [--fifo-depth 4] [--json]"
+            );
             eprintln!("  bcp train    --arch ncnv --out model.json [--per-class 100] [--epochs 8]");
             eprintln!("  bcp deploy   --arch ncnv --model model.json --out accel.json");
             eprintln!("  bcp classify --arch ncnv --accel accel.json face.ppm …");

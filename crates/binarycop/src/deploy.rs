@@ -70,10 +70,39 @@ pub fn thresholds_from_bn(net: &Sequential, bn_name: &str, scale: f64) -> Thresh
     )
 }
 
-/// Export a trained BNN as a FINN pipeline with the architecture's
-/// published foldings.
+/// Export a trained BNN as a FINN pipeline, refusing with the checker's
+/// typed diagnostics when the architecture's graph is inconsistent.
+/// Network/architecture *mismatches* (missing layers, wrong layer kinds)
+/// still panic — they are programming errors, not design findings.
+///
+/// The shape band (`BCP00x`) gates construction; scheduling and resource
+/// findings do not, because non-divisor foldings and foreign devices are
+/// functionally legal (run [`bcp_check::check_arch`] or `bcp check` for
+/// the full verdict).
+pub fn try_deploy(net: &Sequential, arch: &Arch) -> Result<Pipeline, Vec<bcp_check::Diagnostic>> {
+    arch.try_validate()?;
+    Ok(build_pipeline(net, arch))
+}
+
+/// Panicking wrapper over [`try_deploy`] with the checker's rendered
+/// diagnostics as the panic message.
 pub fn deploy(net: &Sequential, arch: &Arch) -> Pipeline {
-    arch.validate();
+    match try_deploy(net, arch) {
+        Ok(p) => p,
+        Err(diags) => {
+            let rendered: Vec<String> = diags.iter().map(|d| d.render()).collect();
+            panic!(
+                "cannot deploy {}: architecture failed static checks\n{}",
+                arch.name,
+                rendered.join("\n")
+            );
+        }
+    }
+}
+
+/// Stage construction shared by [`deploy`]/[`try_deploy`]; assumes the
+/// architecture's shape already checked out.
+fn build_pipeline(net: &Sequential, arch: &Arch) -> Pipeline {
     let mut stages = Vec::new();
     let mut hw = arch.input_size;
     let mut pool_idx = 0usize;
@@ -251,5 +280,33 @@ mod tests {
         let arch = ArchKind::NCnv.arch();
         let net = Sequential::new("empty");
         deploy(&net, &arch);
+    }
+
+    #[test]
+    fn try_deploy_refuses_broken_arch_with_diagnostics() {
+        let mut arch = ArchKind::NCnv.arch();
+        arch.fcs[0].f_in = 65; // no longer the flattened conv output
+        let net = build_bnn(&ArchKind::NCnv.arch(), 3);
+        let Err(diags) = try_deploy(&net, &arch) else {
+            panic!("flatten mismatch must be refused");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == bcp_check::Code::FlattenMismatch));
+    }
+
+    #[test]
+    fn deployed_seed_pipelines_pass_the_full_static_check() {
+        // The tentpole acceptance at pipeline level: every published arch,
+        // once deployed, is clean under the complete analysis suite on its
+        // paper target device (threshold soundness runs on the real folded
+        // thresholds, so the net is briefly trained first).
+        for kind in ArchKind::ALL {
+            let arch = kind.arch();
+            let (_, p) = trained_net_and_pipeline(kind, 11);
+            let report =
+                bcp_check::check_pipeline(&p, arch.dsp_offload, &bcp_check::CheckConfig::default());
+            assert!(report.is_clean(), "{}", report.render_text());
+        }
     }
 }

@@ -56,7 +56,9 @@ fn class_slug(c: MaskClass) -> &'static str {
 }
 
 impl BinaryCoP {
-    /// Deploy a trained BNN.
+    /// Deploy a trained BNN. The architecture's graph is shape-checked by
+    /// [`deploy`]; use [`BinaryCoP::from_trained_checked`] to also gate on
+    /// the full static analysis (folding, cycle budget, device fit).
     pub fn from_trained(net: &Sequential, arch: &Arch) -> Self {
         let pipeline = deploy(net, arch);
         let usage = estimate(&pipeline, arch.dsp_offload);
@@ -68,6 +70,28 @@ impl BinaryCoP {
             usage,
             telemetry: None,
         }
+    }
+
+    /// Deploy with the complete `bcp-check` verdict as a gate: the static
+    /// verifier runs on the architecture *before* any pipeline stage is
+    /// constructed, and an error-carrying report refuses deployment.
+    pub fn from_trained_checked(
+        net: &Sequential,
+        arch: &Arch,
+        cfg: &bcp_check::CheckConfig,
+    ) -> Result<Self, bcp_check::Report> {
+        let report = bcp_check::check_arch(&arch.spec(), cfg);
+        if !report.is_clean() {
+            return Err(report);
+        }
+        Ok(Self::from_trained(net, arch))
+    }
+
+    /// Run the full static analysis suite (folding legality, cycle budget,
+    /// rate balance, resource fit, threshold soundness) over the deployed
+    /// pipeline — the post-deployment twin of `bcp check`.
+    pub fn check(&self, cfg: &bcp_check::CheckConfig) -> bcp_check::Report {
+        bcp_check::check_pipeline(&self.pipeline, self.arch.dsp_offload, cfg)
     }
 
     /// Attach a telemetry registry. Afterwards every [`classify`]
@@ -295,6 +319,26 @@ mod tests {
         };
         let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), 9);
         (0..n).map(|i| ds.image(i)).collect()
+    }
+
+    #[test]
+    fn checked_constructor_gates_on_the_static_verifier() {
+        let arch = tiny_arch();
+        let mut net = build_bnn(&arch, 5);
+        let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 6);
+        let _ = net.forward(&x, Mode::Train);
+        let cfg = bcp_check::CheckConfig::default();
+        // The consistent tiny arch deploys...
+        let p = BinaryCoP::from_trained_checked(&net, &arch, &cfg).unwrap();
+        // ...and its built pipeline passes the post-deployment analyses.
+        assert!(p.check(&cfg).is_clean(), "{}", p.check(&cfg).render_text());
+        // A shape mutation is refused before any stage is constructed.
+        let mut broken = arch.clone();
+        broken.pe[1] = 3; // 3 does not divide conv2's 8 output channels
+        let Err(report) = BinaryCoP::from_trained_checked(&net, &broken, &cfg) else {
+            panic!("broken folding must be refused");
+        };
+        assert!(report.has_code(bcp_check::Code::PeNotDivisor));
     }
 
     #[test]
