@@ -1,0 +1,70 @@
+//! Serving-layer throughput: the micro-batching engine under concurrent
+//! closed-loop load versus the same predictor driven sequentially by a
+//! single caller. On a multi-core host the engine additionally scales with
+//! workers; on a single core the delta isolates the batching/queueing
+//! overhead and amortization.
+
+use bcp_serve::ServeConfig;
+use bcp_tensor::{Shape, Tensor};
+use binarycop::model::build_bnn;
+use binarycop::recipe::tiny_arch;
+use binarycop::serve::engine;
+use binarycop::BinaryCoP;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn predictor() -> BinaryCoP {
+    let arch = tiny_arch();
+    let mut net = build_bnn(&arch, 5);
+    let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 6);
+    let _ = net.forward(&x, bcp_nn::Mode::Train);
+    BinaryCoP::from_trained(&net, &arch)
+}
+
+fn frames(n: usize) -> Vec<Tensor> {
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    let gen = GeneratorConfig {
+        img_size: 16,
+        supersample: 2,
+    };
+    let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), 0xBE7C);
+    (0..n).map(|i| ds.image(i % ds.len())).collect()
+}
+
+const FRAMES: usize = 32;
+const CLIENTS: usize = 8;
+
+fn bench_serving(c: &mut Criterion) {
+    let p = predictor();
+    let imgs = frames(FRAMES);
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(FRAMES as u64));
+
+    group.bench_function("sequential_classify", |b| {
+        b.iter(|| {
+            for f in &imgs {
+                std::hint::black_box(p.classify(f));
+            }
+        })
+    });
+
+    for workers in [1usize, 2] {
+        let e = engine(&p, workers, ServeConfig::default());
+        let id = format!("engine_{workers}w_{CLIENTS}clients");
+        group.bench_function(id.as_str(), |b| {
+            b.iter(|| {
+                let report = bcp_serve::run_closed_loop(&e, &imgs, CLIENTS, FRAMES / CLIENTS);
+                assert!(report.accounted() && report.ok == FRAMES);
+                std::hint::black_box(report.throughput_fps)
+            })
+        });
+        e.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -218,6 +218,11 @@ impl Stage {
 }
 
 /// A complete accelerator: an ordered stage chain, validated at build time.
+///
+/// Cloning produces an independent replica (weights and thresholds are
+/// deep-copied), which is how `bcp-serve` gives each worker its own
+/// isolated copy of the accelerator.
+#[derive(Clone)]
 pub struct Pipeline {
     name: String,
     stages: Vec<Stage>,

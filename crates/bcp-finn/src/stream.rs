@@ -102,6 +102,37 @@ pub struct StreamStats {
 }
 
 impl StreamStats {
+    /// Fold another run's statistics into this one: frame/token counts,
+    /// wall time and every per-stage bucket add up, so a serving engine can
+    /// accumulate one aggregate `StreamStats` over many micro-batches (and
+    /// many workers) and still feed it to [`correlation_report`] — the
+    /// report only uses busy-time *shares*, which are well-defined on sums.
+    /// Both runs must come from pipelines with the same stage list.
+    pub fn merge(&mut self, other: &StreamStats) {
+        assert_eq!(
+            self.stages.len(),
+            other.stages.len(),
+            "cannot merge stats from pipelines with different stage counts"
+        );
+        self.frames += other.frames;
+        self.wall_seconds += other.wall_seconds;
+        for (mine, theirs) in self
+            .per_stage_processed
+            .iter_mut()
+            .zip(&other.per_stage_processed)
+        {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            assert_eq!(mine.name, theirs.name, "stage order mismatch in merge");
+            mine.busy_ns += theirs.busy_ns;
+            mine.idle_ns += theirs.idle_ns;
+            mine.blocked_ns += theirs.blocked_ns;
+            mine.occupancy_sum += theirs.occupancy_sum;
+            mine.occupancy_samples += theirs.occupancy_samples;
+        }
+    }
+
     /// Export this run into a telemetry registry under the `stream.`
     /// namespace: per stage `stream.<name>.tokens`/`…_ns` counters and
     /// `…_frac`/`mean_occupancy` gauges, plus run-level `stream.frames`
@@ -467,6 +498,40 @@ mod tests {
             + snap.gauges["stream.pool1.idle_frac"]
             + snap.gauges["stream.pool1.blocked_frac"];
         assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_stats_add_up_and_still_correlate() {
+        let p = pipeline();
+        let (_, a) = run_streaming(&p, &frames(10), 4);
+        let (_, b) = run_streaming(&p, &frames(6), 4);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.frames, 16);
+        assert_eq!(merged.per_stage_processed, vec![16; 4]);
+        for (m, (x, y)) in merged.stages.iter().zip(a.stages.iter().zip(&b.stages)) {
+            assert_eq!(m.busy_ns, x.busy_ns + y.busy_ns);
+            assert_eq!(
+                m.occupancy_samples,
+                x.occupancy_samples + y.occupancy_samples
+            );
+        }
+        // The merged stats remain a valid correlation-report input.
+        let report = correlation_report(&p, &merged);
+        let s: f64 = report.stages.iter().map(|r| r.measured_share).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stage counts")]
+    fn merge_rejects_mismatched_pipelines() {
+        let p = pipeline();
+        let (_, a) = run_streaming(&p, &frames(2), 2);
+        let mut short = a.clone();
+        short.stages.pop();
+        short.per_stage_processed.pop();
+        let mut a = a;
+        a.merge(&short);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Engine configuration and the per-request error taxonomy.
+
+use bcp_tensor::Tensor;
+use std::time::Duration;
+
+/// What `submit` does when the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the caller until a slot frees up (lossless; tail latency grows
+    /// with load — the right default for batch jobs and benchmarks).
+    Block,
+    /// Fail the new request immediately with [`ServeError::Rejected`]
+    /// (bounds both queueing delay and client wait; load-shedding at the
+    /// door, like a 503).
+    Reject,
+    /// Evict the *oldest* queued request — it has burned the most of its
+    /// deadline already and is the likeliest to miss it anyway — completing
+    /// it with [`ServeError::Shed`], then admit the new one. Keeps the
+    /// queue fresh under sustained overload.
+    ShedOldest,
+}
+
+/// Tuning knobs for [`Engine`](crate::Engine). Worker count is implied by
+/// the number of replicas handed to `Engine::start`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission (request) queue capacity. Bounds memory and queueing
+    /// delay; the backpressure `policy` decides what happens beyond it.
+    pub queue_cap: usize,
+    /// Flush a micro-batch as soon as it reaches this many requests.
+    pub max_batch: usize,
+    /// Flush a partial micro-batch this long after its first request
+    /// arrived, so a lone request never waits for company that isn't
+    /// coming.
+    pub max_wait: Duration,
+    /// Overload behavior of the admission queue.
+    pub policy: BackpressurePolicy,
+    /// Per-request deadline measured from `submit`. A request past its
+    /// deadline is dropped wherever it is (queue, batcher, worker) and
+    /// completed with [`ServeError::DeadlineExpired`]; a successful
+    /// response is only ever delivered inside the deadline.
+    pub deadline: Option<Duration>,
+    /// Batches at least this large run through the threaded streaming
+    /// pipeline (`run_streaming`) instead of frame-at-a-time inference,
+    /// and their [`StreamStats`](bcp_finn::StreamStats) are accumulated
+    /// for cycle-model correlation. `None` disables the streaming path.
+    pub streaming_min_batch: Option<usize>,
+    /// Integrity canary: a frame whose golden output is captured from the
+    /// replicas at startup. Workers re-run it every `canary_every` batches;
+    /// a mismatch (e.g. an SEU-style stuck-at fault in that worker's weight
+    /// memory) marks the worker unhealthy, fails only its current batch,
+    /// and removes it from dispatch — healthy workers keep serving.
+    pub canary: Option<Tensor>,
+    /// Batches between canary checks (1 = before every batch; meaningful
+    /// only with `canary` set).
+    pub canary_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 64,
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+            policy: BackpressurePolicy::Block,
+            deadline: None,
+            streaming_min_batch: None,
+            canary: None,
+            canary_every: 1,
+        }
+    }
+}
+
+/// Why a request did not produce a classification. Every submitted request
+/// resolves to exactly one `Ok(MaskClass)` or exactly one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Queue full under [`BackpressurePolicy::Reject`]; never enqueued.
+    Rejected,
+    /// Evicted from the queue under [`BackpressurePolicy::ShedOldest`].
+    Shed,
+    /// The configured deadline passed before a result was produced.
+    DeadlineExpired,
+    /// The worker holding this request failed its integrity canary or
+    /// panicked mid-batch; the request was not retried.
+    WorkerFault {
+        /// Index of the faulty worker.
+        worker: usize,
+    },
+    /// Every worker is unhealthy; the batch could not be dispatched.
+    NoHealthyWorkers,
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "rejected: admission queue full"),
+            ServeError::Shed => write!(f, "shed: evicted by a newer request under overload"),
+            ServeError::DeadlineExpired => write!(f, "deadline expired before completion"),
+            ServeError::WorkerFault { worker } => {
+                write!(f, "worker {worker} failed its integrity check")
+            }
+            ServeError::NoHealthyWorkers => write!(f, "no healthy workers remain"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_cap >= c.max_batch);
+        assert_eq!(c.policy, BackpressurePolicy::Block);
+        assert!(c.deadline.is_none() && c.canary.is_none());
+        assert!(c.max_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(ServeError::WorkerFault { worker: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ServeError::Rejected.to_string().contains("queue full"));
+    }
+}

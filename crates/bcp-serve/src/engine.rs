@@ -1,0 +1,789 @@
+//! The concurrent micro-batching inference engine.
+//!
+//! ```text
+//!            submit()                dispatch (round-robin over
+//!  clients ──────────► bounded MPMC ──────────► healthy workers)
+//!            policy:    admission     batcher    ┌─ worker 0 ── replica 0
+//!            Block /    queue         coalesces  ├─ worker 1 ── replica 1
+//!            Reject /   (queue_cap)   batches    └─ worker N ── replica N
+//!            ShedOldest               (max_batch │
+//!                                      / max_wait)▼
+//!                                             per-request oneshot slots
+//! ```
+//!
+//! Invariants the stress suite pins:
+//!
+//! * **Exactly one response** per submitted request — an `Ok(MaskClass)`
+//!   or one `ServeError` — regardless of policy, timeouts, worker faults
+//!   or shutdown. Enforced by the oneshot [`Slot`] state machine.
+//! * **Determinism**: with lossless settings, outputs equal the sequential
+//!   reference for any worker count (replicas are bit-identical copies and
+//!   requests are matched by ticket, not by arrival order).
+//! * **Bounded overload**: the admission queue never exceeds `queue_cap`;
+//!   beyond it the configured [`BackpressurePolicy`] decides, and no
+//!   policy can deadlock the engine.
+//! * **Fault isolation**: a replica that fails its integrity canary (or
+//!   panics) fails only its current batch, is removed from dispatch, and
+//!   keeps draining its queue so the batcher can never wedge behind it.
+
+use crate::config::{BackpressurePolicy, ServeConfig, ServeError};
+use crate::oneshot::{Expired, Slot};
+use crate::replica::Replica;
+use bcp_dataset::MaskClass;
+use bcp_finn::StreamStats;
+use bcp_telemetry::{Counter, Gauge, Histogram, Registry};
+use bcp_tensor::Tensor;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A request's final outcome.
+pub type Completion = Result<MaskClass, ServeError>;
+
+struct Request {
+    frame: Tensor,
+    slot: Arc<Slot<Completion>>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// Pre-resolved telemetry handles so the hot path never does a name
+/// lookup. All under the `serve.` namespace.
+struct Metrics {
+    requests: Counter,
+    ok: Counter,
+    rejected: Counter,
+    shed: Counter,
+    expired: Counter,
+    timeout: Counter,
+    abandoned: Counter,
+    failed: Counter,
+    batches: Counter,
+    worker_fault: Counter,
+    queue_depth: Gauge,
+    batch_size: Histogram,
+    latency: Histogram,
+    worker_batches: Vec<Counter>,
+}
+
+impl Metrics {
+    fn new(r: &Registry, workers: usize) -> Metrics {
+        Metrics {
+            requests: r.counter("serve.requests"),
+            ok: r.counter("serve.ok"),
+            rejected: r.counter("serve.rejected"),
+            shed: r.counter("serve.shed"),
+            expired: r.counter("serve.expired"),
+            timeout: r.counter("serve.timeout"),
+            abandoned: r.counter("serve.abandoned"),
+            failed: r.counter("serve.failed"),
+            batches: r.counter("serve.batches"),
+            worker_fault: r.counter("serve.worker_fault"),
+            queue_depth: r.gauge("serve.queue_depth"),
+            batch_size: r.histogram("serve.batch_size"),
+            latency: r.histogram("serve.latency_ns"),
+            worker_batches: (0..workers)
+                .map(|w| r.counter(&format!("serve.worker.{w}.batches")))
+                .collect(),
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    registry: Option<Registry>,
+    metrics: Option<Metrics>,
+    /// `None` once shutdown began; closing it is what drains the engine.
+    submit_tx: RwLock<Option<Sender<Request>>>,
+    /// Receiver clone used by `ShedOldest` to evict the oldest request.
+    shed_rx: Receiver<Request>,
+    health: Vec<AtomicBool>,
+    /// Pending chaos fault plans per worker, applied between batches.
+    fault_mailboxes: Vec<Mutex<Vec<(usize, u64)>>>,
+    /// Aggregate streaming statistics across all workers and batches.
+    stream_stats: Mutex<Option<StreamStats>>,
+}
+
+impl Shared {
+    fn m(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Complete every request in `batch` with `err` (counted as failed).
+    fn fail_batch(&self, batch: Vec<Request>, err: ServeError) {
+        for req in batch {
+            if req.slot.complete(Err(err)) {
+                if let Some(m) = self.m() {
+                    m.failed.inc();
+                }
+            } else if let Some(m) = self.m() {
+                m.abandoned.inc();
+            }
+        }
+    }
+
+    /// Drop requests whose deadline already passed, completing each with
+    /// `DeadlineExpired`.
+    fn expire(&self, batch: &mut Vec<Request>) {
+        let now = Instant::now();
+        batch.retain(|req| {
+            if req.deadline.is_some_and(|d| now >= d) {
+                if req.slot.complete(Err(ServeError::DeadlineExpired)) {
+                    if let Some(m) = self.m() {
+                        m.expired.inc();
+                    }
+                } else if let Some(m) = self.m() {
+                    m.abandoned.inc();
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Handle to one in-flight request. Consume it with [`Ticket::wait`];
+/// dropping it instead leaves the request to complete unobserved (it is
+/// still processed and counted).
+pub struct Ticket {
+    slot: Arc<Slot<Completion>>,
+    deadline: Option<Instant>,
+    timeout_ctr: Option<Counter>,
+}
+
+impl Ticket {
+    /// Block until this request resolves. With a configured deadline the
+    /// wait gives up at that deadline and the request is marked abandoned,
+    /// so a late engine completion is dropped rather than duplicated.
+    pub fn wait(self) -> Completion {
+        match self.slot.wait(self.deadline) {
+            Ok(outcome) => outcome,
+            Err(Expired) => {
+                if let Some(c) = &self.timeout_ctr {
+                    c.inc();
+                }
+                Err(ServeError::DeadlineExpired)
+            }
+        }
+    }
+}
+
+/// The serving engine. Create with [`Engine::start`], stop with
+/// [`Engine::shutdown`] (also run on drop) — shutdown stops admission,
+/// then drains every queued request through the workers before joining.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawn the batcher and one worker thread per replica. All replicas
+    /// must be functionally identical copies of the same model; when a
+    /// canary is configured this is verified up front against replica 0's
+    /// golden output.
+    pub fn start<R: Replica>(
+        replicas: Vec<R>,
+        cfg: ServeConfig,
+        registry: Option<Registry>,
+    ) -> Engine {
+        assert!(!replicas.is_empty(), "engine needs at least one replica");
+        assert!(cfg.queue_cap > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let workers = replicas.len();
+
+        let canary: Option<(Tensor, Vec<i64>)> = cfg.canary.clone().map(|frame| {
+            let expected = replicas[0].canary(&frame);
+            for (i, r) in replicas.iter().enumerate().skip(1) {
+                assert_eq!(
+                    r.canary(&frame),
+                    expected,
+                    "replica {i} disagrees with replica 0 on the canary frame"
+                );
+            }
+            (frame, expected)
+        });
+
+        let (submit_tx, request_rx) = bounded::<Request>(cfg.queue_cap);
+        let shed_rx = request_rx.clone();
+        let metrics = registry.as_ref().map(|r| Metrics::new(r, workers));
+        let shared = Arc::new(Shared {
+            cfg,
+            registry,
+            metrics,
+            submit_tx: RwLock::new(Some(submit_tx)),
+            shed_rx,
+            health: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            fault_mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            stream_stats: Mutex::new(None),
+        });
+
+        let mut handles = Vec::with_capacity(workers + 1);
+        let mut worker_txs = Vec::with_capacity(workers);
+        for (w, replica) in replicas.into_iter().enumerate() {
+            // Two batches of headroom per worker: one in flight, one ready.
+            let (btx, brx) = bounded::<Vec<Request>>(2);
+            worker_txs.push(btx);
+            let shared = shared.clone();
+            let canary = canary.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("bcp-serve-worker-{w}"))
+                    .spawn(move || worker_loop(w, replica, brx, canary, shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+        {
+            let shared = shared.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("bcp-serve-batcher".into())
+                    .spawn(move || batcher_loop(request_rx, worker_txs, shared))
+                    .expect("spawn batcher thread"),
+            );
+        }
+        Engine {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue one frame for classification. Returns a [`Ticket`] to wait
+    /// on, or an immediate error when the backpressure policy refuses
+    /// admission ([`ServeError::Rejected`]) or the engine is draining.
+    pub fn submit(&self, frame: &Tensor) -> Result<Ticket, ServeError> {
+        let guard = self.shared.submit_tx.read();
+        let Some(tx) = guard.as_ref() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        if let Some(m) = self.shared.m() {
+            m.requests.inc();
+        }
+        let now = Instant::now();
+        let deadline = self.shared.cfg.deadline.map(|d| now + d);
+        let slot = Arc::new(Slot::new());
+        let mut req = Request {
+            frame: frame.clone(),
+            slot: slot.clone(),
+            enqueued: now,
+            deadline,
+        };
+        match self.shared.cfg.policy {
+            BackpressurePolicy::Block => {
+                if tx.send(req).is_err() {
+                    return Err(ServeError::ShuttingDown);
+                }
+            }
+            BackpressurePolicy::Reject => match tx.try_send(req) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    if let Some(m) = self.shared.m() {
+                        m.rejected.inc();
+                    }
+                    return Err(ServeError::Rejected);
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+            },
+            BackpressurePolicy::ShedOldest => loop {
+                match tx.try_send(req) {
+                    Ok(()) => break,
+                    Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+                    Err(TrySendError::Full(r)) => {
+                        req = r;
+                        // Evict the head of the queue — the stalest
+                        // request — and keep trying. If the batcher beat
+                        // us to it, the queue has room now anyway.
+                        if let Ok(victim) = self.shared.shed_rx.try_recv() {
+                            if victim.slot.complete(Err(ServeError::Shed)) {
+                                if let Some(m) = self.shared.m() {
+                                    m.shed.inc();
+                                }
+                            } else if let Some(m) = self.shared.m() {
+                                m.abandoned.inc();
+                            }
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            },
+        }
+        if let Some(m) = self.shared.m() {
+            m.queue_depth.set(self.shared.shed_rx.len() as f64);
+        }
+        Ok(Ticket {
+            slot,
+            deadline,
+            timeout_ctr: self.shared.m().map(|m| m.timeout.clone()),
+        })
+    }
+
+    /// Submit and wait: the synchronous convenience used by closed-loop
+    /// clients.
+    pub fn classify(&self, frame: &Tensor) -> Completion {
+        self.submit(frame)?.wait()
+    }
+
+    /// Queue chaos faults for a worker, applied to its replica before its
+    /// next batch (the software analogue of SEU bit flips hitting one
+    /// accelerator's weight SRAM while it serves).
+    pub fn inject_faults(&self, worker: usize, n: usize, seed: u64) {
+        self.shared.fault_mailboxes[worker].lock().push((n, seed));
+    }
+
+    /// Total workers (healthy or not).
+    pub fn workers(&self) -> usize {
+        self.shared.health.len()
+    }
+
+    /// Workers still in dispatch rotation.
+    pub fn healthy_workers(&self) -> usize {
+        self.shared
+            .health
+            .iter()
+            .filter(|h| h.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.shed_rx.len()
+    }
+
+    /// Aggregate streaming-pipeline statistics accumulated so far (only
+    /// populated when `streaming_min_batch` routed batches through the
+    /// threaded pipeline). Feed to [`bcp_finn::correlation_report`].
+    pub fn stream_stats(&self) -> Option<StreamStats> {
+        self.shared.stream_stats.lock().clone()
+    }
+
+    /// The registry handed to [`Engine::start`], if any.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.shared.registry.as_ref()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued request
+    /// through the pipeline, join all threads. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the only Sender closes the admission queue; the batcher
+        // drains it, then closes the worker queues, and the workers drain
+        // those. Nothing in flight is lost.
+        drop(self.shared.submit_tx.write().take());
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Coalesce queued requests into micro-batches and hand them to healthy
+/// workers round-robin.
+fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, shared: Arc<Shared>) {
+    let mut next = 0usize;
+    let mut closed = false;
+    while !closed {
+        // A batch opens when its first request arrives…
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        // …and flushes on size or age, whichever comes first.
+        let flush_at = Instant::now() + shared.cfg.max_wait;
+        while batch.len() < shared.cfg.max_batch {
+            match rx.recv_deadline(flush_at) {
+                Ok(r) => batch.push(r),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        shared.expire(&mut batch);
+        if batch.is_empty() {
+            continue;
+        }
+        if let Some(m) = shared.m() {
+            m.batch_size.record(batch.len() as u64);
+            m.batches.inc();
+        }
+        match next_healthy(&shared.health, &mut next) {
+            Some(w) => {
+                if let Err(e) = worker_txs[w].send(batch) {
+                    // Worker thread gone (can only happen on teardown).
+                    shared.fail_batch(e.0, ServeError::WorkerFault { worker: w });
+                }
+            }
+            None => shared.fail_batch(batch, ServeError::NoHealthyWorkers),
+        }
+    }
+}
+
+fn next_healthy(health: &[AtomicBool], next: &mut usize) -> Option<usize> {
+    let n = health.len();
+    for _ in 0..n {
+        let w = *next % n;
+        *next = (*next + 1) % n;
+        if health[w].load(Ordering::Relaxed) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+/// One worker: owns a replica, pulls batches, gates each on the integrity
+/// canary, infers, completes slots. Never exits before its queue closes —
+/// an unhealthy worker degrades to failing its traffic so the batcher can
+/// never block forever behind it.
+fn worker_loop<R: Replica>(
+    w: usize,
+    mut replica: R,
+    rx: Receiver<Vec<Request>>,
+    canary: Option<(Tensor, Vec<i64>)>,
+    shared: Arc<Shared>,
+) {
+    let mut batches_done = 0u64;
+    while let Ok(mut batch) = rx.recv() {
+        // Apply chaos faults queued for this worker (simulated SEUs land
+        // between batches, like real upsets land between frames).
+        let plans: Vec<(usize, u64)> = std::mem::take(&mut *shared.fault_mailboxes[w].lock());
+        for (n, seed) in plans {
+            replica.inject_faults(n, seed);
+        }
+
+        if !shared.health[w].load(Ordering::Relaxed) {
+            // Already out of rotation; drain any batch that raced in.
+            shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+            continue;
+        }
+
+        // Integrity gate: with canary_every = 1 a corrupted replica can
+        // never emit a wrong classification, because every batch is
+        // preceded by a golden-output check.
+        if let Some((frame, expected)) = &canary {
+            if shared.cfg.canary_every > 0 && batches_done.is_multiple_of(shared.cfg.canary_every) {
+                let got = catch_unwind(AssertUnwindSafe(|| replica.canary(frame))).ok();
+                if got.as_deref() != Some(expected.as_slice()) {
+                    shared.health[w].store(false, Ordering::Relaxed);
+                    if let Some(m) = shared.m() {
+                        m.worker_fault.inc();
+                    }
+                    shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+                    continue;
+                }
+            }
+        }
+        batches_done += 1;
+
+        shared.expire(&mut batch);
+        if batch.is_empty() {
+            continue;
+        }
+        let frames: Vec<Tensor> = batch.iter().map(|r| r.frame.clone()).collect();
+        let stream = shared
+            .cfg
+            .streaming_min_batch
+            .is_some_and(|min| frames.len() >= min);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if stream {
+                if let Some((classes, stats)) = replica.infer_batch_streaming(&frames) {
+                    return (classes, Some(stats));
+                }
+            }
+            (replica.infer_batch(&frames), None)
+        }));
+        match outcome {
+            Ok((classes, stats)) if classes.len() == batch.len() => {
+                if let Some(stats) = stats {
+                    if let Some(r) = &shared.registry {
+                        stats.record_into(r);
+                    }
+                    let mut agg = shared.stream_stats.lock();
+                    match &mut *agg {
+                        Some(a) => a.merge(&stats),
+                        None => *agg = Some(stats),
+                    }
+                }
+                let now = Instant::now();
+                for (req, class) in batch.into_iter().zip(classes) {
+                    if req.deadline.is_some_and(|d| now >= d) {
+                        // Result exists but arrived too late to honor the
+                        // deadline contract: a success is only delivered
+                        // inside its deadline.
+                        if req.slot.complete(Err(ServeError::DeadlineExpired)) {
+                            if let Some(m) = shared.m() {
+                                m.expired.inc();
+                            }
+                        } else if let Some(m) = shared.m() {
+                            m.abandoned.inc();
+                        }
+                        continue;
+                    }
+                    let latency = now.duration_since(req.enqueued);
+                    if req.slot.complete(Ok(class)) {
+                        if let Some(m) = shared.m() {
+                            m.ok.inc();
+                            m.latency.record_duration(latency);
+                        }
+                    } else if let Some(m) = shared.m() {
+                        m.abandoned.inc();
+                    }
+                }
+                if let Some(m) = shared.m() {
+                    m.worker_batches[w].inc();
+                }
+            }
+            // Panicked mid-inference, or the replica broke its length
+            // contract: treat both as a hard worker fault.
+            _ => {
+                shared.health[w].store(false, Ordering::Relaxed);
+                if let Some(m) = shared.m() {
+                    m.worker_fault.inc();
+                }
+                shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::{canary_frame, SyntheticReplica};
+    use std::time::Duration;
+
+    fn frames(n: usize) -> Vec<Tensor> {
+        (0..n).map(|i| canary_frame(3, 8, 8 + i % 5)).collect()
+    }
+
+    fn engine(workers: usize, cfg: ServeConfig) -> Engine {
+        let replicas: Vec<SyntheticReplica> =
+            (0..workers).map(|_| SyntheticReplica::new()).collect();
+        Engine::start(replicas, cfg, Some(Registry::new()))
+    }
+
+    #[test]
+    fn classify_matches_reference_replica() {
+        let e = engine(2, ServeConfig::default());
+        let mut reference = SyntheticReplica::new();
+        for f in frames(12) {
+            assert_eq!(
+                e.classify(&f),
+                Ok(reference.infer_batch(std::slice::from_ref(&f))[0])
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_submission_preserves_per_ticket_identity() {
+        let e = engine(3, ServeConfig::default());
+        let fs = frames(40);
+        let tickets: Vec<Ticket> = fs.iter().map(|f| e.submit(f).unwrap()).collect();
+        let mut reference = SyntheticReplica::new();
+        let want = reference.infer_batch(&fs);
+        for (t, w) in tickets.into_iter().zip(want) {
+            assert_eq!(t.wait(), Ok(w));
+        }
+        // Quiesce before auditing the books: workers bump counters *after*
+        // completing the slot, so a snapshot racing the last wakeup can lag.
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.ok"], 40);
+        assert_eq!(snap.counters["serve.requests"], 40);
+        assert!(snap.histograms["serve.batch_size"].max <= 8);
+        assert_eq!(snap.histograms["serve.latency_ns"].count, 40);
+    }
+
+    #[test]
+    fn reject_policy_bounds_the_queue_without_losing_responses() {
+        let replicas = vec![SyntheticReplica::with_delay(Duration::from_millis(5))];
+        let e = Engine::start(
+            replicas,
+            ServeConfig {
+                queue_cap: 2,
+                max_batch: 1,
+                policy: BackpressurePolicy::Reject,
+                ..ServeConfig::default()
+            },
+            Some(Registry::new()),
+        );
+        let fs = frames(30);
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for f in &fs {
+            match e.submit(f) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Rejected) => rejected += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        let ok = tickets
+            .into_iter()
+            .filter(|_| true)
+            .map(Ticket::wait)
+            .filter(Result::is_ok)
+            .count();
+        assert_eq!(
+            ok + rejected,
+            fs.len(),
+            "every request resolves exactly once"
+        );
+        assert!(
+            rejected > 0,
+            "queue of 2 with 5ms service must reject some of 30 fast submits"
+        );
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.ok"], ok as u64);
+        assert_eq!(snap.counters["serve.rejected"], rejected as u64);
+    }
+
+    #[test]
+    fn shed_oldest_completes_victims_with_shed() {
+        let replicas = vec![SyntheticReplica::with_delay(Duration::from_millis(5))];
+        let e = Engine::start(
+            replicas,
+            ServeConfig {
+                queue_cap: 2,
+                max_batch: 1,
+                policy: BackpressurePolicy::ShedOldest,
+                ..ServeConfig::default()
+            },
+            Some(Registry::new()),
+        );
+        let fs = frames(30);
+        let tickets: Vec<Ticket> = fs
+            .iter()
+            .map(|f| e.submit(f).expect("shed never refuses"))
+            .collect();
+        let (mut ok, mut shed) = (0usize, 0usize);
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => ok += 1,
+                Err(ServeError::Shed) => shed += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(ok + shed, fs.len());
+        assert!(shed > 0, "sustained overload must shed");
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.shed"], shed as u64);
+    }
+
+    #[test]
+    fn deadlines_expire_slow_requests() {
+        let replicas = vec![SyntheticReplica::with_delay(Duration::from_millis(20))];
+        let e = Engine::start(
+            replicas,
+            ServeConfig {
+                max_batch: 1,
+                deadline: Some(Duration::from_millis(30)),
+                ..ServeConfig::default()
+            },
+            Some(Registry::new()),
+        );
+        let fs = frames(6);
+        let tickets: Vec<Ticket> = fs.iter().map(|f| e.submit(f).unwrap()).collect();
+        let outcomes: Vec<Completion> = tickets.into_iter().map(Ticket::wait).collect();
+        let expired = outcomes
+            .iter()
+            .filter(|o| **o == Err(ServeError::DeadlineExpired))
+            .count();
+        assert!(
+            expired > 0,
+            "20ms/frame × 6 against a 30ms deadline must expire some"
+        );
+        for o in &outcomes {
+            assert!(
+                matches!(o, Ok(_) | Err(ServeError::DeadlineExpired)),
+                "got {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let e = engine(2, ServeConfig::default());
+        let fs = frames(16);
+        let tickets: Vec<Ticket> = fs.iter().map(|f| e.submit(f).unwrap()).collect();
+        e.shutdown();
+        assert!(matches!(e.submit(&fs[0]), Err(ServeError::ShuttingDown)));
+        for t in tickets {
+            assert!(t.wait().is_ok(), "drained request must still succeed");
+        }
+    }
+
+    #[test]
+    fn canary_fault_takes_one_worker_out_of_rotation() {
+        let cfg = ServeConfig {
+            canary: Some(canary_frame(3, 8, 8)),
+            canary_every: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let e = engine(2, cfg);
+        e.inject_faults(0, 1, 42);
+        let f = frames(1).remove(0);
+        // Round-robin sends the first batch to worker 0, which detects the
+        // fault at its canary gate and fails only that batch.
+        assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
+        assert_eq!(e.healthy_workers(), 1);
+        // Everything afterwards lands on the healthy worker.
+        for f in frames(6) {
+            assert!(e.classify(&f).is_ok());
+        }
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.worker_fault"], 1);
+    }
+
+    #[test]
+    fn all_workers_faulted_yields_no_healthy_workers() {
+        let cfg = ServeConfig {
+            canary: Some(canary_frame(3, 8, 8)),
+            canary_every: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        };
+        let e = engine(1, cfg);
+        e.inject_faults(0, 1, 7);
+        let f = frames(1).remove(0);
+        assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
+        assert_eq!(e.healthy_workers(), 0);
+        assert_eq!(e.classify(&f), Err(ServeError::NoHealthyWorkers));
+    }
+
+    #[test]
+    fn zero_delay_batching_coalesces_under_pressure() {
+        let e = engine(
+            1,
+            ServeConfig {
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let fs = frames(32);
+        let tickets: Vec<Ticket> = fs.iter().map(|f| e.submit(f).unwrap()).collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        // 32 requests in at most-4 batches: at least 8 batches, and the
+        // batcher must never exceed the configured cap.
+        assert!(snap.counters["serve.batches"] >= 8);
+        assert!(snap.histograms["serve.batch_size"].max <= 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Concurrent micro-batching inference serving for BinaryCoP.
+//!
+//! The paper's deployment scenario is continuous: cameras at building
+//! entries stream frames to an edge accelerator ("automatic entrance
+//! control", Sec. I). A single `classify` call per frame leaves the
+//! accelerator idle between arrivals and gives no story for overload,
+//! multiple cameras, or a flipped bit in weight SRAM. This crate adds the
+//! serving layer between those cameras and the model:
+//!
+//! * **Admission** — a bounded MPMC queue with an explicit
+//!   [`BackpressurePolicy`]: block (lossless), reject at the door, or shed
+//!   the oldest queued frame. Memory and queueing delay stay bounded by
+//!   construction.
+//! * **Micro-batching** — a batcher thread coalesces queued requests and
+//!   flushes on `max_batch` *or* `max_wait`, whichever first, trading a
+//!   bounded latency tax for per-batch amortization.
+//! * **Worker pool** — one thread per model [`Replica`], dispatched
+//!   round-robin. Each worker owns its replica mutably, so replica state
+//!   cannot be shared-corrupted across workers.
+//! * **Exactly-one-response** — every submitted request resolves to one
+//!   `Ok(MaskClass)` or one [`ServeError`] via a single-use oneshot
+//!   [`Slot`](oneshot::Slot), including under deadline expiry, overload,
+//!   worker faults and shutdown.
+//! * **Fault isolation** — an optional canary frame re-checked between
+//!   batches turns silent weight-memory corruption (the SEU model of
+//!   `bcp_finn::fault`) into a detected [`ServeError::WorkerFault`] that
+//!   takes only that worker out of rotation.
+//! * **Observability** — queue depth, batch-size and latency histograms,
+//!   and outcome counters under the `serve.*` namespace of a
+//!   `bcp_telemetry::Registry`.
+//!
+//! The model is abstracted behind [`Replica`]; `binarycop::serve` plugs
+//! the real predictor in, and [`SyntheticReplica`] keeps this crate's own
+//! tests model-free. [`loadgen`] provides the closed-loop harness used by
+//! `bcp serve-bench` and the stress suite.
+
+pub mod config;
+pub mod engine;
+pub mod loadgen;
+pub mod oneshot;
+pub mod replica;
+
+pub use config::{BackpressurePolicy, ServeConfig, ServeError};
+pub use engine::{Completion, Engine, Ticket};
+pub use loadgen::{run_closed_loop, LoadReport};
+pub use replica::{canary_frame, Replica, SyntheticReplica};

@@ -1,0 +1,160 @@
+//! Single-use response slot shared between one request's producer (an
+//! engine worker) and one consumer (the client holding the ticket).
+//!
+//! The slot is the mechanism behind the engine's *exactly-one-response*
+//! guarantee: the state machine admits exactly one successful `complete`
+//! and exactly one outcome for the waiter. When the waiter times out
+//! first, it atomically moves the slot to `Abandoned`, so a late engine
+//! completion becomes a counted no-op instead of a duplicate response.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+enum State<T> {
+    /// No value yet; a waiter may be parked on the condvar.
+    Pending,
+    /// Value delivered, not yet picked up.
+    Done(T),
+    /// Value delivered and picked up by the waiter.
+    Taken,
+    /// The waiter gave up (deadline); late completions are dropped.
+    Abandoned,
+}
+
+/// One-shot rendezvous cell (a condvar-based `oneshot::channel` fused into
+/// a single allocation, since the engine already shares it via `Arc`).
+pub struct Slot<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slot<T> {
+    /// Fresh, pending slot.
+    pub fn new() -> Self {
+        Slot {
+            state: Mutex::new(State::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deliver the value. Returns `true` iff this call won — `false` means
+    /// the slot was already completed or the waiter abandoned it, and the
+    /// value was dropped.
+    pub fn complete(&self, value: T) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *st {
+            State::Pending => {
+                *st = State::Done(value);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Block until the value arrives or `deadline` passes. On timeout the
+    /// slot is marked abandoned so the producer's eventual `complete`
+    /// returns `false` instead of delivering twice.
+    pub fn wait(&self, deadline: Option<Instant>) -> Result<T, Expired> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *st, State::Taken) {
+                State::Done(v) => return Ok(v),
+                State::Pending => *st = State::Pending,
+                // A unique waiter can only observe these after its own
+                // take/abandon, i.e. on a second `wait` call — refuse.
+                State::Taken | State::Abandoned => panic!("slot waited on twice"),
+            }
+            match deadline {
+                None => {
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        *st = State::Abandoned;
+                        return Err(Expired);
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+/// The waiter's deadline passed before a value arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Expired;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn complete_then_wait() {
+        let s = Slot::new();
+        assert!(s.complete(41));
+        assert_eq!(s.wait(None), Ok(41));
+    }
+
+    #[test]
+    fn second_complete_loses() {
+        let s = Slot::new();
+        assert!(s.complete(1));
+        assert!(!s.complete(2));
+        assert_eq!(s.wait(None), Ok(1));
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let s = Arc::new(Slot::new());
+        let p = s.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(p.complete(7u32));
+        });
+        assert_eq!(s.wait(None), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_abandons_and_blocks_late_completion() {
+        let s = Slot::new();
+        let deadline = Instant::now() + Duration::from_millis(15);
+        assert_eq!(s.wait(Some(deadline)), Err(Expired));
+        assert!(!s.complete(9), "late completion must be dropped");
+    }
+
+    #[test]
+    fn past_deadline_expires_immediately_when_pending() {
+        let s: Slot<u32> = Slot::new();
+        assert_eq!(
+            s.wait(Some(Instant::now() - Duration::from_millis(1))),
+            Err(Expired)
+        );
+    }
+
+    #[test]
+    fn completed_value_beats_past_deadline() {
+        // A value that is already there is delivered even if the deadline
+        // has technically passed — the work was done in time to be useful.
+        let s = Slot::new();
+        assert!(s.complete(3));
+        assert_eq!(
+            s.wait(Some(Instant::now() - Duration::from_millis(1))),
+            Ok(3)
+        );
+    }
+}

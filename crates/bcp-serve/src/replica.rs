@@ -1,0 +1,144 @@
+//! The model-side contract of the engine, and a synthetic implementation.
+//!
+//! `bcp-serve` is deliberately model-agnostic: it knows how to queue,
+//! batch, dispatch, time out and drain, but classification itself is
+//! behind the [`Replica`] trait. The real implementation lives in
+//! `binarycop` (one deployed `BinaryCoP` pipeline per worker); the
+//! [`SyntheticReplica`] here lets the engine's own tests and benches run
+//! without dragging in a trained network.
+
+use bcp_dataset::MaskClass;
+use bcp_finn::StreamStats;
+use bcp_tensor::Tensor;
+
+/// One worker's private copy of the model. Workers own their replica
+/// mutably, which is what makes fault isolation possible: a stuck-at fault
+/// or panic corrupts exactly one replica, never its siblings.
+pub trait Replica: Send + 'static {
+    /// Classify frames in order, one result per frame.
+    fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass>;
+
+    /// Classify through a threaded streaming pipeline, returning per-stage
+    /// statistics for cycle-model correlation. Implementations without a
+    /// streaming path return `None` and the engine falls back to
+    /// [`infer_batch`](Replica::infer_batch).
+    fn infer_batch_streaming(
+        &mut self,
+        frames: &[Tensor],
+    ) -> Option<(Vec<MaskClass>, StreamStats)> {
+        let _ = frames;
+        None
+    }
+
+    /// Raw output for an integrity canary frame. Must be deterministic on
+    /// a healthy replica; any weight-memory corruption should perturb it
+    /// with high probability (for a BNN, a single bit flip is a full sign
+    /// change, so it usually does).
+    fn canary(&self, frame: &Tensor) -> Vec<i64>;
+
+    /// Inject `n` random stuck-at faults into this replica's weight
+    /// memory (chaos/testing hook; see `bcp_finn::fault`).
+    fn inject_faults(&mut self, n: usize, seed: u64);
+}
+
+/// A trivial deterministic "model" for engine tests: classifies by a hash
+/// of the frame contents, costs an optional fixed delay per frame, and
+/// supports fault injection by corrupting its (single) weight.
+pub struct SyntheticReplica {
+    /// Artificial per-frame compute time, to make saturation reproducible.
+    pub delay: std::time::Duration,
+    weight: i64,
+}
+
+impl SyntheticReplica {
+    /// Replica with no artificial delay.
+    pub fn new() -> Self {
+        SyntheticReplica {
+            delay: std::time::Duration::ZERO,
+            weight: 1,
+        }
+    }
+
+    /// Replica that spends `delay` per frame.
+    pub fn with_delay(delay: std::time::Duration) -> Self {
+        SyntheticReplica { delay, weight: 1 }
+    }
+
+    fn label(&self, frame: &Tensor) -> usize {
+        let mut h = 0xcbf29ce484222325u64;
+        for &v in frame.as_slice() {
+            h = (h ^ v.to_bits() as u64).wrapping_mul(0x100000001b3);
+        }
+        (h % 4) as usize
+    }
+}
+
+impl Default for SyntheticReplica {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Replica for SyntheticReplica {
+    fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass> {
+        frames
+            .iter()
+            .map(|f| {
+                if !self.delay.is_zero() {
+                    std::thread::sleep(self.delay);
+                }
+                MaskClass::from_label(self.label(f))
+            })
+            .collect()
+    }
+
+    fn canary(&self, frame: &Tensor) -> Vec<i64> {
+        vec![self.label(frame) as i64 * self.weight, self.weight]
+    }
+
+    fn inject_faults(&mut self, n: usize, _seed: u64) {
+        if n > 0 {
+            self.weight = -self.weight;
+        }
+    }
+}
+
+/// Deterministic synthetic input frame: a per-channel gradient pattern on
+/// the unit grid, suitable as an integrity canary (it exercises every
+/// pixel position) or as load-generator traffic.
+pub fn canary_frame(channels: usize, height: usize, width: usize) -> Tensor {
+    let n = channels * height * width;
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i * 131 + 17) % 256) as f32 / 255.0)
+        .collect();
+    Tensor::from_vec(bcp_tensor::Shape::d3(channels, height, width), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let mut a = SyntheticReplica::new();
+        let mut b = SyntheticReplica::new();
+        let frames: Vec<Tensor> = (0..6).map(|i| canary_frame(3, 4 + i, 4)).collect();
+        assert_eq!(a.infer_batch(&frames), b.infer_batch(&frames));
+    }
+
+    #[test]
+    fn faults_perturb_the_canary_only() {
+        let mut r = SyntheticReplica::new();
+        let frame = canary_frame(3, 8, 8);
+        let clean = r.canary(&frame);
+        r.inject_faults(1, 0);
+        assert_ne!(r.canary(&frame), clean);
+    }
+
+    #[test]
+    fn canary_frame_is_on_the_unit_grid() {
+        let f = canary_frame(3, 16, 16);
+        assert_eq!(f.shape().dims(), &[3, 16, 16]);
+        assert!(f.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

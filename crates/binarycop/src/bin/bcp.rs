@@ -8,7 +8,15 @@
 //! bcp classify --arch <...> --accel accel.json IMG.ppm [IMG2.ppm …]
 //! bcp info     --arch <...> [--accel accel.json]
 //! bcp demo
+//! bcp serve-bench [--arch tiny|cnv|ncnv|ucnv] [--workers N] [--clients N] …
 //! ```
+//!
+//! `serve-bench` stands up the `bcp-serve` micro-batching engine over a
+//! pool of predictor replicas and drives it with concurrent closed-loop
+//! clients, printing throughput/latency percentiles, a sequential
+//! baseline, exact response accounting, and (with
+//! `--streaming-min-batch`) the cycle-model correlation measured under
+//! real concurrent load.
 //!
 //! `check` runs the `bcp-check` static verifier (shape inference, folding
 //! legality, cycle budgets, FIFO/rate balance, device resource fit) and
@@ -322,6 +330,138 @@ fn cmd_demo(args: &Args) {
     finish_telemetry(telemetry);
 }
 
+/// `bcp serve-bench`: closed-loop load against the micro-batching engine,
+/// with a sequential single-caller baseline for comparison.
+fn cmd_serve_bench(args: &Args) {
+    use bcp_serve::{BackpressurePolicy, ServeConfig};
+    use std::time::{Duration, Instant};
+
+    let get = |flag: &str, default: usize| -> usize {
+        args.flags
+            .get(flag)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{flag} needs an integer, got '{v}'");
+                    exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+    let workers = get("workers", 2).max(1);
+    let clients = get("clients", 8).max(1);
+    let requests = get("requests", 50).max(1);
+    let n_frames = get("frames", 32).max(1);
+
+    let mut cfg = ServeConfig::default();
+    cfg.queue_cap = get("queue-cap", cfg.queue_cap).max(1);
+    cfg.max_batch = get("max-batch", cfg.max_batch).max(1);
+    cfg.max_wait =
+        Duration::from_micros(get("max-wait-us", cfg.max_wait.as_micros() as usize) as u64);
+    if let Some(p) = args.flags.get("policy") {
+        cfg.policy = match p.to_ascii_lowercase().as_str() {
+            "block" => BackpressurePolicy::Block,
+            "reject" => BackpressurePolicy::Reject,
+            "shed" => BackpressurePolicy::ShedOldest,
+            other => {
+                eprintln!("unknown policy '{other}' (use block | reject | shed)");
+                exit(2);
+            }
+        };
+    }
+    if let Some(ms) = args.flags.get("deadline-ms") {
+        cfg.deadline = Some(Duration::from_millis(ms.parse().unwrap_or_else(|_| {
+            eprintln!("--deadline-ms needs an integer, got '{ms}'");
+            exit(2);
+        })));
+    }
+    if args.flags.contains_key("streaming-min-batch") {
+        cfg.streaming_min_batch = Some(get("streaming-min-batch", 4).max(1));
+    }
+
+    // Predictor: a trained accelerator image when given, else an untrained
+    // (but deployable) network — throughput does not depend on the weights.
+    let telemetry = telemetry_of(args);
+    let mut predictor = if args.flags.contains_key("accel") {
+        load_predictor(args)
+    } else {
+        let arch = match args.flags.get("arch").map(String::as_str) {
+            None | Some("tiny") => binarycop::recipe::tiny_arch(),
+            Some(name) => parse_arch(name).arch(),
+        };
+        let mut net = build_bnn(&arch, 0);
+        let x = bcp_tensor::init::uniform(
+            bcp_tensor::Shape::nchw(2, 3, arch.input_size, arch.input_size),
+            -1.0,
+            1.0,
+            1,
+        );
+        let _ = net.forward(&x, bcp_nn::Mode::Train);
+        BinaryCoP::from_trained(&net, &arch)
+    };
+    if let Some((registry, _)) = &telemetry {
+        predictor = predictor.with_telemetry(registry.clone());
+    }
+
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    let gen = GeneratorConfig {
+        img_size: predictor.arch().input_size,
+        supersample: 2,
+    };
+    let ds = Dataset::generate_balanced(&gen, n_frames.div_ceil(4), 0x5EEE);
+    let frames: Vec<bcp_tensor::Tensor> =
+        (0..n_frames.min(ds.len())).map(|i| ds.image(i)).collect();
+
+    // Baseline: one caller, one frame in flight, no batching.
+    let t0 = Instant::now();
+    for f in &frames {
+        let _ = predictor.classify(f);
+    }
+    let seq_fps = frames.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "sequential baseline: {:.1} fps ({} frames, 1 caller)",
+        seq_fps,
+        frames.len()
+    );
+
+    let engine = binarycop::serve::engine(&predictor, workers, cfg);
+    let report = bcp_serve::run_closed_loop(&engine, &frames, clients, requests);
+    engine.shutdown();
+    println!("engine ({workers} workers):");
+    println!("{}", report.render_text());
+    println!(
+        "speedup vs sequential: {:.2}x{}",
+        report.throughput_fps / seq_fps.max(1e-9),
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
+            "  (single-core host: batching amortization only, no worker parallelism)"
+        } else {
+            ""
+        }
+    );
+    if !report.accounted() {
+        eprintln!("BUG: request accounting mismatch — lost or duplicated responses");
+        exit(1);
+    }
+    println!(
+        "response accounting: exact ({} submitted, {} resolved)",
+        report.total, report.total
+    );
+    if let Some(stats) = engine.stream_stats() {
+        println!(
+            "cycle-model correlation under load ({} streamed frames):",
+            stats.frames
+        );
+        print!(
+            "{}",
+            bcp_finn::correlation_report(predictor.pipeline(), &stats).render_text()
+        );
+    }
+    finish_telemetry(telemetry);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_default();
@@ -333,8 +473,9 @@ fn main() {
         "classify" => cmd_classify(&args),
         "info" => cmd_info(&args),
         "demo" => cmd_demo(&args),
+        "serve-bench" => cmd_serve_bench(&args),
         _ => {
-            eprintln!("usage: bcp <check|train|deploy|classify|info|demo> [flags]");
+            eprintln!("usage: bcp <check|train|deploy|classify|info|demo|serve-bench> [flags]");
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
                  [--target-fps 30] [--fifo-depth 4] [--json]"
@@ -344,7 +485,15 @@ fn main() {
             eprintln!("  bcp classify --arch ncnv --accel accel.json face.ppm …");
             eprintln!("  bcp info     --arch ncnv [--accel accel.json]");
             eprintln!("  bcp demo");
-            eprintln!("  (train/classify/demo also take --telemetry <dir> for JSONL metrics)");
+            eprintln!(
+                "  bcp serve-bench [--arch tiny|cnv|ncnv|ucnv | --arch <a> --accel accel.json] \
+                 [--workers 2] [--clients 8] [--requests 50] [--frames 32] [--max-batch 8] \
+                 [--max-wait-us 500] [--queue-cap 64] [--policy block|reject|shed] \
+                 [--deadline-ms N] [--streaming-min-batch N]"
+            );
+            eprintln!(
+                "  (train/classify/demo/serve-bench also take --telemetry <dir> for JSONL metrics)"
+            );
             exit(2);
         }
     }

@@ -14,6 +14,8 @@
 //!   independent of the pipeline, used to prove the deployment bit-exact.
 //! - [`predictor`]: the user-facing classifier with the paper's two
 //!   operating modes (single-gate low-power / crowd high-throughput).
+//! - [`serve`]: the predictor behind the `bcp-serve` concurrent
+//!   micro-batching engine — replica pool, backpressure, fault isolation.
 //! - [`experiments`]: regeneration entry points for every table and figure
 //!   (Table I, Table II, Fig. 2 confusion matrix, Figs. 3–9 Grad-CAM,
 //!   throughput/power claims, the Sec. IV-A dataset pipeline).
@@ -26,6 +28,7 @@ pub mod model;
 pub mod predictor;
 pub mod recipe;
 pub mod reference;
+pub mod serve;
 
 pub use arch::{Arch, ArchKind};
 pub use predictor::BinaryCoP;

@@ -36,6 +36,11 @@ pub enum OperatingMode {
 }
 
 /// A deployed BinaryCoP classifier.
+///
+/// Cloning deep-copies the pipeline (each clone owns independent weight
+/// and threshold memory) but *shares* the telemetry registry, so replicas
+/// serving concurrently aggregate into one set of metrics.
+#[derive(Clone)]
 pub struct BinaryCoP {
     arch: Arch,
     pipeline: Pipeline,
@@ -124,6 +129,21 @@ impl BinaryCoP {
     /// The underlying pipeline.
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// Mutable access to the pipeline — the hook for fault injection
+    /// (`bcp_finn::fault`) and other chaos experiments on a deployed
+    /// predictor.
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
+    }
+
+    /// `n` independent replicas of this predictor, one per serving worker.
+    /// Each replica owns its weight/threshold memory (a fault injected
+    /// into one cannot corrupt another); all share this predictor's
+    /// telemetry registry, if any.
+    pub fn replicate(&self, n: usize) -> Vec<BinaryCoP> {
+        (0..n).map(|_| self.clone()).collect()
     }
 
     /// The architecture deployed.

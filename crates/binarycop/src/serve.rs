@@ -1,0 +1,133 @@
+//! BinaryCoP behind the `bcp-serve` micro-batching engine.
+//!
+//! The paper's deployment (Sec. I, IV-B) is continuous: entrance cameras
+//! stream frames at an edge accelerator. This module is the glue between
+//! that accelerator model and the generic serving layer — it implements
+//! [`Replica`] for [`BinaryCoP`] (each worker owns an independent deployed
+//! pipeline) and provides [`engine`] to stand up a pool of replicas with a
+//! sensible integrity canary.
+//!
+//! The streaming fast path routes large micro-batches through the
+//! threaded FINN dataflow (`classify_batch_with_stats`), so serving under
+//! load also produces the per-stage [`StreamStats`](bcp_finn::StreamStats)
+//! that `bcp_finn::correlation_report` compares against the analytical
+//! cycle model — measured occupancy under a real concurrent workload,
+//! not just in a microbenchmark.
+
+use crate::predictor::BinaryCoP;
+use bcp_dataset::MaskClass;
+use bcp_finn::fault::inject_random_faults;
+use bcp_finn::StreamStats;
+use bcp_serve::{canary_frame, Engine, Replica, ServeConfig};
+use bcp_tensor::Tensor;
+
+impl Replica for BinaryCoP {
+    fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass> {
+        frames.iter().map(|f| self.classify(f)).collect()
+    }
+
+    fn infer_batch_streaming(
+        &mut self,
+        frames: &[Tensor],
+    ) -> Option<(Vec<MaskClass>, StreamStats)> {
+        Some(self.classify_batch_with_stats(frames))
+    }
+
+    /// Raw output logits for `frame` — bit-exact on a healthy pipeline, and
+    /// perturbed with high probability by any weight-memory fault (a BNN
+    /// bit flip is a full sign change).
+    fn canary(&self, frame: &Tensor) -> Vec<i64> {
+        self.pipeline().forward(&self.quantize(frame))
+    }
+
+    fn inject_faults(&mut self, n: usize, seed: u64) {
+        inject_random_faults(self.pipeline_mut(), n, seed);
+    }
+}
+
+/// Stand up a serving engine over `workers` independent replicas of
+/// `predictor`. Unless the config already carries one, the integrity
+/// canary defaults to a deterministic gradient frame at the architecture's
+/// input size; the predictor's telemetry registry (if attached) receives
+/// the engine's `serve.*` metrics.
+pub fn engine(predictor: &BinaryCoP, workers: usize, mut cfg: ServeConfig) -> Engine {
+    if cfg.canary.is_none() {
+        let s = predictor.arch().input_size;
+        cfg.canary = Some(canary_frame(3, s, s));
+    }
+    let registry = predictor.telemetry().cloned();
+    Engine::start(predictor.replicate(workers), cfg, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_bnn;
+    use crate::recipe::tiny_arch;
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    use bcp_nn::Mode;
+    use bcp_tensor::Shape;
+
+    fn predictor() -> BinaryCoP {
+        let arch = tiny_arch();
+        let mut net = build_bnn(&arch, 5);
+        let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 6);
+        let _ = net.forward(&x, Mode::Train);
+        BinaryCoP::from_trained(&net, &arch)
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        let gen = GeneratorConfig {
+            img_size: 16,
+            supersample: 2,
+        };
+        let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), 9);
+        (0..n).map(|i| ds.image(i)).collect()
+    }
+
+    #[test]
+    fn served_results_match_direct_classification() {
+        let p = predictor();
+        let e = engine(&p, 2, ServeConfig::default());
+        for img in images(8) {
+            assert_eq!(e.classify(&img), Ok(p.classify(&img)));
+        }
+    }
+
+    #[test]
+    fn replica_canary_is_deterministic_and_fault_sensitive() {
+        let p = predictor();
+        let frame = canary_frame(3, 16, 16);
+        let golden = Replica::canary(&p, &frame);
+        let mut replicas = p.replicate(2);
+        assert_eq!(Replica::canary(&replicas[0], &frame), golden);
+        assert_eq!(Replica::canary(&replicas[1], &frame), golden);
+        // Faulting one replica leaves its sibling (and the original) clean.
+        replicas[0].inject_faults(8, 123);
+        assert_ne!(Replica::canary(&replicas[0], &frame), golden);
+        assert_eq!(Replica::canary(&replicas[1], &frame), golden);
+        assert_eq!(Replica::canary(&p, &frame), golden);
+    }
+
+    #[test]
+    fn streaming_path_accumulates_stream_stats() {
+        let p = predictor();
+        let e = engine(
+            &p,
+            1,
+            ServeConfig {
+                streaming_min_batch: Some(2),
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let imgs = images(8);
+        let tickets: Vec<_> = imgs.iter().map(|i| e.submit(i).unwrap()).collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        e.shutdown();
+        let stats = e.stream_stats().expect("batches of ≥2 must stream");
+        assert!(stats.frames >= 2, "streamed at least one real batch");
+    }
+}

@@ -5,6 +5,12 @@
 //! classification. Reports per-class gate decisions, latency and the
 //! near-idle power draw that motivates the paper's 1.6 W claim.
 //!
+//! A second act scales the same predictor to a *multi-gate* building:
+//! several entrance cameras submit concurrently to one shared
+//! `bcp-serve` engine, which micro-batches their frames across a pool of
+//! replicas — per-camera tallies stay exact, and the engine's `serve.*`
+//! metrics land in the same telemetry registry as the gate log.
+//!
 //! ```sh
 //! cargo run --release --example gate_monitor
 //! ```
@@ -82,7 +88,54 @@ fn main() {
     let day_wh = gate * 8.0; // an 8-hour shift
     println!("an 8-hour shift costs ≈ {day_wh:.1} Wh — battery-friendly edge deployment");
 
-    // Everything above was also metered: per-epoch training dynamics plus
-    // the per-subject classification latency histogram.
+    // Multi-camera mode: four entrance cameras share one serving engine
+    // (two predictor replicas), each camera a concurrent closed-loop
+    // client watching its own stream of subjects.
+    const CAMERAS: usize = 4;
+    const SUBJECTS_PER_CAMERA: usize = 10;
+    println!("\nmulti-gate mode: {CAMERAS} cameras → shared serving engine (2 replicas)");
+    let engine = binarycop::serve::engine(&predictor, 2, bcp_serve::ServeConfig::default());
+    let eng = &engine;
+    let subj = &subjects;
+    let per_camera: Vec<(usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CAMERAS)
+            .map(|cam| {
+                s.spawn(move || {
+                    let (mut seen, mut admitted) = (0usize, 0usize);
+                    for i in 0..SUBJECTS_PER_CAMERA {
+                        let frame = subj.image((cam * SUBJECTS_PER_CAMERA + i) % subj.len());
+                        match eng.classify(&frame) {
+                            Ok(class) => {
+                                seen += 1;
+                                if class == MaskClass::CorrectlyMasked {
+                                    admitted += 1;
+                                }
+                            }
+                            Err(e) => println!("  camera {cam}: dropped a frame ({e})"),
+                        }
+                    }
+                    (seen, admitted)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("camera"))
+            .collect()
+    });
+    engine.shutdown();
+    for (cam, (seen, admitted)) in per_camera.iter().enumerate() {
+        println!("  camera {cam}: {seen} subjects, {admitted} admitted");
+    }
+    let total: usize = per_camera.iter().map(|(s, _)| s).sum();
+    assert_eq!(
+        total,
+        CAMERAS * SUBJECTS_PER_CAMERA,
+        "serving engine must answer every camera frame exactly once"
+    );
+
+    // Everything above was also metered: per-epoch training dynamics, the
+    // per-subject classification latency histogram, and the serving
+    // engine's queue/batch/latency metrics (serve.*).
     println!("\n{}", telemetry.snapshot().render_text());
 }

@@ -1,0 +1,143 @@
+//! Property-based differential tests for the two kernels the whole
+//! accelerator rests on, each checked against an independent reference
+//! implementation:
+//!
+//! 1. The bitpacked XNOR-popcount GEMM (`bcp_bitpack::xnor_gemm`) against
+//!    a naive float matmul over the same ±1 matrices (`bcp_tensor`).
+//!    PopCnt(XNOR) over packed words and a dot product over ±1 floats are
+//!    wildly different code paths that must agree exactly — ±1 integer
+//!    dot products are exactly representable in `f32` far beyond any `k`
+//!    used here, so the comparison is equality, not tolerance.
+//! 2. The folded integer thresholds (`from_batchnorm`) against the
+//!    float batch-norm + sign reference they were folded from, over the
+//!    accumulator's entire legal range (paper Eq. 1 / Sec. III-B).
+//!
+//! Case count honors `PROPTEST_CASES` (CI sets 64); seeds are fixed per
+//! test name, so failures replay deterministically.
+
+use bcp_bitpack::pack::pack_matrix;
+use bcp_bitpack::threshold::{batchnorm_sign_reference, ThresholdChannel, ThresholdUnit};
+use bcp_bitpack::xnor::xnor_gemm;
+use bcp_tensor::{matmul::matmul_tb, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic ±1 matrix from a seed (LCG; independent of any crate's
+/// RNG so the test doesn't share code with either implementation).
+fn signs(rows: usize, cols: usize, mut seed: u64) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (seed >> 33) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn xnor_gemm_matches_float_matmul(
+        m in 1usize..9,
+        n in 1usize..9,
+        k in 1usize..260,
+        seed in any::<u64>(),
+    ) {
+        let a = signs(m, k, seed);
+        let b = signs(n, k, seed ^ 0x9E3779B97F4A7C15);
+        // Bit domain: pack and popcount-multiply.
+        let bits = xnor_gemm(&pack_matrix(m, k, &a), &pack_matrix(n, k, &b));
+        // Float domain: dense A·Bᵀ.
+        let floats = matmul_tb(
+            &Tensor::from_vec(Shape::d2(m, k), a),
+            &Tensor::from_vec(Shape::d2(n, k), b),
+        );
+        prop_assert_eq!(bits.len(), m * n);
+        for (i, (&got, &want)) in bits.iter().zip(floats.as_slice()).enumerate() {
+            prop_assert_eq!(got as f32, want, "accumulator {} of {}x{}·{}ᵀ", i, m, k, n);
+        }
+    }
+
+    #[test]
+    fn xnor_gemm_bounds_and_parity(
+        m in 1usize..5,
+        n in 1usize..5,
+        k in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        // Structural invariants independent of the reference: every ±1 dot
+        // product over k terms lies in [-k, k] and has k's parity.
+        let a = pack_matrix(m, k, &signs(m, k, seed));
+        let b = pack_matrix(n, k, &signs(n, k, seed.wrapping_add(7)));
+        for acc in xnor_gemm(&a, &b) {
+            prop_assert!(acc.unsigned_abs() as usize <= k);
+            prop_assert_eq!((acc - k as i32).rem_euclid(2), 0);
+        }
+    }
+
+    #[test]
+    fn folded_channel_matches_float_batchnorm_sign(
+        gamma in -4.0f64..4.0,
+        beta in -4.0f64..4.0,
+        mean in -40.0f64..40.0,
+        var in 0.0f64..9.0,
+        k in 1usize..200,
+    ) {
+        let eps = 1e-5f64;
+        let t = ThresholdChannel::from_batchnorm(gamma, beta, mean, var, eps);
+        // Exhaust the whole legal accumulator range for a k-term ±1 dot
+        // product, not a sample of it.
+        for acc in -(k as i64)..=(k as i64) {
+            prop_assert_eq!(
+                t.apply(acc),
+                batchnorm_sign_reference(acc, gamma, beta, mean, var, eps),
+                "acc {} under γ={} β={} μ={} σ²={}", acc, gamma, beta, mean, var
+            );
+        }
+    }
+
+    #[test]
+    fn folded_unit_matches_reference_per_channel(
+        channels in 1usize..17,
+        seed in any::<u64>(),
+        k in 1usize..150,
+    ) {
+        // f32 statistics (the deploy path's type) against the f64 reference.
+        let raw = signs(4, channels, seed);
+        let gamma: Vec<f32> = (0..channels).map(|c| raw[c] * (c as f32 * 0.37 + 0.1)).collect();
+        let beta: Vec<f32> = (0..channels).map(|c| raw[channels + c] * (c as f32 * 0.21)).collect();
+        let mean: Vec<f32> = (0..channels).map(|c| raw[2 * channels + c] * (c as f32 * 1.7)).collect();
+        let var: Vec<f32> = (0..channels).map(|c| 0.05 + c as f32 * 0.33).collect();
+        let eps = 1e-5f32;
+        let unit = ThresholdUnit::from_batchnorm(&gamma, &beta, &mean, &var, eps);
+        for c in 0..channels {
+            for acc in [-(k as i64), -1, 0, 1, k as i64] {
+                prop_assert_eq!(
+                    unit.apply(c, acc),
+                    batchnorm_sign_reference(
+                        acc,
+                        gamma[c] as f64,
+                        beta[c] as f64,
+                        mean[c] as f64,
+                        var[c] as f64,
+                        eps as f64,
+                    ),
+                    "channel {} acc {}", c, acc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_differential_has_a_known_answer_anchor() {
+    // One hand-checked case pins both implementations to ground truth, so
+    // the property above cannot pass by both being wrong the same way:
+    // a = [+1 -1 +1], b = [+1 +1 +1] → dot = +1.
+    let a = pack_matrix(1, 3, &[1.0, -1.0, 1.0]);
+    let b = pack_matrix(1, 3, &[1.0, 1.0, 1.0]);
+    assert_eq!(xnor_gemm(&a, &b), vec![1]);
+}

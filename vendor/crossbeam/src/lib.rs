@@ -12,6 +12,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         buf: VecDeque<T>,
@@ -39,6 +40,43 @@ pub mod channel {
     /// all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full; the message is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`] /
+    /// [`Receiver::recv_deadline`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(Arc<Inner<T>>);
@@ -77,6 +115,22 @@ pub mod channel {
                     return Ok(());
                 }
                 st = self.0.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Enqueue without blocking: fails with [`TrySendError::Full`] when
+        /// no slot is free (the caller decides the overload policy).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                self.0.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
             }
         }
 
@@ -137,6 +191,51 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.0.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking: fails with [`TryRecvError::Empty`]
+        /// when nothing is queued right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.buf.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Block until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Block until a message arrives or the wall clock reaches
+        /// `deadline` — the primitive a micro-batcher's flush timer needs.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
             }
         }
 
@@ -263,6 +362,62 @@ mod tests {
             for i in 0..100 {
                 assert_eq!(rx.recv(), Ok(i));
             }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn try_send_full_and_try_recv_empty() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_disconnected_returns_value() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(9),
+            Err(channel::TrySendError::Disconnected(9))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(20)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_deadline_wakes_on_send() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        thread::scope(|s| {
+            s.spawn(move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                tx.send(7).unwrap();
+            });
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            assert_eq!(rx.recv_deadline(deadline), Ok(7));
         })
         .unwrap();
     }

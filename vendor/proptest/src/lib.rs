@@ -34,8 +34,14 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // The real default is 256; 64 keeps the offline suite quick while
-        // still exercising a spread of shapes.
-        ProptestConfig { cases: 64 }
+        // still exercising a spread of shapes. Like the real crate, the
+        // `PROPTEST_CASES` environment variable overrides the default so CI
+        // can cap (or a soak run can raise) the case count.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
