@@ -63,6 +63,31 @@ fn bench_serving(c: &mut Criterion) {
         });
         e.shutdown();
     }
+
+    // The price of self-healing: the same pool with guarded replicas and
+    // background scrubbing enabled (no faults injected — this measures the
+    // steady-state overhead of CRC sweeps riding between batches, compared
+    // to the undefended `engine_2w` entry above).
+    for scrub_units in [0usize, 8] {
+        let cfg = ServeConfig {
+            background_scrub: (scrub_units > 0).then_some(scrub_units),
+            ..ServeConfig::default()
+        };
+        let e = binarycop::guard::guarded_engine(&p, 2, cfg);
+        let id = if scrub_units > 0 {
+            format!("guarded_2w_scrub{scrub_units}")
+        } else {
+            "guarded_2w_scrub_off".to_string()
+        };
+        group.bench_function(id.as_str(), |b| {
+            b.iter(|| {
+                let report = bcp_serve::run_closed_loop(&e, &imgs, CLIENTS, FRAMES / CLIENTS);
+                assert!(report.accounted() && report.ok == FRAMES);
+                std::hint::black_box(report.throughput_fps)
+            })
+        });
+        e.shutdown();
+    }
     group.finish();
 }
 

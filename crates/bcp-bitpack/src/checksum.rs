@@ -1,0 +1,87 @@
+//! CRC-32 integrity codes for packed weight memories.
+//!
+//! A BNN weight *is* one bit, so a single-event upset in weight SRAM is a
+//! worst-case full sign change. The guard layer (`bcp-guard`) attaches a
+//! CRC-32 (IEEE 802.3, polynomial `0x04C11DB7` reflected) to every packed
+//! weight row and threshold table; the polynomial's minimum distance is ≥ 4
+//! for any message under 91 607 bits, so every 1-, 2- and 3-bit flip inside
+//! a row of this workspace's matrices (longest row ≈ 1.2 kbit) is detected
+//! with certainty, and longer bursts with probability `1 − 2⁻³²`.
+
+/// Reflected CRC-32 (IEEE) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320 // 0x04C11DB7 bit-reflected
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice. Matches the ubiquitous zlib/PNG/ethernet
+/// parameterisation (init `0xFFFF_FFFF`, reflected, final XOR).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// CRC-32 of a packed `u64` word run, hashing each word's little-endian
+/// bytes in order — the integrity code of one weight-memory row.
+pub fn crc32_words(words: &[u64]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn words_match_byte_hash() {
+        let words = [0x0123_4567_89AB_CDEFu64, 0xFFFF_0000_1234_5678];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(crc32_words(&words), crc32(&bytes));
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_code() {
+        let words = [0xDEAD_BEEF_0BAD_F00Du64, 0, u64::MAX];
+        let clean = crc32_words(&words);
+        for i in 0..words.len() {
+            for bit in 0..64 {
+                let mut flipped = words;
+                flipped[i] ^= 1u64 << bit;
+                assert_ne!(crc32_words(&flipped), clean, "word {i} bit {bit}");
+            }
+        }
+    }
+}

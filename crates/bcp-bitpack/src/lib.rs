@@ -15,9 +15,12 @@
 //!   of batch-norm + sign (Sec. III-A).
 //! - [`serialize`]: compact bitstream framing via `bytes` for checkpointing
 //!   deployed (binarized) weights.
+//! - [`checksum`]: CRC-32 integrity codes over packed rows, the detection
+//!   half of the weight-memory scrubbing in `bcp-guard`.
 
 pub mod bitmatrix;
 pub mod bitvec64;
+pub mod checksum;
 pub mod pack;
 pub mod serialize;
 pub mod threshold;

@@ -23,18 +23,122 @@ pub struct FaultRecord {
     pub col: usize,
 }
 
+/// Why a fault record cannot be applied to a pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// Stage index past the end of the pipeline.
+    StageOutOfRange {
+        /// Offending stage index.
+        stage: usize,
+        /// Stages in the pipeline.
+        stages: usize,
+    },
+    /// The addressed stage (an OR-pool) carries no parameters.
+    NoWeightMemory {
+        /// Offending stage index.
+        stage: usize,
+        /// Stage name.
+        name: String,
+    },
+    /// Row or column outside the stage's weight matrix.
+    BitOutOfRange {
+        /// Offending record.
+        fault: FaultRecord,
+        /// The stage's weight matrix dimensions.
+        dims: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::StageOutOfRange { stage, stages } => {
+                write!(f, "stage {stage} out of range ({stages} stages)")
+            }
+            FaultError::NoWeightMemory { stage, name } => {
+                write!(
+                    f,
+                    "stage {stage} '{name}' (OR-pool) has no weight memory to fault"
+                )
+            }
+            FaultError::BitOutOfRange { fault, dims } => {
+                write!(
+                    f,
+                    "bit ({}, {}) out of range for stage {} ({} × {} weights)",
+                    fault.row, fault.col, fault.stage, dims.0, dims.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// Flip the weight bit described by a record (involutive: applying the
-/// same record twice restores the original weights).
-pub fn apply_fault(pipeline: &mut Pipeline, fault: FaultRecord) {
+/// same record twice restores the original weights). Returns an error
+/// instead of panicking on a weightless stage or out-of-range coordinate.
+pub fn try_apply_fault(pipeline: &mut Pipeline, fault: FaultRecord) -> Result<(), FaultError> {
+    let stages = pipeline.stages().len();
+    if fault.stage >= stages {
+        return Err(FaultError::StageOutOfRange {
+            stage: fault.stage,
+            stages,
+        });
+    }
+    let dims = match stage_weight_dims(&pipeline.stages()[fault.stage]) {
+        Some(dims) => dims,
+        None => {
+            return Err(FaultError::NoWeightMemory {
+                stage: fault.stage,
+                name: pipeline.stages()[fault.stage].name().to_string(),
+            })
+        }
+    };
+    if fault.row >= dims.0 || fault.col >= dims.1 {
+        return Err(FaultError::BitOutOfRange { fault, dims });
+    }
     match pipeline.stage_mut(fault.stage) {
         Stage::ConvFixed { mvtu, .. } => mvtu.flip_weight(fault.row, fault.col),
         Stage::ConvBinary { mvtu, .. }
         | Stage::DenseBinary { mvtu, .. }
         | Stage::DenseLogits { mvtu, .. } => mvtu.flip_weight(fault.row, fault.col),
-        Stage::PoolOr { name, .. } => {
-            panic!("stage '{name}' (OR-pool) has no weight memory to fault")
-        }
+        Stage::PoolOr { .. } => unreachable!("weightless stages rejected above"),
     }
+    Ok(())
+}
+
+/// Panicking convenience wrapper around [`try_apply_fault`] for tests and
+/// experiments that construct records they know are valid.
+pub fn apply_fault(pipeline: &mut Pipeline, fault: FaultRecord) {
+    if let Err(e) = try_apply_fault(pipeline, fault) {
+        panic!("{e}");
+    }
+}
+
+/// Multi-bit upset: flip `k` adjacent column bits starting at
+/// `(stage, row, col)`, clamped at the row's end — the MBU burst model
+/// (physically adjacent SRAM cells share a word line, so one strike can
+/// flip a short run). Involutive like single faults; returns the records
+/// actually applied so the burst can be undone.
+pub fn apply_burst(
+    pipeline: &mut Pipeline,
+    stage: usize,
+    row: usize,
+    col: usize,
+    k: usize,
+) -> Result<Vec<FaultRecord>, FaultError> {
+    assert!(k > 0, "a burst flips at least one bit");
+    // Validate the first bit up front so a bad address flips nothing.
+    let first = FaultRecord { stage, row, col };
+    try_apply_fault(pipeline, first)?;
+    let mut records = vec![first];
+    let (_, cols) = stage_weight_dims(&pipeline.stages()[stage]).expect("validated above");
+    for c in col + 1..(col + k).min(cols) {
+        let rec = FaultRecord { stage, row, col: c };
+        try_apply_fault(pipeline, rec).expect("burst tail within validated row");
+        records.push(rec);
+    }
+    Ok(records)
 }
 
 fn stage_weight_dims(stage: &Stage) -> Option<(usize, usize)> {
@@ -90,7 +194,7 @@ pub fn inject_random_faults(pipeline: &mut Pipeline, n: usize, seed: u64) -> Vec
                     row: (offset / cols as u64) as usize,
                     col: (offset % cols as u64) as usize,
                 };
-                apply_fault(pipeline, record);
+                try_apply_fault(pipeline, record).expect("drawn record is within bounds");
                 records.push(record);
                 break;
             }
@@ -216,5 +320,72 @@ mod tests {
                 col: 0,
             },
         );
+    }
+
+    #[test]
+    fn try_apply_fault_reports_typed_errors() {
+        let mut p = pipeline();
+        let rec = |stage, row, col| FaultRecord { stage, row, col };
+        assert_eq!(
+            try_apply_fault(&mut p, rec(9, 0, 0)),
+            Err(FaultError::StageOutOfRange {
+                stage: 9,
+                stages: 3
+            })
+        );
+        assert_eq!(
+            try_apply_fault(&mut p, rec(1, 0, 0)),
+            Err(FaultError::NoWeightMemory {
+                stage: 1,
+                name: "pool1".into()
+            })
+        );
+        assert_eq!(
+            try_apply_fault(&mut p, rec(0, 4, 0)),
+            Err(FaultError::BitOutOfRange {
+                fault: rec(0, 4, 0),
+                dims: (4, 27)
+            })
+        );
+        // A failed application must leave the weights untouched.
+        assert_eq!(p.forward(&frame(0)), pipeline().forward(&frame(0)));
+        assert_eq!(try_apply_fault(&mut p, rec(0, 0, 0)), Ok(()));
+    }
+
+    #[test]
+    fn burst_flips_adjacent_bits_and_clamps() {
+        let mut p = pipeline();
+        // Row 0 of stage 0 has 27 columns; a 4-bit burst at col 25 clamps
+        // to 2 flips.
+        let recs = apply_burst(&mut p, 0, 0, 25, 4).unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                FaultRecord {
+                    stage: 0,
+                    row: 0,
+                    col: 25
+                },
+                FaultRecord {
+                    stage: 0,
+                    row: 0,
+                    col: 26
+                }
+            ]
+        );
+        // Undo by reapplying; pipeline must match a clean build.
+        for r in recs {
+            apply_fault(&mut p, r);
+        }
+        for s in 0..4 {
+            assert_eq!(p.forward(&frame(s)), pipeline().forward(&frame(s)));
+        }
+    }
+
+    #[test]
+    fn burst_rejects_bad_start_without_side_effects() {
+        let mut p = pipeline();
+        assert!(apply_burst(&mut p, 1, 0, 0, 3).is_err());
+        assert_eq!(p.forward(&frame(1)), pipeline().forward(&frame(1)));
     }
 }

@@ -75,6 +75,24 @@ impl BinaryMvtu {
         self.weights.flip(r, c);
     }
 
+    /// Replace the threshold bank (the guard layer's repair path — and,
+    /// inverted, its corruption hook for tests). Only legal on a unit that
+    /// already thresholds; the logits layer has no threshold memory.
+    pub fn restore_thresholds(&mut self, thresholds: ThresholdUnit) {
+        assert!(
+            self.thresholds.is_some(),
+            "restore_thresholds() on a logits-mode MVTU"
+        );
+        assert_eq!(
+            thresholds.len(),
+            self.weights.rows(),
+            "threshold bank ({}) must match neuron count ({})",
+            thresholds.len(),
+            self.weights.rows()
+        );
+        self.thresholds = Some(thresholds);
+    }
+
     /// Raw signed accumulators for one input vector.
     pub fn accumulate(&self, input: &BitVec64) -> Vec<i64> {
         assert_eq!(
@@ -156,6 +174,18 @@ impl FixedInputMvtu {
     /// Toggle one weight bit (fault injection).
     pub fn flip_weight(&mut self, r: usize, c: usize) {
         self.weights.flip(r, c);
+    }
+
+    /// Replace the threshold bank (guard repair / test corruption hook).
+    pub fn restore_thresholds(&mut self, thresholds: ThresholdUnit) {
+        assert_eq!(
+            thresholds.len(),
+            self.weights.rows(),
+            "threshold bank ({}) must match neuron count ({})",
+            thresholds.len(),
+            self.weights.rows()
+        );
+        self.thresholds = thresholds;
     }
 
     /// Signed accumulators: `Σ (w ? +x : −x)`.

@@ -117,6 +117,42 @@ impl Stage {
         }
     }
 
+    /// The stage's packed weight memory (`None` for pool stages, which
+    /// carry no parameters).
+    pub fn weight_matrix(&self) -> Option<&bcp_bitpack::BitMatrix> {
+        match self {
+            Stage::ConvFixed { mvtu, .. } => Some(mvtu.weights()),
+            Stage::ConvBinary { mvtu, .. }
+            | Stage::DenseBinary { mvtu, .. }
+            | Stage::DenseLogits { mvtu, .. } => Some(mvtu.weights()),
+            Stage::PoolOr { .. } => None,
+        }
+    }
+
+    /// The stage's folded threshold table (`None` for pool and logits
+    /// stages).
+    pub fn threshold_unit(&self) -> Option<&bcp_bitpack::ThresholdUnit> {
+        match self {
+            Stage::ConvFixed { mvtu, .. } => Some(mvtu.thresholds()),
+            Stage::ConvBinary { mvtu, .. } | Stage::DenseBinary { mvtu, .. } => mvtu.thresholds(),
+            Stage::DenseLogits { .. } | Stage::PoolOr { .. } => None,
+        }
+    }
+
+    /// Replace the stage's threshold table (guard repair path). Panics on
+    /// a stage without threshold memory or on a bank-size mismatch.
+    pub fn restore_thresholds(&mut self, thresholds: bcp_bitpack::ThresholdUnit) {
+        match self {
+            Stage::ConvFixed { mvtu, .. } => mvtu.restore_thresholds(thresholds),
+            Stage::ConvBinary { mvtu, .. } | Stage::DenseBinary { mvtu, .. } => {
+                mvtu.restore_thresholds(thresholds)
+            }
+            Stage::DenseLogits { name, .. } | Stage::PoolOr { name, .. } => {
+                panic!("stage '{name}' has no threshold memory to restore")
+            }
+        }
+    }
+
     /// Cycles to process one frame (Sec. III-B folding arithmetic).
     pub fn cycles_per_frame(&self) -> u64 {
         match self {

@@ -1,0 +1,220 @@
+//! Compressed golden copies of a pipeline's parameter memories — the
+//! repair half of the guard layer.
+//!
+//! The [`GoldenDigest`](bcp_finn::GoldenDigest) can *detect* and localize
+//! corruption; restoring the flipped bits needs the original data. A
+//! [`GoldenStore`] keeps a per-row copy of every packed weight memory
+//! (run-length compressed when that is actually smaller — random ±1 rows
+//! are incompressible, so the store falls back to raw words rather than
+//! pretending) plus a clone of every folded threshold table. Repair is
+//! involutive bit surgery: XOR the live row against the golden row and
+//! flip exactly the differing bits through the existing fault path, so a
+//! repaired row is bit-identical to the deployed one.
+
+use bcp_finn::fault::{try_apply_fault, FaultRecord};
+use bcp_finn::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// One row's golden words, stored in whichever encoding is smaller.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Blob {
+    /// Verbatim packed words (the honest fallback — random ±1 weight rows
+    /// do not compress).
+    Raw(Vec<u64>),
+    /// Run-length pairs `(count, word)` for rows dominated by repeats
+    /// (e.g. all-(−1) initializations).
+    Rle(Vec<(u32, u64)>),
+}
+
+impl Blob {
+    /// Encode `words`, picking the smaller of raw and run-length form.
+    pub fn compress(words: &[u64]) -> Blob {
+        let mut runs: Vec<(u32, u64)> = Vec::new();
+        for &w in words {
+            match runs.last_mut() {
+                Some((n, prev)) if *prev == w && *n < u32::MAX => *n = n.wrapping_add(1),
+                _ => runs.push((1, w)),
+            }
+        }
+        // A raw word is 8 bytes; an RLE pair serializes to 12.
+        if runs.len().saturating_mul(12) < words.len().saturating_mul(8) {
+            Blob::Rle(runs)
+        } else {
+            Blob::Raw(words.to_vec())
+        }
+    }
+
+    /// Decode back to packed words.
+    pub fn decode(&self) -> Vec<u64> {
+        match self {
+            Blob::Raw(words) => words.clone(),
+            Blob::Rle(runs) => {
+                let mut out = Vec::new();
+                for &(n, w) in runs {
+                    out.extend(std::iter::repeat_n(w, n as usize));
+                }
+                out
+            }
+        }
+    }
+
+    /// Approximate serialized size of this encoding.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            Blob::Raw(words) => words.len().saturating_mul(8),
+            Blob::Rle(runs) => runs.len().saturating_mul(12),
+        }
+    }
+}
+
+/// Golden parameter copies for one stage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StageGolden {
+    /// Weight rows/cols (0×0 for a weightless stage).
+    rows: usize,
+    cols: usize,
+    row_words: Vec<Blob>,
+    thresholds: Option<bcp_bitpack::ThresholdUnit>,
+}
+
+/// Compressed golden copy of every parameter memory in a pipeline,
+/// indexed by stage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GoldenStore {
+    stages: Vec<StageGolden>,
+}
+
+impl GoldenStore {
+    /// Snapshot `pipeline`'s weights and thresholds.
+    pub fn capture(pipeline: &Pipeline) -> GoldenStore {
+        let stages = pipeline
+            .stages()
+            .iter()
+            .map(|s| {
+                let (rows, cols, row_words) = match s.weight_matrix() {
+                    Some(m) => (
+                        m.rows(),
+                        m.cols(),
+                        (0..m.rows())
+                            .map(|r| Blob::compress(m.row_words(r)))
+                            .collect(),
+                    ),
+                    None => (0, 0, Vec::new()),
+                };
+                StageGolden {
+                    rows,
+                    cols,
+                    row_words,
+                    thresholds: s.threshold_unit().cloned(),
+                }
+            })
+            .collect();
+        GoldenStore { stages }
+    }
+
+    /// Bytes the store actually holds (post-compression).
+    pub fn stored_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| {
+                s.row_words
+                    .iter()
+                    .map(Blob::stored_bytes)
+                    .fold(0usize, usize::saturating_add)
+            })
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Bytes an uncompressed copy of the weight memories would take.
+    pub fn raw_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| {
+                s.row_words
+                    .iter()
+                    .map(|b| b.decode().len().saturating_mul(8))
+                    .fold(0usize, usize::saturating_add)
+            })
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Golden words of one weight row.
+    pub fn row_words(&self, stage: usize, row: usize) -> Vec<u64> {
+        self.stages[stage].row_words[row].decode()
+    }
+
+    /// Golden threshold table of one stage, when it has one.
+    pub fn thresholds(&self, stage: usize) -> Option<&bcp_bitpack::ThresholdUnit> {
+        self.stages[stage].thresholds.as_ref()
+    }
+
+    /// Restore weight row `(stage, row)` to its golden content by flipping
+    /// exactly the differing bits (involutive surgery through the fault
+    /// path — no new weight mutators). Returns the number of bits flipped.
+    pub fn repair_row(&self, pipeline: &mut Pipeline, stage: usize, row: usize) -> usize {
+        let golden = self.row_words(stage, row);
+        let current: Vec<u64> = pipeline.stages()[stage]
+            .weight_matrix()
+            .unwrap_or_else(|| panic!("stage {stage} has no weight memory to repair"))
+            .row_words(row)
+            .to_vec();
+        assert_eq!(
+            golden.len(),
+            current.len(),
+            "stage {stage} row {row} shape diverged from the golden store"
+        );
+        let mut flipped = 0usize;
+        for (w_idx, (cur, gold)) in current.iter().zip(golden.iter()).enumerate() {
+            let mut diff = cur ^ gold;
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                let col = w_idx.saturating_mul(64).saturating_add(bit);
+                try_apply_fault(pipeline, FaultRecord { stage, row, col })
+                    .expect("padding is zero in both copies, so every diff bit is a valid column");
+                flipped = flipped.saturating_add(1);
+                diff &= diff.wrapping_sub(1);
+            }
+        }
+        flipped
+    }
+
+    /// Restore the threshold table of `stage` from the golden clone.
+    /// Panics when the stage never had thresholds (nothing golden to
+    /// restore).
+    pub fn repair_thresholds(&self, pipeline: &mut Pipeline, stage: usize) {
+        let golden = self
+            .thresholds(stage)
+            .unwrap_or_else(|| panic!("stage {stage} has no golden threshold table"))
+            .clone();
+        pipeline.stage_mut(stage).restore_thresholds(golden);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_roundtrips_both_encodings() {
+        let repeated = vec![0xAAAA_AAAA_AAAA_AAAAu64; 16];
+        let blob = Blob::compress(&repeated);
+        assert!(matches!(blob, Blob::Rle(_)));
+        assert_eq!(blob.decode(), repeated);
+        assert!(blob.stored_bytes() < repeated.len().saturating_mul(8));
+
+        let varied: Vec<u64> = (0u64..16).map(|i| i ^ 0xDEAD_BEEF).collect();
+        let blob = Blob::compress(&varied);
+        assert!(
+            matches!(blob, Blob::Raw(_)),
+            "incompressible data stays raw"
+        );
+        assert_eq!(blob.decode(), varied);
+        assert_eq!(blob.stored_bytes(), 128);
+    }
+
+    #[test]
+    fn blob_empty_and_single() {
+        assert_eq!(Blob::compress(&[]).decode(), Vec::<u64>::new());
+        assert_eq!(Blob::compress(&[7]).decode(), vec![7]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Weight-memory integrity guard for deployed BinaryCoP pipelines.
+//!
+//! The paper's robustness story (Sec. IV) is statistical: a BNN tolerates
+//! scattered bit flips because binarization leaves individual weights
+//! non-critical. This crate adds the complementary *engineering* story —
+//! detect and undo the flips before they accumulate:
+//!
+//! - [`bcp_finn::GoldenDigest`] (captured at deploy time) holds a CRC-32
+//!   per packed weight row and per folded threshold table. CRC-32's
+//!   minimum distance is ≥ 4 below 91 607 bits, so every ≤3-bit upset
+//!   inside a row is detected with certainty.
+//! - [`GoldenStore`] keeps a compressed golden copy of the same memories
+//!   (run-length when smaller, raw otherwise) and repairs a dirty row by
+//!   flipping exactly the differing bits back — bit-exact, involutive.
+//! - [`Scrubber`] walks the memories incrementally, a few rows per
+//!   [`Scrubber::tick`], so a serving worker can interleave scrubbing with
+//!   inference; it emits `guard.scrub.*` telemetry (rows scanned, faults
+//!   detected/repaired, sweep-latency histogram).
+//!
+//! `bcp-serve` builds its quarantine → repair → probation worker lifecycle
+//! on top of these pieces; `bcp scrub-bench` measures the end-to-end
+//! detection/repair rate and scrub overhead.
+#![warn(clippy::arithmetic_side_effects)]
+
+pub mod golden;
+pub mod scrub;
+
+pub use golden::{Blob, GoldenStore};
+pub use scrub::{ScrubReport, Scrubber};

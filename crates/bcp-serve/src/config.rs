@@ -1,5 +1,6 @@
 //! Engine configuration and the per-request error taxonomy.
 
+use crate::recovery::RecoveryPolicy;
 use bcp_tensor::Tensor;
 use std::time::Duration;
 
@@ -54,6 +55,18 @@ pub struct ServeConfig {
     /// Batches between canary checks (1 = before every batch; meaningful
     /// only with `canary` set).
     pub canary_every: u64,
+    /// Self-healing: when set, a canary-failed worker is quarantined
+    /// instead of permanently removed — its thread attempts
+    /// [`Replica::repair`](crate::Replica::repair) off the hot path, then
+    /// must pass `probation_passes` consecutive canaries to rejoin
+    /// dispatch (see [`RecoveryPolicy`]). `None` keeps the original
+    /// one-way removal.
+    pub recovery: Option<RecoveryPolicy>,
+    /// Background scrubbing: when set, each worker calls
+    /// [`Replica::scrub_tick`](crate::Replica::scrub_tick) with this many
+    /// scrub units between inference batches, interleaving integrity
+    /// sweeps with serving.
+    pub background_scrub: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +80,8 @@ impl Default for ServeConfig {
             streaming_min_batch: None,
             canary: None,
             canary_every: 1,
+            recovery: None,
+            background_scrub: None,
         }
     }
 }

@@ -23,11 +23,16 @@
 //!   beyond it the configured [`BackpressurePolicy`] decides, and no
 //!   policy can deadlock the engine.
 //! * **Fault isolation**: a replica that fails its integrity canary (or
-//!   panics) fails only its current batch, is removed from dispatch, and
-//!   keeps draining its queue so the batcher can never wedge behind it.
+//!   panics) fails only its current batch, leaves dispatch, and keeps
+//!   draining its queue so the batcher can never wedge behind it. With a
+//!   [`RecoveryPolicy`](crate::RecoveryPolicy) configured, the worker then
+//!   runs the self-healing lifecycle off the hot path — `Quarantined` →
+//!   repair → `Probation` → K consecutive canary passes → `Healthy` —
+//!   instead of staying out forever (see [`crate::recovery`]).
 
 use crate::config::{BackpressurePolicy, ServeConfig, ServeError};
 use crate::oneshot::{Expired, Slot};
+use crate::recovery::WorkerState;
 use crate::replica::Replica;
 use bcp_dataset::MaskClass;
 use bcp_finn::StreamStats;
@@ -36,7 +41,7 @@ use bcp_tensor::Tensor;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -68,6 +73,11 @@ struct Metrics {
     batch_size: Histogram,
     latency: Histogram,
     worker_batches: Vec<Counter>,
+    /// Lifecycle gauges: the numeric [`WorkerState`] of each worker.
+    worker_state: Vec<Gauge>,
+    repaired: Counter,
+    reinstated: Counter,
+    retired: Counter,
 }
 
 impl Metrics {
@@ -89,6 +99,12 @@ impl Metrics {
             worker_batches: (0..workers)
                 .map(|w| r.counter(&format!("serve.worker.{w}.batches")))
                 .collect(),
+            worker_state: (0..workers)
+                .map(|w| r.gauge(&format!("serve.worker.{w}.state")))
+                .collect(),
+            repaired: r.counter("serve.worker.repaired"),
+            reinstated: r.counter("serve.worker.reinstated"),
+            retired: r.counter("serve.worker.retired"),
         }
     }
 }
@@ -101,7 +117,9 @@ struct Shared {
     submit_tx: RwLock<Option<Sender<Request>>>,
     /// Receiver clone used by `ShedOldest` to evict the oldest request.
     shed_rx: Receiver<Request>,
-    health: Vec<AtomicBool>,
+    /// Per-worker [`WorkerState`] bytes. Written only by the owning worker
+    /// thread (single writer), read by the batcher and the public API.
+    states: Vec<AtomicU8>,
     /// Pending chaos fault plans per worker, applied between batches.
     fault_mailboxes: Vec<Mutex<Vec<(usize, u64)>>>,
     /// Aggregate streaming statistics across all workers and batches.
@@ -111,6 +129,18 @@ struct Shared {
 impl Shared {
     fn m(&self) -> Option<&Metrics> {
         self.metrics.as_ref()
+    }
+
+    fn state(&self, w: usize) -> WorkerState {
+        WorkerState::from_u8(self.states[w].load(Ordering::Relaxed))
+    }
+
+    /// Transition worker `w` and mirror the state into its gauge.
+    fn set_state(&self, w: usize, s: WorkerState) {
+        self.states[w].store(s as u8, Ordering::Relaxed);
+        if let Some(m) = self.m() {
+            m.worker_state[w].set(s as u8 as f64);
+        }
     }
 
     /// Complete every request in `batch` with `err` (counted as failed).
@@ -217,7 +247,9 @@ impl Engine {
             metrics,
             submit_tx: RwLock::new(Some(submit_tx)),
             shed_rx,
-            health: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+            states: (0..workers)
+                .map(|_| AtomicU8::new(WorkerState::Healthy as u8))
+                .collect(),
             fault_mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             stream_stats: Mutex::new(None),
         });
@@ -337,16 +369,27 @@ impl Engine {
 
     /// Total workers (healthy or not).
     pub fn workers(&self) -> usize {
-        self.shared.health.len()
+        self.shared.states.len()
     }
 
     /// Workers still in dispatch rotation.
     pub fn healthy_workers(&self) -> usize {
-        self.shared
-            .health
-            .iter()
-            .filter(|h| h.load(Ordering::Relaxed))
+        self.worker_states()
+            .into_iter()
+            .filter(|s| *s == WorkerState::Healthy)
             .count()
+    }
+
+    /// Lifecycle state of one worker.
+    pub fn worker_state(&self, w: usize) -> WorkerState {
+        self.shared.state(w)
+    }
+
+    /// Lifecycle state of every worker, by index.
+    pub fn worker_states(&self) -> Vec<WorkerState> {
+        (0..self.shared.states.len())
+            .map(|w| self.shared.state(w))
+            .collect()
     }
 
     /// Requests currently waiting in the admission queue.
@@ -418,7 +461,7 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
             m.batch_size.record(batch.len() as u64);
             m.batches.inc();
         }
-        match next_healthy(&shared.health, &mut next) {
+        match next_healthy(&shared.states, &mut next) {
             Some(w) => {
                 if let Err(e) = worker_txs[w].send(batch) {
                     // Worker thread gone (can only happen on teardown).
@@ -430,12 +473,12 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
     }
 }
 
-fn next_healthy(health: &[AtomicBool], next: &mut usize) -> Option<usize> {
-    let n = health.len();
+fn next_healthy(states: &[AtomicU8], next: &mut usize) -> Option<usize> {
+    let n = states.len();
     for _ in 0..n {
         let w = *next % n;
         *next = (*next + 1) % n;
-        if health[w].load(Ordering::Relaxed) {
+        if states[w].load(Ordering::Relaxed) == WorkerState::Healthy as u8 {
             return Some(w);
         }
     }
@@ -445,7 +488,9 @@ fn next_healthy(health: &[AtomicBool], next: &mut usize) -> Option<usize> {
 /// One worker: owns a replica, pulls batches, gates each on the integrity
 /// canary, infers, completes slots. Never exits before its queue closes —
 /// an unhealthy worker degrades to failing its traffic so the batcher can
-/// never block forever behind it.
+/// never block forever behind it. With a recovery policy configured, an
+/// off-rotation worker additionally runs repair attempts and probation
+/// canaries between (timed) queue polls, entirely off the serving path.
 fn worker_loop<R: Replica>(
     w: usize,
     mut replica: R,
@@ -454,105 +499,233 @@ fn worker_loop<R: Replica>(
     shared: Arc<Shared>,
 ) {
     let mut batches_done = 0u64;
-    while let Ok(mut batch) = rx.recv() {
-        // Apply chaos faults queued for this worker (simulated SEUs land
-        // between batches, like real upsets land between frames).
-        let plans: Vec<(usize, u64)> = std::mem::take(&mut *shared.fault_mailboxes[w].lock());
-        for (n, seed) in plans {
-            replica.inject_faults(n, seed);
-        }
+    let mut strikes = 0u32;
+    let mut probation_passes = 0u32;
+    loop {
+        // An off-rotation worker wakes on a timer so repair and probation
+        // work proceeds even with no traffic racing in; a healthy worker
+        // blocks on its queue as before.
+        let recovering = shared.cfg.recovery.is_some()
+            && matches!(
+                shared.state(w),
+                WorkerState::Quarantined | WorkerState::Probation
+            );
+        let received = if recovering {
+            let interval = shared
+                .cfg
+                .recovery
+                .as_ref()
+                .expect("recovering implies a policy")
+                .retry_interval;
+            match rx.recv_timeout(interval) {
+                Ok(b) => Some(b),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(b) => Some(b),
+                Err(_) => break,
+            }
+        };
 
-        if !shared.health[w].load(Ordering::Relaxed) {
-            // Already out of rotation; drain any batch that raced in.
-            shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
-            continue;
-        }
+        if let Some(batch) = received {
+            // Apply chaos faults queued for this worker (simulated SEUs
+            // land between batches, like real upsets land between frames).
+            let plans: Vec<(usize, u64)> = std::mem::take(&mut *shared.fault_mailboxes[w].lock());
+            for (n, seed) in plans {
+                replica.inject_faults(n, seed);
+            }
 
-        // Integrity gate: with canary_every = 1 a corrupted replica can
-        // never emit a wrong classification, because every batch is
-        // preceded by a golden-output check.
-        if let Some((frame, expected)) = &canary {
-            if shared.cfg.canary_every > 0 && batches_done.is_multiple_of(shared.cfg.canary_every) {
-                let got = catch_unwind(AssertUnwindSafe(|| replica.canary(frame))).ok();
-                if got.as_deref() != Some(expected.as_slice()) {
-                    shared.health[w].store(false, Ordering::Relaxed);
-                    if let Some(m) = shared.m() {
-                        m.worker_fault.inc();
+            if shared.state(w) == WorkerState::Healthy {
+                serve_batch(w, &mut replica, batch, &canary, &shared, &mut batches_done);
+                if shared.state(w) == WorkerState::Healthy {
+                    if let Some(units) = shared.cfg.background_scrub {
+                        replica.scrub_tick(units);
                     }
-                    shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
-                    continue;
                 }
+            } else {
+                // Out of rotation; drain any batch that raced in.
+                shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
             }
         }
-        batches_done += 1;
 
-        shared.expire(&mut batch);
-        if batch.is_empty() {
-            continue;
+        if let Some(policy) = shared.cfg.recovery {
+            recovery_step(
+                w,
+                &mut replica,
+                &canary,
+                &shared,
+                policy,
+                &mut strikes,
+                &mut probation_passes,
+            );
         }
-        let frames: Vec<Tensor> = batch.iter().map(|r| r.frame.clone()).collect();
-        let stream = shared
-            .cfg
-            .streaming_min_batch
-            .is_some_and(|min| frames.len() >= min);
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if stream {
-                if let Some((classes, stats)) = replica.infer_batch_streaming(&frames) {
-                    return (classes, Some(stats));
-                }
+    }
+}
+
+/// One recovery increment for an off-rotation worker: a quarantined
+/// replica attempts `repair()`; a probation replica runs one canary.
+/// Transitions (and their `serve.worker.*` metrics) happen here, on the
+/// worker's own thread — the single writer of its state byte.
+fn recovery_step<R: Replica>(
+    w: usize,
+    replica: &mut R,
+    canary: &Option<(Tensor, Vec<i64>)>,
+    shared: &Shared,
+    policy: crate::recovery::RecoveryPolicy,
+    strikes: &mut u32,
+    probation_passes: &mut u32,
+) {
+    let strike_out = |strikes: &mut u32, fallback: WorkerState| {
+        *strikes += 1;
+        if *strikes >= policy.max_strikes {
+            shared.set_state(w, WorkerState::Retired);
+            if let Some(m) = shared.m() {
+                m.retired.inc();
             }
-            (replica.infer_batch(&frames), None)
-        }));
-        match outcome {
-            Ok((classes, stats)) if classes.len() == batch.len() => {
-                if let Some(stats) = stats {
-                    if let Some(r) = &shared.registry {
-                        stats.record_into(r);
-                    }
-                    let mut agg = shared.stream_stats.lock();
-                    match &mut *agg {
-                        Some(a) => a.merge(&stats),
-                        None => *agg = Some(stats),
-                    }
-                }
-                let now = Instant::now();
-                for (req, class) in batch.into_iter().zip(classes) {
-                    if req.deadline.is_some_and(|d| now >= d) {
-                        // Result exists but arrived too late to honor the
-                        // deadline contract: a success is only delivered
-                        // inside its deadline.
-                        if req.slot.complete(Err(ServeError::DeadlineExpired)) {
-                            if let Some(m) = shared.m() {
-                                m.expired.inc();
-                            }
-                        } else if let Some(m) = shared.m() {
-                            m.abandoned.inc();
-                        }
-                        continue;
-                    }
-                    let latency = now.duration_since(req.enqueued);
-                    if req.slot.complete(Ok(class)) {
-                        if let Some(m) = shared.m() {
-                            m.ok.inc();
-                            m.latency.record_duration(latency);
-                        }
-                    } else if let Some(m) = shared.m() {
-                        m.abandoned.inc();
-                    }
-                }
+        } else {
+            shared.set_state(w, fallback);
+        }
+    };
+    match shared.state(w) {
+        WorkerState::Quarantined => {
+            let repaired = catch_unwind(AssertUnwindSafe(|| replica.repair())).unwrap_or(false);
+            if repaired {
+                *probation_passes = 0;
+                shared.set_state(w, WorkerState::Probation);
                 if let Some(m) = shared.m() {
-                    m.worker_batches[w].inc();
+                    m.repaired.inc();
                 }
+            } else {
+                strike_out(strikes, WorkerState::Quarantined);
             }
-            // Panicked mid-inference, or the replica broke its length
-            // contract: treat both as a hard worker fault.
-            _ => {
-                shared.health[w].store(false, Ordering::Relaxed);
+        }
+        WorkerState::Probation => {
+            let pass = match canary {
+                Some((frame, expected)) => {
+                    catch_unwind(AssertUnwindSafe(|| replica.canary(frame)))
+                        .ok()
+                        .as_deref()
+                        == Some(expected.as_slice())
+                }
+                // No canary configured: nothing to prove against.
+                None => true,
+            };
+            if pass {
+                *probation_passes += 1;
+                if *probation_passes >= policy.probation_passes {
+                    *strikes = 0;
+                    shared.set_state(w, WorkerState::Healthy);
+                    if let Some(m) = shared.m() {
+                        m.reinstated.inc();
+                    }
+                }
+            } else {
+                // The repair did not take: back to quarantine (or out).
+                *probation_passes = 0;
+                strike_out(strikes, WorkerState::Quarantined);
+            }
+        }
+        WorkerState::Healthy | WorkerState::Retired => {}
+    }
+}
+
+/// Canary-gate and run one batch on a healthy worker, completing every
+/// slot. On a canary mismatch or a panic the worker leaves rotation
+/// (`Quarantined`) and the batch fails with `WorkerFault`.
+fn serve_batch<R: Replica>(
+    w: usize,
+    replica: &mut R,
+    mut batch: Vec<Request>,
+    canary: &Option<(Tensor, Vec<i64>)>,
+    shared: &Shared,
+    batches_done: &mut u64,
+) {
+    // Integrity gate: with canary_every = 1 a corrupted replica can
+    // never emit a wrong classification, because every batch is
+    // preceded by a golden-output check.
+    if let Some((frame, expected)) = canary {
+        if shared.cfg.canary_every > 0 && batches_done.is_multiple_of(shared.cfg.canary_every) {
+            let got = catch_unwind(AssertUnwindSafe(|| replica.canary(frame))).ok();
+            if got.as_deref() != Some(expected.as_slice()) {
+                shared.set_state(w, WorkerState::Quarantined);
                 if let Some(m) = shared.m() {
                     m.worker_fault.inc();
                 }
                 shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+                return;
             }
+        }
+    }
+    *batches_done += 1;
+
+    shared.expire(&mut batch);
+    if batch.is_empty() {
+        return;
+    }
+    let frames: Vec<Tensor> = batch.iter().map(|r| r.frame.clone()).collect();
+    let stream = shared
+        .cfg
+        .streaming_min_batch
+        .is_some_and(|min| frames.len() >= min);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if stream {
+            if let Some((classes, stats)) = replica.infer_batch_streaming(&frames) {
+                return (classes, Some(stats));
+            }
+        }
+        (replica.infer_batch(&frames), None)
+    }));
+    match outcome {
+        Ok((classes, stats)) if classes.len() == batch.len() => {
+            if let Some(stats) = stats {
+                if let Some(r) = &shared.registry {
+                    stats.record_into(r);
+                }
+                let mut agg = shared.stream_stats.lock();
+                match &mut *agg {
+                    Some(a) => a.merge(&stats),
+                    None => *agg = Some(stats),
+                }
+            }
+            let now = Instant::now();
+            for (req, class) in batch.into_iter().zip(classes) {
+                if req.deadline.is_some_and(|d| now >= d) {
+                    // Result exists but arrived too late to honor the
+                    // deadline contract: a success is only delivered
+                    // inside its deadline.
+                    if req.slot.complete(Err(ServeError::DeadlineExpired)) {
+                        if let Some(m) = shared.m() {
+                            m.expired.inc();
+                        }
+                    } else if let Some(m) = shared.m() {
+                        m.abandoned.inc();
+                    }
+                    continue;
+                }
+                let latency = now.duration_since(req.enqueued);
+                if req.slot.complete(Ok(class)) {
+                    if let Some(m) = shared.m() {
+                        m.ok.inc();
+                        m.latency.record_duration(latency);
+                    }
+                } else if let Some(m) = shared.m() {
+                    m.abandoned.inc();
+                }
+            }
+            if let Some(m) = shared.m() {
+                m.worker_batches[w].inc();
+            }
+        }
+        // Panicked mid-inference, or the replica broke its length
+        // contract: treat both as a hard worker fault.
+        _ => {
+            shared.set_state(w, WorkerState::Quarantined);
+            if let Some(m) = shared.m() {
+                m.worker_fault.inc();
+            }
+            shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
         }
     }
 }
@@ -763,6 +936,114 @@ mod tests {
         assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
         assert_eq!(e.healthy_workers(), 0);
         assert_eq!(e.classify(&f), Err(ServeError::NoHealthyWorkers));
+    }
+
+    /// Poll `cond` for up to two seconds — recovery runs on worker
+    /// threads at `retry_interval` pace, so tests wait rather than race.
+    fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    fn recovery_cfg() -> ServeConfig {
+        ServeConfig {
+            canary: Some(canary_frame(3, 8, 8)),
+            canary_every: 1,
+            max_batch: 1,
+            recovery: Some(crate::recovery::RecoveryPolicy {
+                probation_passes: 2,
+                max_strikes: 3,
+                retry_interval: Duration::from_millis(1),
+            }),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn quarantined_worker_repairs_and_rejoins() {
+        let e = Engine::start(
+            vec![SyntheticReplica::repairable()],
+            recovery_cfg(),
+            Some(Registry::new()),
+        );
+        e.inject_faults(0, 1, 42);
+        let f = frames(1).remove(0);
+        // The corrupted worker is caught at the canary gate, never serving
+        // a wrong answer, and leaves rotation…
+        assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
+        // …then repairs off the hot path, passes probation, and rejoins.
+        assert!(
+            eventually(|| e.worker_state(0) == WorkerState::Healthy),
+            "repairable worker must be reinstated, stuck in {}",
+            e.worker_state(0)
+        );
+        for f in frames(6) {
+            assert!(e.classify(&f).is_ok());
+        }
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.worker.repaired"], 1);
+        assert_eq!(snap.counters["serve.worker.reinstated"], 1);
+        assert_eq!(snap.gauges["serve.worker.0.state"], 0.0);
+    }
+
+    #[test]
+    fn unrepairable_worker_retires_after_strikes() {
+        // Default SyntheticReplica cannot repair: quarantine must escalate
+        // to retirement after max_strikes failed attempts, not spin.
+        let e = Engine::start(
+            vec![SyntheticReplica::new(), SyntheticReplica::new()],
+            recovery_cfg(),
+            Some(Registry::new()),
+        );
+        e.inject_faults(0, 1, 7);
+        let f = frames(1).remove(0);
+        assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
+        assert!(
+            eventually(|| e.worker_state(0) == WorkerState::Retired),
+            "unrepairable worker must retire, stuck in {}",
+            e.worker_state(0)
+        );
+        assert_eq!(e.healthy_workers(), 1);
+        // The survivor keeps serving.
+        for f in frames(4) {
+            assert!(e.classify(&f).is_ok());
+        }
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.worker.retired"], 1);
+        assert_eq!(snap.gauges["serve.worker.0.state"], 3.0);
+    }
+
+    #[test]
+    fn recovered_worker_survives_repeat_faults_until_strikes_run_out() {
+        let e = Engine::start(
+            vec![SyntheticReplica::repairable()],
+            recovery_cfg(),
+            Some(Registry::new()),
+        );
+        let f = frames(1).remove(0);
+        for round in 0..3 {
+            e.inject_faults(0, 1, round as u64);
+            assert_eq!(e.classify(&f), Err(ServeError::WorkerFault { worker: 0 }));
+            assert!(
+                eventually(|| e.worker_state(0) == WorkerState::Healthy),
+                "round {round}: worker stuck in {}",
+                e.worker_state(0)
+            );
+            assert!(e.classify(&f).is_ok());
+        }
+        e.shutdown();
+        let snap = e.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["serve.worker.repaired"], 3);
+        assert_eq!(snap.counters["serve.worker.reinstated"], 3);
+        assert_eq!(snap.counters["serve.worker_fault"], 3);
     }
 
     #[test]

@@ -38,9 +38,11 @@ pub mod config;
 pub mod engine;
 pub mod loadgen;
 pub mod oneshot;
+pub mod recovery;
 pub mod replica;
 
 pub use config::{BackpressurePolicy, ServeConfig, ServeError};
 pub use engine::{Completion, Engine, Ticket};
 pub use loadgen::{run_closed_loop, LoadReport};
+pub use recovery::{RecoveryPolicy, WorkerState};
 pub use replica::{canary_frame, Replica, SyntheticReplica};

@@ -1,0 +1,120 @@
+//! Worker health lifecycle: quarantine, repair, probation, reinstatement.
+//!
+//! The original fault story was one-way: a worker that failed its
+//! integrity canary left dispatch forever, so every transient SEU
+//! permanently cost a replica. With a [`RecoveryPolicy`] the engine runs
+//! the full self-healing loop instead:
+//!
+//! ```text
+//!            canary fail / panic
+//!  Healthy ──────────────────────► Quarantined ──(repair() ok)──► Probation
+//!     ▲                                │  ▲                          │
+//!     │                                │  └──(probation canary fail)─┤
+//!     │                  strikes ≥ M   ▼                             │
+//!     │                             Retired                          │
+//!     └──────────(K consecutive canary passes)───────────────────────┘
+//! ```
+//!
+//! All recovery work — repair attempts and probation canaries — runs on
+//! the worker's own thread *off the hot path*: the batcher only ever
+//! dispatches to `Healthy` workers, and a quarantined worker keeps
+//! draining raced-in batches (failing them) so the pipeline can never
+//! wedge behind it. A replica that cannot repair itself (the default
+//! [`Replica::repair`](crate::Replica::repair) returns `false`)
+//! accumulates strikes and is retired — the old permanent-removal
+//! behavior, reached deliberately instead of by omission.
+
+use std::time::Duration;
+
+/// Where a worker sits in the health lifecycle. Stored as one atomic byte
+/// per worker; the numeric value is also exported as the
+/// `serve.worker.{w}.state` gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WorkerState {
+    /// In dispatch rotation.
+    Healthy = 0,
+    /// Repaired, re-proving itself: must pass K consecutive canaries
+    /// before rejoining dispatch.
+    Probation = 1,
+    /// Failed its canary (or panicked); out of rotation, repair pending.
+    Quarantined = 2,
+    /// Exhausted its repair strikes; permanently out of rotation.
+    Retired = 3,
+}
+
+impl WorkerState {
+    /// Decode the atomic byte representation.
+    pub fn from_u8(v: u8) -> WorkerState {
+        match v {
+            0 => WorkerState::Healthy,
+            1 => WorkerState::Probation,
+            2 => WorkerState::Quarantined,
+            _ => WorkerState::Retired,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkerState::Healthy => "healthy",
+            WorkerState::Probation => "probation",
+            WorkerState::Quarantined => "quarantined",
+            WorkerState::Retired => "retired",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How a quarantined worker earns its way back into rotation.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Consecutive canary passes a probation worker needs before it is
+    /// reinstated (`K`). Higher values trade recovery latency for
+    /// confidence that the repair actually took.
+    pub probation_passes: u32,
+    /// Failed recovery attempts — a `repair()` that returns `false`, or a
+    /// probation canary that fails — before the worker is retired for
+    /// good (`M`). The backstop against a replica that keeps "repairing"
+    /// without getting better.
+    pub max_strikes: u32,
+    /// Pace of off-rotation recovery work: a quarantined or probation
+    /// worker wakes this often to attempt its next repair or canary.
+    pub retry_interval: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            probation_passes: 3,
+            max_strikes: 3,
+            retry_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_roundtrips_through_byte() {
+        for s in [
+            WorkerState::Healthy,
+            WorkerState::Probation,
+            WorkerState::Quarantined,
+            WorkerState::Retired,
+        ] {
+            assert_eq!(WorkerState::from_u8(s as u8), s);
+        }
+    }
+
+    #[test]
+    fn default_policy_is_patient_but_bounded() {
+        let p = RecoveryPolicy::default();
+        assert!(p.probation_passes >= 1);
+        assert!(p.max_strikes >= 1);
+        assert!(p.retry_interval > Duration::ZERO);
+    }
+}

@@ -39,6 +39,23 @@ pub trait Replica: Send + 'static {
     /// Inject `n` random stuck-at faults into this replica's weight
     /// memory (chaos/testing hook; see `bcp_finn::fault`).
     fn inject_faults(&mut self, n: usize, seed: u64);
+
+    /// Attempt to restore this replica's parameter memories to their
+    /// deployed content (e.g. a full scrub against a golden copy, as
+    /// `bcp-guard` does). Returns `true` when the replica believes it is
+    /// clean again; the engine still demands consecutive canary passes
+    /// before trusting it. The default cannot self-repair, which makes
+    /// quarantine permanent — the pre-recovery behavior.
+    fn repair(&mut self) -> bool {
+        false
+    }
+
+    /// One increment of background integrity scrubbing: verify (and
+    /// repair) up to `units` scrub units. Called between inference batches
+    /// when `ServeConfig::background_scrub` is set. Default: no-op.
+    fn scrub_tick(&mut self, units: usize) {
+        let _ = units;
+    }
 }
 
 /// A trivial deterministic "model" for engine tests: classifies by a hash
@@ -48,6 +65,9 @@ pub struct SyntheticReplica {
     /// Artificial per-frame compute time, to make saturation reproducible.
     pub delay: std::time::Duration,
     weight: i64,
+    /// Whether `repair()` can restore the golden weight (models a replica
+    /// backed by a `bcp-guard` golden store).
+    repairable: bool,
 }
 
 impl SyntheticReplica {
@@ -56,12 +76,27 @@ impl SyntheticReplica {
         SyntheticReplica {
             delay: std::time::Duration::ZERO,
             weight: 1,
+            repairable: false,
         }
     }
 
     /// Replica that spends `delay` per frame.
     pub fn with_delay(delay: std::time::Duration) -> Self {
-        SyntheticReplica { delay, weight: 1 }
+        SyntheticReplica {
+            delay,
+            weight: 1,
+            repairable: false,
+        }
+    }
+
+    /// Replica whose `repair()` restores the golden weight — the test
+    /// stand-in for a guard-backed model replica.
+    pub fn repairable() -> Self {
+        SyntheticReplica {
+            delay: std::time::Duration::ZERO,
+            weight: 1,
+            repairable: true,
+        }
     }
 
     fn label(&self, frame: &Tensor) -> usize {
@@ -99,6 +134,19 @@ impl Replica for SyntheticReplica {
     fn inject_faults(&mut self, n: usize, _seed: u64) {
         if n > 0 {
             self.weight = -self.weight;
+        }
+    }
+
+    fn repair(&mut self) -> bool {
+        if self.repairable {
+            self.weight = 1;
+        }
+        self.repairable
+    }
+
+    fn scrub_tick(&mut self, _units: usize) {
+        if self.repairable {
+            self.weight = 1;
         }
     }
 }

@@ -462,6 +462,159 @@ fn cmd_serve_bench(args: &Args) {
     finish_telemetry(telemetry);
 }
 
+/// `bcp scrub-bench`: measure the guard layer end to end — inject a known
+/// fault population, report detection and repair rates against it, and
+/// time scrub-interleaved inference against an undefended baseline.
+/// Exits non-zero unless every injected fault is both detected and
+/// repaired (CRC-32 guarantees this for the per-row flip counts any
+/// realistic SEU rate produces).
+fn cmd_scrub_bench(args: &Args) {
+    use bcp_finn::fault::inject_random_faults;
+    use bcp_finn::IntegrityFault;
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    let get = |flag: &str, default: usize| -> usize {
+        args.flags
+            .get(flag)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{flag} needs an integer, got '{v}'");
+                    exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+    let faults = get("faults", 64).max(1);
+    let seed = get("seed", 7) as u64;
+    let n_frames = get("frames", 32).max(1);
+    let units_per_frame = get("units", 8).max(1);
+
+    let telemetry = telemetry_of(args);
+    let arch = match args.flags.get("arch").map(String::as_str) {
+        None | Some("tiny") => binarycop::recipe::tiny_arch(),
+        Some(name) => parse_arch(name).arch(),
+    };
+    let mut net = build_bnn(&arch, 0);
+    let x = bcp_tensor::init::uniform(
+        bcp_tensor::Shape::nchw(2, 3, arch.input_size, arch.input_size),
+        -1.0,
+        1.0,
+        1,
+    );
+    let _ = net.forward(&x, bcp_nn::Mode::Train);
+    let mut predictor = BinaryCoP::from_trained(&net, &arch);
+    if let Some((registry, _)) = &telemetry {
+        predictor = predictor.with_telemetry(registry.clone());
+    }
+    let clean = predictor.clone();
+    let mut scrubber = predictor.scrubber();
+    println!(
+        "guard state: {} scrub units over '{}', golden copy {} B ({} B raw)",
+        scrubber.unit_count(),
+        predictor.pipeline().name(),
+        scrubber.store().stored_bytes(),
+        scrubber.store().raw_bytes(),
+    );
+
+    // Inject a known fault population and audit against it.
+    let records = inject_random_faults(predictor.pipeline_mut(), faults, seed);
+    let expected: HashSet<(usize, usize)> = records.iter().map(|r| (r.stage, r.row)).collect();
+    let found: HashSet<(usize, usize)> = scrubber
+        .audit(predictor.pipeline())
+        .into_iter()
+        .filter_map(|f| match f {
+            IntegrityFault::WeightRow { stage, row } => Some((stage, row)),
+            IntegrityFault::Thresholds { .. } => None,
+        })
+        .collect();
+    let detected = expected.intersection(&found).count();
+    let detection_pct = 100.0 * detected as f64 / expected.len() as f64;
+    println!(
+        "detection: {detected}/{} corrupted rows localized ({detection_pct:.1}%), \
+         {} false positives  [{faults} bit flips, seed {seed}]",
+        expected.len(),
+        found.difference(&expected).count(),
+    );
+
+    // Repair sweep, then prove bit-exactness against the clean twin.
+    let t0 = Instant::now();
+    let report = scrubber.full_sweep(predictor.pipeline_mut());
+    let sweep = t0.elapsed();
+    let repair_pct = if report.faults_detected == 0 {
+        0.0
+    } else {
+        100.0 * report.faults_repaired as f64 / report.faults_detected as f64
+    };
+    let residual = scrubber.audit(predictor.pipeline()).len();
+    println!(
+        "repair: {}/{} rows restored ({repair_pct:.1}%), {} bits flipped back, \
+         sweep {:.2} ms, {residual} residual faults",
+        report.faults_repaired,
+        report.faults_detected,
+        report.bits_flipped,
+        sweep.as_secs_f64() * 1e3,
+    );
+
+    // Scrub overhead: classify with a scrub tick interleaved per frame vs
+    // the undefended loop.
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    let gen = GeneratorConfig {
+        img_size: predictor.arch().input_size,
+        supersample: 2,
+    };
+    let ds = Dataset::generate_balanced(&gen, n_frames.div_ceil(4), 0x5C2B);
+    let frames: Vec<bcp_tensor::Tensor> =
+        (0..n_frames.min(ds.len())).map(|i| ds.image(i)).collect();
+    // Warm caches first, then time the two loops in alternating rounds so
+    // clock drift and cache effects hit both sides equally — otherwise the
+    // cold first loop makes the overhead come out negative.
+    for f in &frames {
+        let _ = predictor.classify(f);
+    }
+    let mut undefended = std::time::Duration::ZERO;
+    let mut defended = std::time::Duration::ZERO;
+    const ROUNDS: usize = 5;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for f in &frames {
+            let _ = predictor.classify(f);
+        }
+        undefended += t0.elapsed();
+        let t0 = Instant::now();
+        for f in &frames {
+            let _ = predictor.classify(f);
+            scrubber.tick(predictor.pipeline_mut(), units_per_frame);
+        }
+        defended += t0.elapsed();
+    }
+    let overhead_pct = 100.0 * (defended.as_secs_f64() / undefended.as_secs_f64().max(1e-9) - 1.0);
+    println!(
+        "scrub overhead: {:.1} fps undefended → {:.1} fps with {units_per_frame} units/frame \
+         ({overhead_pct:+.1}%)",
+        (frames.len() * ROUNDS) as f64 / undefended.as_secs_f64().max(1e-9),
+        (frames.len() * ROUNDS) as f64 / defended.as_secs_f64().max(1e-9),
+    );
+
+    // Sanity: the repaired pipeline classifies exactly like the clean twin.
+    let divergent = frames
+        .iter()
+        .filter(|f| predictor.classify(f) != clean.classify(f))
+        .count();
+    println!(
+        "post-repair agreement with clean pipeline: {}/{} frames",
+        frames.len() - divergent,
+        frames.len()
+    );
+
+    finish_telemetry(telemetry);
+    if detected != expected.len() || repair_pct < 100.0 || residual > 0 || divergent > 0 {
+        eprintln!("scrub-bench FAILED: detection or repair below 100%");
+        exit(1);
+    }
+    println!("scrub-bench OK: 100% detection, 100% repair");
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_default();
@@ -474,8 +627,11 @@ fn main() {
         "info" => cmd_info(&args),
         "demo" => cmd_demo(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "scrub-bench" => cmd_scrub_bench(&args),
         _ => {
-            eprintln!("usage: bcp <check|train|deploy|classify|info|demo|serve-bench> [flags]");
+            eprintln!(
+                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|scrub-bench> [flags]"
+            );
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
                  [--target-fps 30] [--fifo-depth 4] [--json]"
@@ -492,7 +648,12 @@ fn main() {
                  [--deadline-ms N] [--streaming-min-batch N]"
             );
             eprintln!(
-                "  (train/classify/demo/serve-bench also take --telemetry <dir> for JSONL metrics)"
+                "  bcp scrub-bench [--arch tiny|cnv|ncnv|ucnv] [--faults 64] [--seed 7] \
+                 [--frames 32] [--units 8]"
+            );
+            eprintln!(
+                "  (train/classify/demo/serve-bench/scrub-bench also take --telemetry <dir> \
+                 for JSONL metrics)"
             );
             exit(2);
         }

@@ -1,0 +1,209 @@
+//! Guarded deployment: BinaryCoP replicas that heal themselves.
+//!
+//! Plugs `bcp-guard` into the predictor and the serving layer. A
+//! [`GuardedReplica`] pairs one deployed pipeline with its own
+//! [`Scrubber`] (captured from the pipeline at construction, while it is
+//! still trusted); [`guarded_engine`] stands up a `bcp-serve` pool of
+//! them with a [`RecoveryPolicy`] enabled, completing the loop the paper's
+//! robustness experiment only measures passively: an SEU is detected at
+//! the canary gate, the worker is quarantined, its scrubber restores the
+//! golden weights off the hot path, and the worker re-earns rotation
+//! through probation — with zero wrong answers served in between.
+
+use crate::predictor::BinaryCoP;
+use bcp_dataset::MaskClass;
+use bcp_finn::{GoldenDigest, IntegrityFault, StreamStats};
+use bcp_guard::Scrubber;
+use bcp_serve::{canary_frame, Engine, RecoveryPolicy, Replica, ServeConfig};
+use bcp_tensor::Tensor;
+
+impl BinaryCoP {
+    /// Capture the sealed integrity digest of the deployed pipeline: one
+    /// CRC-32 per packed weight row and per threshold table. Do this at
+    /// deploy time, while the pipeline is trusted.
+    pub fn golden_digest(&self) -> GoldenDigest {
+        GoldenDigest::capture(self.pipeline())
+    }
+
+    /// Check the live pipeline against a digest captured earlier,
+    /// returning every localized corruption.
+    pub fn verify_integrity(&self, digest: &GoldenDigest) -> Vec<IntegrityFault> {
+        digest.verify(self.pipeline())
+    }
+
+    /// Build a [`Scrubber`] over this predictor's pipeline (golden
+    /// digest and compressed golden copy captured now). Inherits the
+    /// predictor's telemetry registry for `guard.scrub.*` metrics, when
+    /// attached.
+    pub fn scrubber(&self) -> Scrubber {
+        let s = Scrubber::new(self.pipeline());
+        match self.telemetry() {
+            Some(r) => s.with_telemetry(r),
+            None => s,
+        }
+    }
+}
+
+/// One serving replica wrapped with its own integrity scrubber. The
+/// scrubber's golden state is captured from the replica's pipeline at
+/// construction — each worker can therefore repair itself without
+/// coordination, exactly like per-board golden memories would.
+pub struct GuardedReplica {
+    predictor: BinaryCoP,
+    scrubber: Scrubber,
+}
+
+impl GuardedReplica {
+    /// Wrap a (trusted, freshly deployed) predictor.
+    pub fn new(predictor: BinaryCoP) -> Self {
+        let scrubber = predictor.scrubber();
+        GuardedReplica {
+            predictor,
+            scrubber,
+        }
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &BinaryCoP {
+        &self.predictor
+    }
+
+    /// The replica's scrubber.
+    pub fn scrubber(&self) -> &Scrubber {
+        &self.scrubber
+    }
+}
+
+impl Replica for GuardedReplica {
+    fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass> {
+        self.predictor.infer_batch(frames)
+    }
+
+    fn infer_batch_streaming(
+        &mut self,
+        frames: &[Tensor],
+    ) -> Option<(Vec<MaskClass>, StreamStats)> {
+        self.predictor.infer_batch_streaming(frames)
+    }
+
+    fn canary(&self, frame: &Tensor) -> Vec<i64> {
+        self.predictor.canary(frame)
+    }
+
+    fn inject_faults(&mut self, n: usize, seed: u64) {
+        self.predictor.inject_faults(n, seed);
+    }
+
+    /// Full scrub sweep against the golden copy. `true` only when the
+    /// post-sweep audit comes back clean — the engine then still demands
+    /// probation canaries before trusting the worker again.
+    fn repair(&mut self) -> bool {
+        let report = self.scrubber.full_sweep(self.predictor.pipeline_mut());
+        report.faults_repaired == report.faults_detected
+            && self.scrubber.audit(self.predictor.pipeline()).is_empty()
+    }
+
+    /// Background scrubbing between inference batches.
+    fn scrub_tick(&mut self, units: usize) {
+        self.scrubber.tick(self.predictor.pipeline_mut(), units);
+    }
+}
+
+/// Stand up a self-healing serving engine: `workers` guarded replicas,
+/// a default canary at the architecture's input size, and (unless the
+/// config overrides it) the default [`RecoveryPolicy`]. The predictor's
+/// telemetry registry, if attached, receives both the engine's `serve.*`
+/// metrics and every replica's `guard.scrub.*` metrics.
+pub fn guarded_engine(predictor: &BinaryCoP, workers: usize, mut cfg: ServeConfig) -> Engine {
+    if cfg.canary.is_none() {
+        let s = predictor.arch().input_size;
+        cfg.canary = Some(canary_frame(3, s, s));
+    }
+    if cfg.recovery.is_none() {
+        cfg.recovery = Some(RecoveryPolicy::default());
+    }
+    let registry = predictor.telemetry().cloned();
+    let replicas: Vec<GuardedReplica> = predictor
+        .replicate(workers)
+        .into_iter()
+        .map(GuardedReplica::new)
+        .collect();
+    Engine::start(replicas, cfg, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_bnn;
+    use crate::recipe::tiny_arch;
+    use bcp_finn::fault::inject_random_faults;
+    use bcp_nn::Mode;
+    use bcp_serve::WorkerState;
+    use bcp_tensor::Shape;
+    use std::time::{Duration, Instant};
+
+    fn predictor() -> BinaryCoP {
+        let arch = tiny_arch();
+        let mut net = build_bnn(&arch, 5);
+        let x = bcp_tensor::init::uniform(Shape::nchw(2, 3, 16, 16), -1.0, 1.0, 6);
+        let _ = net.forward(&x, Mode::Train);
+        BinaryCoP::from_trained(&net, &arch)
+    }
+
+    #[test]
+    fn digest_detects_and_scrubber_undoes_faults() {
+        let mut p = predictor();
+        let clean = p.clone();
+        let digest = p.golden_digest();
+        let mut scrubber = p.scrubber();
+        assert!(p.verify_integrity(&digest).is_empty());
+
+        inject_random_faults(p.pipeline_mut(), 16, 0xBAD);
+        assert!(!p.verify_integrity(&digest).is_empty());
+
+        let report = scrubber.full_sweep(p.pipeline_mut());
+        assert_eq!(report.faults_repaired, report.faults_detected);
+        assert_eq!(report.bits_flipped, 16);
+        assert!(p.verify_integrity(&digest).is_empty());
+
+        let frame = canary_frame(3, 16, 16);
+        assert_eq!(Replica::canary(&p, &frame), Replica::canary(&clean, &frame));
+    }
+
+    #[test]
+    fn guarded_replica_repair_restores_the_canary() {
+        let mut r = GuardedReplica::new(predictor());
+        let frame = canary_frame(3, 16, 16);
+        let golden = r.canary(&frame);
+        r.inject_faults(12, 77);
+        assert_ne!(r.canary(&frame), golden);
+        assert!(r.repair());
+        assert_eq!(r.canary(&frame), golden);
+    }
+
+    #[test]
+    fn guarded_engine_quarantines_repairs_and_reinstates() {
+        let p = predictor();
+        let cfg = ServeConfig {
+            max_batch: 1,
+            recovery: Some(RecoveryPolicy {
+                probation_passes: 2,
+                max_strikes: 3,
+                retry_interval: Duration::from_millis(1),
+            }),
+            ..ServeConfig::default()
+        };
+        let e = guarded_engine(&p, 1, cfg);
+        let frame = canary_frame(3, 16, 16);
+        e.inject_faults(0, 8, 42);
+        // The corrupted worker is caught at the canary gate…
+        assert!(e.classify(&frame).is_err());
+        // …and heals itself back into rotation.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.worker_state(0) != WorkerState::Healthy && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(e.worker_state(0), WorkerState::Healthy, "worker must heal");
+        assert_eq!(e.classify(&frame).ok(), Some(p.classify(&frame)));
+    }
+}

@@ -24,6 +24,7 @@ pub mod arch;
 pub mod deploy;
 pub mod eval;
 pub mod experiments;
+pub mod guard;
 pub mod model;
 pub mod predictor;
 pub mod recipe;

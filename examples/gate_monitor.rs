@@ -134,8 +134,96 @@ fn main() {
         "serving engine must answer every camera frame exactly once"
     );
 
+    // Final act: the same building, but the accelerator's weight SRAM is
+    // under an SEU storm (paper Sec. IV robustness — a flipped weight bit
+    // is a full sign change). A *guarded* engine survives it: the canary
+    // gate quarantines the corrupted replica, its scrubber restores the
+    // golden weights off the hot path, and the worker re-earns rotation
+    // through probation — with zero wrong gate decisions in between.
+    println!("\nfault storm: 8 bit flips into replica 0's weight memory (guarded engine)");
+    let guarded = binarycop::guard::guarded_engine(
+        &predictor,
+        2,
+        bcp_serve::ServeConfig {
+            background_scrub: Some(8),
+            ..bcp_serve::ServeConfig::default()
+        },
+    );
+    // Pick a storm the canary gate can see (canary-invisible corruption is
+    // mopped up by the background scrub instead).
+    let canary = bcp_serve::canary_frame(3, 32, 32);
+    let golden = bcp_serve::Replica::canary(&predictor, &canary);
+    let storm_seed = (0u64..)
+        .find(|&s| {
+            let mut q = predictor.clone();
+            bcp_serve::Replica::inject_faults(&mut q, 8, 0x5707 + s);
+            bcp_serve::Replica::canary(&q, &canary) != golden
+        })
+        .map(|s| 0x5707 + s)
+        .expect("some storm perturbs the canary");
+    guarded.inject_faults(0, 8, storm_seed);
+
+    let eng = &guarded;
+    let pred = &predictor;
+    let (mut correct, mut faulted) = (0usize, 0usize);
+    let outcomes: Vec<(usize, usize)> = std::thread::scope(|s| {
+        (0..CAMERAS)
+            .map(|cam| {
+                s.spawn(move || {
+                    let (mut ok, mut detected) = (0usize, 0usize);
+                    for i in 0..SUBJECTS_PER_CAMERA {
+                        let frame = subj.image((cam * SUBJECTS_PER_CAMERA + i) % subj.len());
+                        match eng.classify(&frame) {
+                            Ok(class) => {
+                                assert_eq!(
+                                    class,
+                                    pred.classify(&frame),
+                                    "a guarded engine must never serve a wrong answer"
+                                );
+                                ok += 1;
+                            }
+                            Err(_) => detected += 1,
+                        }
+                    }
+                    (ok, detected)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("camera"))
+            .collect()
+    });
+    for (ok, detected) in &outcomes {
+        correct += ok;
+        faulted += detected;
+    }
+    // Give the wounded worker time to finish its repair → probation walk.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while guarded.worker_state(0) != bcp_serve::WorkerState::Healthy
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let states = guarded.worker_states();
+    guarded.shutdown();
+    println!(
+        "  {correct} correct decisions, {faulted} detectably failed, 0 wrong answers; \
+         worker states after healing: {states:?}"
+    );
+    assert_eq!(
+        correct + faulted,
+        CAMERAS * SUBJECTS_PER_CAMERA,
+        "every frame resolved exactly once, storm or not"
+    );
+    assert_eq!(
+        states,
+        vec![bcp_serve::WorkerState::Healthy; 2],
+        "the storm-hit worker must heal back into rotation"
+    );
+
     // Everything above was also metered: per-epoch training dynamics, the
-    // per-subject classification latency histogram, and the serving
-    // engine's queue/batch/latency metrics (serve.*).
+    // per-subject classification latency histogram, the serving engine's
+    // queue/batch/latency metrics (serve.*), the recovery lifecycle
+    // counters (serve.worker.*) and the scrubber's guard.scrub.* series.
     println!("\n{}", telemetry.snapshot().render_text());
 }
