@@ -64,6 +64,33 @@ fn bench_serving(c: &mut Criterion) {
         e.shutdown();
     }
 
+    // The price of observability: the same 2-worker pool with lifecycle
+    // tracing at the production sampling rate (1 in 64 admissions). CI
+    // gates this entry against `engine_2w_8clients` — head sampling plus
+    // the per-request `Option` branch must stay within noise.
+    {
+        let cfg = ServeConfig {
+            trace: Some(bcp_trace::TraceConfig::default()),
+            ..ServeConfig::default()
+        };
+        let e = engine(&p, 2, cfg);
+        group.bench_function("engine_2w_8clients_traced", |b| {
+            b.iter(|| {
+                let report = bcp_serve::run_closed_loop(&e, &imgs, CLIENTS, FRAMES / CLIENTS);
+                assert!(report.accounted() && report.ok == FRAMES);
+                std::hint::black_box(report.throughput_fps)
+            })
+        });
+        let tracer = e.tracer().expect("tracing enabled");
+        e.shutdown();
+        // Sanity: sampling actually ran and lost nothing silently.
+        assert!(tracer.sampled() > 0);
+        assert_eq!(
+            tracer.drain().len() as u64 + tracer.dropped(),
+            tracer.sampled()
+        );
+    }
+
     // The price of self-healing: the same pool with guarded replicas and
     // background scrubbing enabled (no faults injected — this measures the
     // steady-state overhead of CRC sweeps riding between batches, compared

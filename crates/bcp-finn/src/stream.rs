@@ -168,6 +168,19 @@ impl StreamStats {
                 .set(timing.mean_occupancy());
         }
     }
+
+    /// Per-stage busy time normalized per frame: `(stage name, ns/frame)`
+    /// in pipeline order. This is the compute-segment decomposition a
+    /// request tracer attaches to its spans — busy time only, because
+    /// idle/blocked time on a stage thread overlaps other stages' work
+    /// and would double-count wall time.
+    pub fn stage_busy_per_frame(&self) -> Vec<(String, u64)> {
+        let frames = self.frames.max(1) as u64;
+        self.stages
+            .iter()
+            .map(|s| (s.name.clone(), s.busy_ns / frames))
+            .collect()
+    }
 }
 
 /// Stream `frames` through the pipeline with one thread per stage and

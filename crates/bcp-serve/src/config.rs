@@ -67,6 +67,11 @@ pub struct ServeConfig {
     /// scrub units between inference batches, interleaving integrity
     /// sweeps with serving.
     pub background_scrub: Option<usize>,
+    /// Request-lifecycle tracing (see [`bcp_trace`]). `None` — the
+    /// default — compiles down to a single `None` branch per stamp site;
+    /// `Some` head-samples requests at `trace.sample_rate` and records a
+    /// timestamp at every hand-off of each sampled request.
+    pub trace: Option<bcp_trace::TraceConfig>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +87,7 @@ impl Default for ServeConfig {
             canary_every: 1,
             recovery: None,
             background_scrub: None,
+            trace: None,
         }
     }
 }

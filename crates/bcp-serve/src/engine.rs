@@ -38,6 +38,7 @@ use bcp_dataset::MaskClass;
 use bcp_finn::StreamStats;
 use bcp_telemetry::{Counter, Gauge, Histogram, Registry};
 use bcp_tensor::Tensor;
+use bcp_trace::{stamp, ActiveTrace, TraceEvent, TraceOutcome, Tracer};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,6 +55,10 @@ struct Request {
     slot: Arc<Slot<Completion>>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Live trace for head-sampled requests; travels with the request so
+    /// every stamp is a plain store by the thread that owns it. `None`
+    /// (tracing off or not sampled) costs one branch per stamp site.
+    trace: Option<Box<ActiveTrace>>,
 }
 
 /// Pre-resolved telemetry handles so the hot path never does a name
@@ -124,6 +129,8 @@ struct Shared {
     fault_mailboxes: Vec<Mutex<Vec<(usize, u64)>>>,
     /// Aggregate streaming statistics across all workers and batches.
     stream_stats: Mutex<Option<StreamStats>>,
+    /// Request-lifecycle tracer (None = tracing disabled).
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
@@ -143,9 +150,24 @@ impl Shared {
         }
     }
 
+    /// Finish a request's live trace (if it carries one), pushing the
+    /// record onto `ring`.
+    fn finish_trace(
+        &self,
+        trace: &mut Option<Box<ActiveTrace>>,
+        outcome: TraceOutcome,
+        ring: usize,
+    ) {
+        if let (Some(t), Some(tracer)) = (trace.take(), self.tracer.as_ref()) {
+            tracer.finish(t, outcome, ring);
+        }
+    }
+
     /// Complete every request in `batch` with `err` (counted as failed).
-    fn fail_batch(&self, batch: Vec<Request>, err: ServeError) {
-        for req in batch {
+    /// `ring` is the calling thread's trace ring.
+    fn fail_batch(&self, batch: Vec<Request>, err: ServeError, ring: usize) {
+        for mut req in batch {
+            self.finish_trace(&mut req.trace, TraceOutcome::Failed, ring);
             if req.slot.complete(Err(err)) {
                 if let Some(m) = self.m() {
                     m.failed.inc();
@@ -157,11 +179,12 @@ impl Shared {
     }
 
     /// Drop requests whose deadline already passed, completing each with
-    /// `DeadlineExpired`.
-    fn expire(&self, batch: &mut Vec<Request>) {
+    /// `DeadlineExpired`. `ring` is the calling thread's trace ring.
+    fn expire(&self, batch: &mut Vec<Request>, ring: usize) {
         let now = Instant::now();
-        batch.retain(|req| {
+        batch.retain_mut(|req| {
             if req.deadline.is_some_and(|d| now >= d) {
+                self.finish_trace(&mut req.trace, TraceOutcome::Expired, ring);
                 if req.slot.complete(Err(ServeError::DeadlineExpired)) {
                     if let Some(m) = self.m() {
                         m.expired.inc();
@@ -174,6 +197,21 @@ impl Shared {
                 true
             }
         });
+    }
+
+    /// The batcher thread's trace ring (0 when tracing is off).
+    fn batcher_ring(&self) -> usize {
+        self.tracer.as_ref().map_or(0, |t| t.batcher_ring())
+    }
+
+    /// Worker thread `w`'s trace ring (0 when tracing is off).
+    fn worker_ring(&self, w: usize) -> usize {
+        self.tracer.as_ref().map_or(0, |t| t.worker_ring(w))
+    }
+
+    /// The client/submitter trace ring (0 when tracing is off).
+    fn client_ring(&self) -> usize {
+        self.tracer.as_ref().map_or(0, |t| t.client_ring())
     }
 }
 
@@ -241,6 +279,10 @@ impl Engine {
         let (submit_tx, request_rx) = bounded::<Request>(cfg.queue_cap);
         let shed_rx = request_rx.clone();
         let metrics = registry.as_ref().map(|r| Metrics::new(r, workers));
+        let tracer = cfg
+            .trace
+            .clone()
+            .map(|tc| Tracer::new(tc, workers, registry.as_ref()));
         let shared = Arc::new(Shared {
             cfg,
             registry,
@@ -252,6 +294,7 @@ impl Engine {
                 .collect(),
             fault_mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             stream_stats: Mutex::new(None),
+            tracer,
         });
 
         let mut handles = Vec::with_capacity(workers + 1);
@@ -298,21 +341,36 @@ impl Engine {
         let now = Instant::now();
         let deadline = self.shared.cfg.deadline.map(|d| now + d);
         let slot = Arc::new(Slot::new());
+        // Head-sampling decision; a sampled trace is already stamped with
+        // `Enqueue` and rides inside the request from here on.
+        let trace = self.shared.tracer.as_ref().and_then(|t| t.sample());
         let mut req = Request {
             frame: frame.clone(),
             slot: slot.clone(),
             enqueued: now,
             deadline,
+            trace,
         };
         match self.shared.cfg.policy {
             BackpressurePolicy::Block => {
-                if tx.send(req).is_err() {
+                if let Err(e) = tx.send(req) {
+                    let mut req = e.0;
+                    self.shared.finish_trace(
+                        &mut req.trace,
+                        TraceOutcome::Failed,
+                        self.shared.client_ring(),
+                    );
                     return Err(ServeError::ShuttingDown);
                 }
             }
             BackpressurePolicy::Reject => match tx.try_send(req) {
                 Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
+                Err(TrySendError::Full(mut r)) => {
+                    self.shared.finish_trace(
+                        &mut r.trace,
+                        TraceOutcome::Rejected,
+                        self.shared.client_ring(),
+                    );
                     if let Some(m) = self.shared.m() {
                         m.rejected.inc();
                     }
@@ -329,7 +387,12 @@ impl Engine {
                         // Evict the head of the queue — the stalest
                         // request — and keep trying. If the batcher beat
                         // us to it, the queue has room now anyway.
-                        if let Ok(victim) = self.shared.shed_rx.try_recv() {
+                        if let Ok(mut victim) = self.shared.shed_rx.try_recv() {
+                            self.shared.finish_trace(
+                                &mut victim.trace,
+                                TraceOutcome::Shed,
+                                self.shared.client_ring(),
+                            );
                             if victim.slot.complete(Err(ServeError::Shed)) {
                                 if let Some(m) = self.shared.m() {
                                     m.shed.inc();
@@ -409,6 +472,13 @@ impl Engine {
         self.shared.registry.as_ref()
     }
 
+    /// The request-lifecycle tracer, when `cfg.trace` was set. Drain it
+    /// (after [`shutdown`](Engine::shutdown) for a complete picture) into
+    /// a [`bcp_trace::TraceSet`] for flamegraphs and attribution reports.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.shared.tracer.clone()
+    }
+
     /// Graceful shutdown: stop accepting, drain every queued request
     /// through the pipeline, join all threads. Idempotent.
     pub fn shutdown(&self) {
@@ -434,18 +504,27 @@ impl Drop for Engine {
 fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, shared: Arc<Shared>) {
     let mut next = 0usize;
     let mut closed = false;
+    let ring = shared.batcher_ring();
     while !closed {
         // A batch opens when its first request arrives…
-        let first = match rx.recv() {
+        let mut first = match rx.recv() {
             Ok(r) => r,
             Err(_) => break,
         };
+        stamp(
+            &mut first.trace,
+            &shared.tracer,
+            TraceEvent::AdmissionDequeue,
+        );
         let mut batch = vec![first];
         // …and flushes on size or age, whichever comes first.
         let flush_at = Instant::now() + shared.cfg.max_wait;
         while batch.len() < shared.cfg.max_batch {
             match rx.recv_deadline(flush_at) {
-                Ok(r) => batch.push(r),
+                Ok(mut r) => {
+                    stamp(&mut r.trace, &shared.tracer, TraceEvent::AdmissionDequeue);
+                    batch.push(r);
+                }
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => {
                     closed = true;
@@ -453,7 +532,12 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
                 }
             }
         }
-        shared.expire(&mut batch);
+        if shared.tracer.is_some() {
+            for r in &mut batch {
+                stamp(&mut r.trace, &shared.tracer, TraceEvent::BatchSeal);
+            }
+        }
+        shared.expire(&mut batch, ring);
         if batch.is_empty() {
             continue;
         }
@@ -465,10 +549,10 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
             Some(w) => {
                 if let Err(e) = worker_txs[w].send(batch) {
                     // Worker thread gone (can only happen on teardown).
-                    shared.fail_batch(e.0, ServeError::WorkerFault { worker: w });
+                    shared.fail_batch(e.0, ServeError::WorkerFault { worker: w }, ring);
                 }
             }
-            None => shared.fail_batch(batch, ServeError::NoHealthyWorkers),
+            None => shared.fail_batch(batch, ServeError::NoHealthyWorkers, ring),
         }
     }
 }
@@ -529,7 +613,15 @@ fn worker_loop<R: Replica>(
             }
         };
 
-        if let Some(batch) = received {
+        if let Some(mut batch) = received {
+            if shared.tracer.is_some() {
+                for r in &mut batch {
+                    stamp(&mut r.trace, &shared.tracer, TraceEvent::WorkerDispatch);
+                    if let Some(t) = r.trace.as_mut() {
+                        t.set_worker(w);
+                    }
+                }
+            }
             // Apply chaos faults queued for this worker (simulated SEUs
             // land between batches, like real upsets land between frames).
             let plans: Vec<(usize, u64)> = std::mem::take(&mut *shared.fault_mailboxes[w].lock());
@@ -546,7 +638,11 @@ fn worker_loop<R: Replica>(
                 }
             } else {
                 // Out of rotation; drain any batch that raced in.
-                shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+                shared.fail_batch(
+                    batch,
+                    ServeError::WorkerFault { worker: w },
+                    shared.worker_ring(w),
+                );
             }
         }
 
@@ -642,6 +738,7 @@ fn serve_batch<R: Replica>(
     shared: &Shared,
     batches_done: &mut u64,
 ) {
+    let ring = shared.worker_ring(w);
     // Integrity gate: with canary_every = 1 a corrupted replica can
     // never emit a wrong classification, because every batch is
     // preceded by a golden-output check.
@@ -653,14 +750,14 @@ fn serve_batch<R: Replica>(
                 if let Some(m) = shared.m() {
                     m.worker_fault.inc();
                 }
-                shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+                shared.fail_batch(batch, ServeError::WorkerFault { worker: w }, ring);
                 return;
             }
         }
     }
     *batches_done += 1;
 
-    shared.expire(&mut batch);
+    shared.expire(&mut batch, ring);
     if batch.is_empty() {
         return;
     }
@@ -669,6 +766,15 @@ fn serve_batch<R: Replica>(
         .cfg
         .streaming_min_batch
         .is_some_and(|min| frames.len() >= min);
+    if shared.tracer.is_some() {
+        let size = batch.len();
+        for r in &mut batch {
+            stamp(&mut r.trace, &shared.tracer, TraceEvent::ComputeStart);
+            if let Some(t) = r.trace.as_mut() {
+                t.set_batch_size(size);
+            }
+        }
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if stream {
             if let Some((classes, stats)) = replica.infer_batch_streaming(&frames) {
@@ -677,11 +783,26 @@ fn serve_batch<R: Replica>(
         }
         (replica.infer_batch(&frames), None)
     }));
+    if shared.tracer.is_some() {
+        for r in &mut batch {
+            stamp(&mut r.trace, &shared.tracer, TraceEvent::ComputeEnd);
+        }
+    }
     match outcome {
         Ok((classes, stats)) if classes.len() == batch.len() => {
             if let Some(stats) = stats {
                 if let Some(r) = &shared.registry {
                     stats.record_into(r);
+                }
+                // Per-pipeline-stage compute sub-spans for the traced
+                // requests of this batch (shared, one Arc per batch).
+                if shared.tracer.is_some() && batch.iter().any(|r| r.trace.is_some()) {
+                    let stages = std::sync::Arc::new(stats.stage_busy_per_frame());
+                    for r in &mut batch {
+                        if let Some(t) = r.trace.as_mut() {
+                            t.set_stage_ns(stages.clone());
+                        }
+                    }
                 }
                 let mut agg = shared.stream_stats.lock();
                 match &mut *agg {
@@ -690,11 +811,12 @@ fn serve_batch<R: Replica>(
                 }
             }
             let now = Instant::now();
-            for (req, class) in batch.into_iter().zip(classes) {
+            for (mut req, class) in batch.into_iter().zip(classes) {
                 if req.deadline.is_some_and(|d| now >= d) {
                     // Result exists but arrived too late to honor the
                     // deadline contract: a success is only delivered
                     // inside its deadline.
+                    shared.finish_trace(&mut req.trace, TraceOutcome::Expired, ring);
                     if req.slot.complete(Err(ServeError::DeadlineExpired)) {
                         if let Some(m) = shared.m() {
                             m.expired.inc();
@@ -705,7 +827,9 @@ fn serve_batch<R: Replica>(
                     continue;
                 }
                 let latency = now.duration_since(req.enqueued);
-                if req.slot.complete(Ok(class)) {
+                let delivered = req.slot.complete(Ok(class));
+                shared.finish_trace(&mut req.trace, TraceOutcome::Ok, ring);
+                if delivered {
                     if let Some(m) = shared.m() {
                         m.ok.inc();
                         m.latency.record_duration(latency);
@@ -725,7 +849,7 @@ fn serve_batch<R: Replica>(
             if let Some(m) = shared.m() {
                 m.worker_fault.inc();
             }
-            shared.fail_batch(batch, ServeError::WorkerFault { worker: w });
+            shared.fail_batch(batch, ServeError::WorkerFault { worker: w }, ring);
         }
     }
 }

@@ -1,16 +1,20 @@
 //! Log₂-bucketed histogram for latency-like `u64` samples.
 //!
-//! Fixed 65-bucket layout: bucket 0 holds the value 0, bucket *i* (1-based)
+//! Fixed 64-bucket layout: bucket 0 holds the value 0, bucket *i* (1-based)
 //! holds values whose bit length is *i*, i.e. the range `[2^(i-1), 2^i)`.
-//! That gives constant-time recording, ~700 bytes of state regardless of
-//! sample count, and quantiles with at worst one-octave (2×) resolution —
-//! the right trade for nanosecond latencies spanning six orders of
-//! magnitude. Exact `min`/`max`/`sum` are tracked alongside so the tails
-//! are not blurred by bucketing.
+//! Values at or beyond `2^63` clamp into the top bucket and bump an
+//! `overflow` counter, so a wild sample (a negative duration cast, an
+//! uninitialized stamp) is visible instead of silently stretching the
+//! scale. That gives constant-time recording, ~600 bytes of state
+//! regardless of sample count, and quantiles with at worst one-octave (2×)
+//! resolution — the right trade for nanosecond latencies spanning six
+//! orders of magnitude. Exact `min`/`max`/`sum` are tracked alongside so
+//! the tails are not blurred by bucketing.
 
 use serde::Serialize;
 
-const BUCKETS: usize = 65;
+const BUCKETS: usize = 64;
+const TOP_BUCKET: usize = BUCKETS - 1;
 
 /// A log₂-bucketed distribution of `u64` samples.
 #[derive(Clone, Debug)]
@@ -20,6 +24,7 @@ pub struct LogHistogram {
     sum: u128,
     min: u64,
     max: u64,
+    overflow: u64,
 }
 
 impl Default for LogHistogram {
@@ -30,20 +35,27 @@ impl Default for LogHistogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            overflow: 0,
         }
     }
 }
 
+/// Bucket index for `v`, clamped into the top bucket for values whose bit
+/// length exceeds the layout (`v >= 2^63`).
 fn bucket_of(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
+    ((64 - v.leading_zeros()) as usize).min(TOP_BUCKET)
 }
 
-/// Inclusive-exclusive value range `[lo, hi)` covered by a bucket.
+/// Inclusive-exclusive value range `[lo, hi)` covered by a bucket. The top
+/// bucket is open-ended (it also absorbs clamped overflow samples).
 fn bucket_range(i: usize) -> (u64, u64) {
     if i == 0 {
         (0, 1)
     } else {
-        (1u64 << (i - 1), if i == 64 { u64::MAX } else { 1u64 << i })
+        (
+            1u64 << (i - 1),
+            if i == TOP_BUCKET { u64::MAX } else { 1u64 << i },
+        )
     }
 }
 
@@ -53,8 +65,12 @@ impl LogHistogram {
         Self::default()
     }
 
-    /// Record one sample.
+    /// Record one sample. Values at or beyond `2^63` land in the top
+    /// bucket and are additionally counted as overflow.
     pub fn record(&mut self, v: u64) {
+        if (64 - v.leading_zeros()) as usize > TOP_BUCKET {
+            self.overflow += 1;
+        }
         self.counts[bucket_of(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
@@ -70,6 +86,11 @@ impl LogHistogram {
     /// Sum of all samples.
     pub fn sum(&self) -> u128 {
         self.sum
+    }
+
+    /// Samples that clamped into the top bucket (`v >= 2^63`).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Arithmetic mean, or 0.0 when empty.
@@ -117,6 +138,7 @@ impl LogHistogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            overflow: self.overflow,
         }
     }
 
@@ -129,6 +151,7 @@ impl LogHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.overflow += other.overflow;
     }
 }
 
@@ -152,6 +175,8 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Samples that clamped into the top bucket (`v >= 2^63`).
+    pub overflow: u64,
 }
 
 #[cfg(test)]
@@ -163,6 +188,37 @@ mod tests {
         let h = LogHistogram::new();
         let s = h.summarize();
         assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+        assert_eq!((s.p95, s.p99, s.overflow), (0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(h.quantile(0.99), 0, "empty histogram quantile is 0");
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        let s = h.summarize();
+        assert_eq!((s.p50, s.p95, s.p99), (777, 777, 777));
+        assert_eq!((s.min, s.max), (777, 777));
+        assert_eq!(s.overflow, 0);
+    }
+
+    #[test]
+    fn oversized_samples_clamp_and_count_overflow() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX); // >= 2^63: clamps into the top bucket
+        h.record(1u64 << 63);
+        h.record((1u64 << 63) - 1); // largest non-overflow value
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        let s = h.summarize();
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.count, 4, "clamped samples still count");
+        // Exact extremes survive the clamp.
+        assert_eq!((s.min, s.max), (100, u64::MAX));
+        // Quantiles stay within the observed range.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.01) >= 100);
     }
 
     #[test]
@@ -221,11 +277,24 @@ mod tests {
         assert_eq!(bucket_of(1), 1);
         assert_eq!(bucket_of(2), 2);
         assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(u64::MAX), TOP_BUCKET, "overflow clamps to top");
+        assert_eq!(bucket_of(1u64 << 62), TOP_BUCKET);
         for i in 0..BUCKETS {
             let (lo, hi) = bucket_range(i);
             assert!(lo < hi, "bucket {i}");
             assert_eq!(bucket_of(lo), i);
         }
+    }
+
+    #[test]
+    fn merge_carries_overflow() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.count(), 3);
     }
 }

@@ -180,6 +180,39 @@ impl Registry {
         }
     }
 
+    /// Render every metric as plain text, one `name value` line per
+    /// counter, gauge, and histogram statistic (`.count`, `.mean`, `.p50`,
+    /// `.p95`, `.p99`, plus `.overflow` when nonzero) — the `/metrics`-style
+    /// dump for scraping or eyeballing. Lines are sorted by name, so the
+    /// output is stable across runs and diffs cleanly.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut lines: Vec<String> = Vec::new();
+        for (name, v) in self.inner.counters.read().iter() {
+            lines.push(format!("{name} {}", v.load(Ordering::Relaxed)));
+        }
+        for (name, v) in self.inner.gauges.read().iter() {
+            lines.push(format!("{name} {}", *v.lock()));
+        }
+        for (name, h) in self.inner.histograms.read().iter() {
+            let s = h.lock().summarize();
+            lines.push(format!("{name}.count {}", s.count));
+            lines.push(format!("{name}.mean {:.1}", s.mean));
+            lines.push(format!("{name}.p50 {}", s.p50));
+            lines.push(format!("{name}.p95 {}", s.p95));
+            lines.push(format!("{name}.p99 {}", s.p99));
+            if s.overflow > 0 {
+                lines.push(format!("{name}.overflow {}", s.overflow));
+            }
+        }
+        lines.sort();
+        let mut out = String::new();
+        for l in lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+
     /// Write run artifacts into `dir` (created if missing):
     /// `events.jsonl` (buffered events; for a file sink the stream is
     /// flushed wherever it already points) and `summary.json` (the
@@ -351,6 +384,31 @@ mod tests {
         assert_eq!(v["kind"].as_str(), Some("span"));
         assert_eq!(v["name"].as_str(), Some("work"));
         assert!(v["dur_ns"].as_u64().unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn render_text_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("serve.ok").add(7);
+        r.counter("serve.requests").add(9);
+        r.gauge("serve.queue_depth").set(2.0);
+        r.histogram("serve.latency_ns").record(1000);
+        let text = r.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "dump must be sorted by name");
+        assert!(lines.contains(&"serve.ok 7"));
+        assert!(lines.contains(&"serve.requests 9"));
+        assert!(lines.contains(&"serve.queue_depth 2"));
+        assert!(lines.contains(&"serve.latency_ns.count 1"));
+        assert!(text.contains("serve.latency_ns.p99 1000"));
+        assert!(
+            !text.contains(".overflow"),
+            "overflow line only when nonzero"
+        );
+        // Rendering twice is identical (stability).
+        assert_eq!(text, r.render_text());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::fmt::Write as _;
 
 /// Point-in-time copy of every metric in a registry. This is the schema
 /// of `summary.json`: `{"elapsed_us":…,"counters":{…},"gauges":{…},
-/// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}`.
+/// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99,overflow}}}`.
 #[derive(Clone, Debug, Serialize)]
 pub struct Snapshot {
     /// Registry age at snapshot time, microseconds.
@@ -79,7 +79,9 @@ mod tests {
         assert_eq!(v["counters"]["a.b"].as_u64(), Some(7));
         assert_eq!(v["gauges"]["g"].as_f64(), Some(1.5));
         let h = &v["histograms"]["h.ns"];
-        for key in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+        for key in [
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "overflow",
+        ] {
             assert!(!h[key].is_null(), "missing {key}");
         }
         assert_eq!(h["count"].as_u64(), Some(4));

@@ -1,0 +1,376 @@
+//! The collector: turns drained [`TraceRecord`]s into span trees and the
+//! waterfall/flamegraph artifacts.
+//!
+//! Two export formats:
+//!
+//! * **Collapsed-stack text** ([`TraceSet::to_folded`]) — the
+//!   `stack;frames count` format consumed by `inferno`, `flamegraph.pl`
+//!   and speedscope; counts are nanoseconds summed across requests, so
+//!   the flame widths are time, not sample counts.
+//! * **Self-contained JSONL** ([`TraceSet::to_jsonl`]) — one record per
+//!   line with absolute stamps, per-segment durations and per-stage
+//!   compute sub-spans; enough to rebuild any waterfall offline.
+
+use crate::record::{Segment, TraceOutcome, TraceRecord, EVENTS, SEGMENTS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One node of a request's span tree: a named interval with children
+/// that tile (a subset of) it.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name (`request`, a segment name, or a pipeline stage name).
+    pub name: String,
+    /// Start, nanoseconds since tracer epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since tracer epoch.
+    pub end_ns: u64,
+    /// Child spans, in time order, each inside `[start_ns, end_ns]`.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Span duration.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Build the span tree of one record: a `request` root, one child per
+/// reached segment, and per-pipeline-stage grandchildren inside
+/// `compute` when the batch ran the streaming pipeline (stage sub-spans
+/// are laid out sequentially, scaled to fill the measured compute span in
+/// proportion to their busy time).
+pub fn span_tree(record: &TraceRecord) -> Option<SpanNode> {
+    let start = record.stamp(crate::TraceEvent::Enqueue)?;
+    let mut children = Vec::new();
+    for seg in SEGMENTS {
+        let (from, to) = seg.bounds();
+        let (Some(s), Some(e)) = (record.stamp(from), record.stamp(to)) else {
+            continue;
+        };
+        let mut node = SpanNode {
+            name: seg.name().to_string(),
+            start_ns: s,
+            end_ns: e,
+            children: Vec::new(),
+        };
+        if seg == Segment::Compute {
+            if let Some(stages) = &record.stage_ns {
+                node.children = scale_stages(stages, s, e);
+            }
+        }
+        children.push(node);
+    }
+    let end = children.last().map_or(start, |c| c.end_ns);
+    Some(SpanNode {
+        name: "request".to_string(),
+        start_ns: start,
+        end_ns: end.max(start),
+        children,
+    })
+}
+
+/// Lay the per-stage busy times out back-to-back inside `[start, end]`,
+/// scaled so they fill the span in proportion to their shares.
+fn scale_stages(stages: &[(String, u64)], start: u64, end: u64) -> Vec<SpanNode> {
+    let total: u128 = stages.iter().map(|(_, ns)| u128::from(*ns)).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let span = u128::from(end.saturating_sub(start));
+    let mut out = Vec::with_capacity(stages.len());
+    let mut cursor = start;
+    let mut acc: u128 = 0;
+    for (i, (name, ns)) in stages.iter().enumerate() {
+        acc = acc.saturating_add(u128::from(*ns));
+        let next = if i.saturating_add(1) == stages.len() {
+            end
+        } else {
+            let offset = span.saturating_mul(acc).checked_div(total).unwrap_or(0);
+            start.saturating_add(u64::try_from(offset).unwrap_or(u64::MAX))
+        };
+        out.push(SpanNode {
+            name: name.clone(),
+            start_ns: cursor,
+            end_ns: next.max(cursor),
+            children: Vec::new(),
+        });
+        cursor = next.max(cursor);
+    }
+    out
+}
+
+/// A drained batch of trace records plus the collector's accounting.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSet {
+    /// Every drained record, in drain order.
+    pub records: Vec<TraceRecord>,
+    /// Records lost to full rings (from the tracer's drop counters).
+    pub dropped: u64,
+}
+
+impl TraceSet {
+    /// Wrap drained records.
+    pub fn new(records: Vec<TraceRecord>, dropped: u64) -> TraceSet {
+        TraceSet { records, dropped }
+    }
+
+    /// Completed (fully-stamped, `Ok`) records only.
+    pub fn completed(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == TraceOutcome::Ok && r.is_complete())
+    }
+
+    /// Collapsed-stack export: `request;<segment>[;<stage>] <ns>` lines,
+    /// nanoseconds summed over all completed records, sorted for
+    /// determinism. Feed to `inferno-flamegraph` or paste into
+    /// speedscope.
+    pub fn to_folded(&self) -> String {
+        let mut stacks: BTreeMap<String, u128> = BTreeMap::new();
+        for record in self.completed() {
+            let Some(tree) = span_tree(record) else {
+                continue;
+            };
+            for seg in &tree.children {
+                if seg.children.is_empty() {
+                    let key = format!("request;{}", seg.name);
+                    add_ns(&mut stacks, key, seg.dur_ns());
+                } else {
+                    for stage in &seg.children {
+                        let key = format!("request;{};{}", seg.name, stage.name);
+                        add_ns(&mut stacks, key, stage.dur_ns());
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (stack, ns) in stacks {
+            let _ = writeln!(out, "{stack} {ns}");
+        }
+        out
+    }
+
+    /// Self-contained JSONL export: one record per line (all outcomes,
+    /// not just completed ones), in drain order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-request waterfall rendering of the slowest completed requests
+    /// (up to `limit`), one bar per segment — the human-readable
+    /// companion to the folded export.
+    pub fn render_waterfall(&self, limit: usize) -> String {
+        let mut completed: Vec<&TraceRecord> = self.completed().collect();
+        completed.sort_by_key(|r| std::cmp::Reverse(r.end_to_end_ns().unwrap_or(0)));
+        completed.truncate(limit);
+        let mut out = String::new();
+        const WIDTH: usize = 48;
+        const GLYPHS: [char; 5] = ['\u{2591}', '\u{2592}', '\u{2593}', '\u{2588}', '\u{2580}'];
+        let _ = writeln!(
+            out,
+            "waterfall (slowest {} of {} completed; {} = queue_wait, {} = batch_wait, {} = dispatch, {} = compute, {} = delivery)",
+            completed.len(),
+            self.completed().count(),
+            GLYPHS[0],
+            GLYPHS[1],
+            GLYPHS[2],
+            GLYPHS[3],
+            GLYPHS[4],
+        );
+        for r in completed {
+            let total = r.end_to_end_ns().unwrap_or(0).max(1);
+            let mut bar = String::new();
+            for (seg, glyph) in SEGMENTS.iter().zip(GLYPHS) {
+                let ns = r.segment_ns(*seg).unwrap_or(0);
+                let cells = (u128::from(ns))
+                    .saturating_mul(WIDTH as u128)
+                    .checked_div(u128::from(total))
+                    .unwrap_or(0) as usize;
+                for _ in 0..cells {
+                    bar.push(glyph);
+                }
+            }
+            let width = WIDTH;
+            let _ = writeln!(
+                out,
+                "  #{:<6} {:>9.3} ms  |{bar:<width$}|  worker {} batch {}",
+                r.id,
+                total as f64 / 1e6,
+                r.worker,
+                r.batch_size,
+            );
+        }
+        out
+    }
+}
+
+fn add_ns(stacks: &mut BTreeMap<String, u128>, key: String, ns: u64) {
+    let slot = stacks.entry(key).or_insert(0);
+    *slot = slot.saturating_add(u128::from(ns));
+}
+
+/// Sanity-check a record set the way the integrity tests do: stamps
+/// non-decreasing in lifecycle order, unique ids, and (for completed
+/// records) segment sums equal to end-to-end latency. Returns an error
+/// message describing the first violation.
+pub fn audit(records: &[TraceRecord]) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    for r in records {
+        if !seen.insert(r.id) {
+            return Err(format!(
+                "trace id {} has more than one terminal record",
+                r.id
+            ));
+        }
+        let mut last = 0u64;
+        for e in EVENTS {
+            if let Some(t) = r.stamp(e) {
+                if t < last {
+                    return Err(format!(
+                        "trace {}: stamp {} ({}) precedes an earlier event",
+                        r.id,
+                        t,
+                        e.name()
+                    ));
+                }
+                last = t;
+            }
+        }
+        if r.outcome == TraceOutcome::Ok {
+            if !r.is_complete() {
+                return Err(format!("trace {}: Ok outcome but missing stamps", r.id));
+            }
+            let sum: u64 = SEGMENTS
+                .iter()
+                .filter_map(|&s| r.segment_ns(s))
+                .fold(0, u64::saturating_add);
+            let e2e = r.end_to_end_ns().unwrap_or(0);
+            if sum != e2e {
+                return Err(format!(
+                    "trace {}: segments sum to {sum} ns but end-to-end is {e2e} ns",
+                    r.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+    use crate::record::{TraceEvent, N_EVENTS};
+    use std::sync::Arc;
+
+    fn record(id: u64, base: u64) -> TraceRecord {
+        let mut r = TraceRecord::new(id);
+        for i in 0..N_EVENTS {
+            r.stamps[i] = base + 100 * (i as u64 + 1);
+        }
+        r.outcome = TraceOutcome::Ok;
+        r.worker = 0;
+        r.batch_size = 2;
+        r
+    }
+
+    #[test]
+    fn span_tree_tiles_the_request() {
+        let r = record(0, 0);
+        let tree = span_tree(&r).unwrap();
+        assert_eq!(tree.name, "request");
+        assert_eq!(tree.children.len(), 5);
+        let child_sum: u64 = tree.children.iter().map(SpanNode::dur_ns).sum();
+        assert_eq!(child_sum, tree.dur_ns());
+        for w in tree.children.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "segments must chain");
+        }
+    }
+
+    #[test]
+    fn stage_subspans_fill_the_compute_span() {
+        let mut r = record(0, 0);
+        r.stage_ns = Some(Arc::new(vec![
+            ("conv0".into(), 30),
+            ("pool".into(), 10),
+            ("fc".into(), 60),
+        ]));
+        let tree = span_tree(&r).unwrap();
+        let compute = tree
+            .children
+            .iter()
+            .find(|c| c.name == "compute")
+            .expect("compute span");
+        assert_eq!(compute.children.len(), 3);
+        assert_eq!(compute.children[0].start_ns, compute.start_ns);
+        assert_eq!(compute.children.last().unwrap().end_ns, compute.end_ns);
+        let sum: u64 = compute.children.iter().map(SpanNode::dur_ns).sum();
+        assert_eq!(sum, compute.dur_ns());
+    }
+
+    #[test]
+    fn folded_output_sums_nanoseconds_across_records() {
+        let set = TraceSet::new(vec![record(0, 0), record(1, 1000)], 0);
+        let folded = set.to_folded();
+        // Each record contributes 100 ns per segment.
+        assert!(folded.contains("request;queue_wait 200"));
+        assert!(folded.contains("request;compute 200"));
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "folded output must be deterministic");
+    }
+
+    #[test]
+    fn folded_output_breaks_compute_into_stages() {
+        let mut r = record(0, 0);
+        r.stage_ns = Some(Arc::new(vec![("conv0".into(), 1), ("fc".into(), 1)]));
+        let set = TraceSet::new(vec![r], 0);
+        let folded = set.to_folded();
+        assert!(folded.contains("request;compute;conv0 50"));
+        assert!(folded.contains("request;compute;fc 50"));
+        assert!(!folded.contains("request;compute 100"));
+    }
+
+    #[test]
+    fn audit_accepts_good_and_rejects_bad() {
+        assert!(audit(&[record(0, 0), record(1, 50)]).is_ok());
+
+        let dup = vec![record(0, 0), record(0, 10)];
+        assert!(audit(&dup).unwrap_err().contains("more than one terminal"));
+
+        let mut bad = record(2, 0);
+        bad.stamps[TraceEvent::ComputeEnd as usize] = 1; // before ComputeStart
+        assert!(audit(&[bad]).unwrap_err().contains("precedes"));
+
+        let mut incomplete = record(3, 0);
+        incomplete.stamps[TraceEvent::BatchSeal as usize] = 0;
+        assert!(audit(&[incomplete]).unwrap_err().contains("missing stamps"));
+    }
+
+    #[test]
+    fn waterfall_renders_slowest_first() {
+        let fast = record(0, 0);
+        let mut slow = record(1, 0);
+        slow.stamps[TraceEvent::Deliver as usize] += 10_000;
+        let set = TraceSet::new(vec![fast, slow], 0);
+        let w = set.render_waterfall(10);
+        let pos_slow = w.find("#1").unwrap();
+        let pos_fast = w.find("#0").unwrap();
+        assert!(pos_slow < pos_fast, "slowest request renders first:\n{w}");
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let set = TraceSet::new(vec![record(0, 0), record(1, 0)], 0);
+        assert_eq!(set.to_jsonl().lines().count(), 2);
+    }
+}

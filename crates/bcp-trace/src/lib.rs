@@ -1,0 +1,50 @@
+//! # bcp-trace — request-lifecycle tracing for the serving engine
+//!
+//! Low-overhead tracing layered on `bcp-telemetry`. Every admitted
+//! request can carry a [`TraceRecord`]: a fixed-size vector of
+//! nanosecond timestamps stamped at each hand-off of its lifecycle —
+//!
+//! ```text
+//! enqueue → admission_dequeue → batch_seal → worker_dispatch
+//!         → compute_start → compute_end → deliver
+//! ```
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero cost when off.** A disabled tracer is `None`; the hot path
+//!    pays a single branch per stamp site. Head sampling (default 1/64)
+//!    keeps the enabled cost within the bench gate's 3%.
+//! 2. **No shared mutation on the hot path.** The record travels *with*
+//!    the request (inside the engine's channels); stamps are plain
+//!    stores by the owning thread. Only finished records cross threads,
+//!    through lock-free [`Ring`]s — and a full ring drops-and-counts,
+//!    never blocks.
+//! 3. **Everything audits.** Stamps are monotone (the collector's
+//!    [`audit`] checks), the five [`Segment`]s telescope exactly to the
+//!    end-to-end latency, and ring saturation is visible as
+//!    `trace.dropped`.
+//!
+//! The collector side ([`TraceSet`]) turns drained records into span
+//! trees, collapsed-stack flamegraph text, JSONL, an ASCII waterfall,
+//! and the [`AttributionReport`] that decomposes latency into
+//! queue-wait / batch-wait / dispatch / compute / delivery and prices
+//! the engine against raw `classify_batch`.
+
+#![warn(clippy::arithmetic_side_effects)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod record;
+pub mod report;
+pub mod ring;
+pub mod sampler;
+pub mod tracer;
+
+pub use collect::{audit, span_tree, SpanNode, TraceSet};
+pub use record::{
+    Segment, TraceEvent, TraceId, TraceOutcome, TraceRecord, EVENTS, N_EVENTS, N_SEGMENTS, SEGMENTS,
+};
+pub use report::{AttributionReport, SegmentStats};
+pub use ring::Ring;
+pub use sampler::{SampleRow, TimeSeries, TimeSeriesSampler};
+pub use tracer::{stamp, ActiveTrace, TraceConfig, Tracer};

@@ -1,0 +1,321 @@
+//! The tracer: head sampling, the nanosecond epoch clock, and the shard
+//! of rings that finished records land in.
+
+use crate::record::{TraceEvent, TraceOutcome, TraceRecord};
+use crate::ring::Ring;
+use bcp_telemetry::{Counter, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tracing knobs, carried inside the engine's config.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Head sampling: trace one request in `sample_rate` (1 = every
+    /// request, the right setting for tests and dedicated profiling runs;
+    /// the production default of 64 keeps the overhead within the bench
+    /// gate's 3%).
+    pub sample_rate: u64,
+    /// Capacity of each per-thread ring. Overflow drops records and
+    /// counts them (`trace.dropped`), it never blocks the hot path.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_rate: 64,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Config that samples every request — what tests and `bcp profile`
+    /// use.
+    pub fn sample_all() -> TraceConfig {
+        TraceConfig {
+            sample_rate: 1,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Pre-resolved `trace.*` telemetry handles.
+struct TraceMetrics {
+    sampled: Counter,
+    completed: Counter,
+    dropped: Counter,
+}
+
+/// Shared tracing state for one engine: the epoch clock, the sampling
+/// counter, and one finished-record ring per engine thread.
+pub struct Tracer {
+    epoch: Instant,
+    cfg: TraceConfig,
+    /// Admission counter driving head sampling (`n % sample_rate == 0`).
+    admissions: AtomicU64,
+    /// Next [`TraceId`](crate::TraceId).
+    next_id: AtomicU64,
+    /// Rings `0..workers` belong to the worker threads; ring `workers` to
+    /// the batcher; the last ring to client/submitter threads.
+    rings: Vec<Ring<TraceRecord>>,
+    metrics: Option<TraceMetrics>,
+}
+
+impl Tracer {
+    /// Tracer for an engine with `workers` worker threads. When a registry
+    /// is given, `trace.sampled` / `trace.completed` / `trace.dropped`
+    /// counters are exported.
+    pub fn new(cfg: TraceConfig, workers: usize, registry: Option<&Registry>) -> Arc<Tracer> {
+        let cap = cfg.ring_capacity;
+        let rings = (0..workers.saturating_add(2))
+            .map(|_| Ring::with_capacity(cap))
+            .collect();
+        Arc::new(Tracer {
+            epoch: Instant::now(),
+            cfg,
+            admissions: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            rings,
+            metrics: registry.map(|r| TraceMetrics {
+                sampled: r.counter("trace.sampled"),
+                completed: r.counter("trace.completed"),
+                dropped: r.counter("trace.dropped"),
+            }),
+        })
+    }
+
+    /// The configuration the tracer was built with.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Nanoseconds since the tracer's epoch, floored at 1 so a genuine
+    /// stamp is never confused with the "not reached" sentinel 0.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1)
+    }
+
+    /// Head-sampling decision for one admitted request: every
+    /// `sample_rate`-th admission gets a live trace, already stamped with
+    /// [`TraceEvent::Enqueue`].
+    pub fn sample(&self) -> Option<Box<ActiveTrace>> {
+        let n = self.admissions.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.cfg.sample_rate.max(1)) {
+            return None;
+        }
+        if let Some(m) = &self.metrics {
+            m.sampled.inc();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut record = TraceRecord::new(id);
+        record.stamps[TraceEvent::Enqueue as usize] = self.now_ns();
+        Some(Box::new(ActiveTrace { record }))
+    }
+
+    /// Ring index for worker thread `w`.
+    pub fn worker_ring(&self, w: usize) -> usize {
+        w.min(self.rings.len().saturating_sub(3))
+    }
+
+    /// Ring index for the batcher thread.
+    pub fn batcher_ring(&self) -> usize {
+        self.rings.len().saturating_sub(2)
+    }
+
+    /// Ring index for client/submitter threads.
+    pub fn client_ring(&self) -> usize {
+        self.rings.len().saturating_sub(1)
+    }
+
+    /// Finish a live trace: stamp [`TraceEvent::Deliver`] if the caller
+    /// has not, set the outcome, and push the record onto `ring`
+    /// (an index from [`worker_ring`](Tracer::worker_ring) /
+    /// [`batcher_ring`](Tracer::batcher_ring) /
+    /// [`client_ring`](Tracer::client_ring)).
+    // Takes the Box callers already hold (`Option<Box<ActiveTrace>>` in
+    // each Request) so finishing moves a pointer, not the record.
+    #[allow(clippy::boxed_local)]
+    pub fn finish(&self, mut trace: Box<ActiveTrace>, outcome: TraceOutcome, ring: usize) {
+        trace.record.outcome = outcome;
+        if trace.record.stamps[TraceEvent::Deliver as usize] == 0 {
+            trace.record.stamps[TraceEvent::Deliver as usize] = self.now_ns();
+        }
+        let idx = ring.min(self.rings.len().saturating_sub(1));
+        let stored = self.rings[idx].push(trace.record);
+        if let Some(m) = &self.metrics {
+            if stored {
+                m.completed.inc();
+            } else {
+                m.dropped.inc();
+            }
+        }
+    }
+
+    /// Drain every ring into one batch of finished records.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            out.extend(ring.drain());
+        }
+        out
+    }
+
+    /// Total records dropped on full rings so far.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(Ring::dropped).sum()
+    }
+
+    /// Requests sampled so far.
+    pub fn sampled(&self) -> u64 {
+        let n = self.admissions.load(Ordering::Relaxed);
+        let rate = self.cfg.sample_rate.max(1);
+        n.div_ceil(rate)
+    }
+}
+
+/// A live, travelling trace: owned by whichever thread currently owns the
+/// request, stamped lock-free as it moves through the engine.
+pub struct ActiveTrace {
+    record: TraceRecord,
+}
+
+impl ActiveTrace {
+    /// Stamp `event` with the tracer's current clock. Idempotent per
+    /// event: the first stamp wins (re-stamps would break monotonicity
+    /// audits).
+    #[inline]
+    pub fn stamp(&mut self, tracer: &Tracer, event: TraceEvent) {
+        let slot = &mut self.record.stamps[event as usize];
+        if *slot == 0 {
+            *slot = tracer.now_ns();
+        }
+    }
+
+    /// Record the worker index that served this request.
+    #[inline]
+    pub fn set_worker(&mut self, worker: usize) {
+        self.record.worker = worker;
+    }
+
+    /// Record the micro-batch size this request rode in.
+    #[inline]
+    pub fn set_batch_size(&mut self, size: usize) {
+        self.record.batch_size = u32::try_from(size).unwrap_or(u32::MAX);
+    }
+
+    /// Attach per-pipeline-stage compute sub-spans (shared per batch).
+    #[inline]
+    pub fn set_stage_ns(&mut self, stages: std::sync::Arc<Vec<(String, u64)>>) {
+        self.record.stage_ns = Some(stages);
+    }
+
+    /// Read-only view of the record being built (tests).
+    pub fn record(&self) -> &TraceRecord {
+        &self.record
+    }
+}
+
+/// Stamp an optional live trace — the no-op form the engine hot path
+/// uses. When tracing is off (or this request was not sampled) this is a
+/// single branch on `None`.
+#[inline]
+pub fn stamp(
+    trace: &mut Option<Box<ActiveTrace>>,
+    tracer: &Option<Arc<Tracer>>,
+    event: TraceEvent,
+) {
+    if let (Some(t), Some(tr)) = (trace.as_mut(), tracer.as_ref()) {
+        t.stamp(tr, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+    use crate::record::EVENTS;
+
+    #[test]
+    fn sampling_one_in_n_is_exact() {
+        let t = Tracer::new(
+            TraceConfig {
+                sample_rate: 4,
+                ring_capacity: 64,
+            },
+            1,
+            None,
+        );
+        let sampled = (0..16).filter_map(|_| t.sample()).count();
+        assert_eq!(sampled, 4, "exactly every 4th admission is sampled");
+        assert_eq!(t.sampled(), 4);
+    }
+
+    #[test]
+    fn sample_all_traces_everything() {
+        let t = Tracer::new(TraceConfig::sample_all(), 1, None);
+        assert_eq!((0..10).filter_map(|_| t.sample()).count(), 10);
+    }
+
+    #[test]
+    fn stamps_are_monotone_and_first_stamp_wins() {
+        let t = Tracer::new(TraceConfig::sample_all(), 1, None);
+        let mut tr = t.sample().unwrap();
+        for e in EVENTS {
+            tr.stamp(&t, e);
+        }
+        let first_compute = tr.record().stamps[TraceEvent::ComputeStart as usize];
+        tr.stamp(&t, TraceEvent::ComputeStart);
+        assert_eq!(
+            tr.record().stamps[TraceEvent::ComputeStart as usize],
+            first_compute
+        );
+        let stamps = tr.record().stamps;
+        for w in stamps.windows(2) {
+            assert!(w[0] <= w[1], "stamps must be non-decreasing: {stamps:?}");
+        }
+        assert!(stamps[0] >= 1, "stamp 0 is reserved for 'not reached'");
+    }
+
+    #[test]
+    fn finish_routes_to_rings_and_counts() {
+        let r = Registry::new();
+        let t = Tracer::new(TraceConfig::sample_all(), 2, Some(&r));
+        let a = t.sample().unwrap();
+        let b = t.sample().unwrap();
+        t.finish(a, TraceOutcome::Ok, t.worker_ring(0));
+        t.finish(b, TraceOutcome::Failed, t.batcher_ring());
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        assert!(records
+            .iter()
+            .all(|r| r.stamp(TraceEvent::Deliver).is_some()));
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["trace.sampled"], 2);
+        assert_eq!(snap.counters["trace.completed"], 2);
+        assert_eq!(snap.counters.get("trace.dropped").copied().unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn ring_overflow_counts_into_dropped() {
+        let r = Registry::new();
+        let t = Tracer::new(
+            TraceConfig {
+                sample_rate: 1,
+                ring_capacity: 2,
+            },
+            1,
+            Some(&r),
+        );
+        for _ in 0..8 {
+            let tr = t.sample().unwrap();
+            t.finish(tr, TraceOutcome::Ok, t.client_ring());
+        }
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(r.snapshot().counters["trace.dropped"], 6);
+        assert_eq!(t.drain().len(), 2);
+    }
+}

@@ -57,7 +57,7 @@ struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 2] = ["all-arches", "json"];
+const BOOL_FLAGS: [&str; 3] = ["all-arches", "json", "dump-metrics"];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut flags = HashMap::new();
@@ -330,23 +330,90 @@ fn cmd_demo(args: &Args) {
     finish_telemetry(telemetry);
 }
 
+/// `--flag N`-style integer with a default.
+fn int_flag(args: &Args, flag: &str, default: usize) -> usize {
+    args.flags
+        .get(flag)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{flag} needs an integer, got '{v}'");
+                exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+/// Benchmark predictor: a trained accelerator image when `--accel` is
+/// given, else an untrained (but deployable) network at `--arch` (default
+/// tiny) — throughput does not depend on the weights.
+fn bench_predictor(args: &Args) -> BinaryCoP {
+    if args.flags.contains_key("accel") {
+        load_predictor(args)
+    } else {
+        let arch = match args.flags.get("arch").map(String::as_str) {
+            None | Some("tiny") => binarycop::recipe::tiny_arch(),
+            Some(name) => parse_arch(name).arch(),
+        };
+        let mut net = build_bnn(&arch, 0);
+        let x = bcp_tensor::init::uniform(
+            bcp_tensor::Shape::nchw(2, 3, arch.input_size, arch.input_size),
+            -1.0,
+            1.0,
+            1,
+        );
+        let _ = net.forward(&x, bcp_nn::Mode::Train);
+        BinaryCoP::from_trained(&net, &arch)
+    }
+}
+
+/// Deterministic synthetic camera frames at the predictor's input size.
+fn bench_frames(predictor: &BinaryCoP, n_frames: usize, seed: u64) -> Vec<bcp_tensor::Tensor> {
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    let gen = GeneratorConfig {
+        img_size: predictor.arch().input_size,
+        supersample: 2,
+    };
+    let ds = Dataset::generate_balanced(&gen, n_frames.div_ceil(4), seed);
+    (0..n_frames.min(ds.len())).map(|i| ds.image(i)).collect()
+}
+
+/// Drain an engine's tracer into trace artifacts under `dir`
+/// (`trace.folded`, `trace.jsonl`, `report.txt`) and return the trace set
+/// plus the rendered attribution report.
+fn write_trace_artifacts(
+    tracer: &bcp_trace::Tracer,
+    dir: &std::path::Path,
+    raw_compute_ns: Option<u64>,
+) -> (bcp_trace::TraceSet, bcp_trace::AttributionReport) {
+    let set = bcp_trace::TraceSet::new(tracer.drain(), tracer.dropped());
+    if let Err(e) = bcp_trace::audit(&set.records) {
+        eprintln!("BUG: trace audit failed: {e}");
+        exit(1);
+    }
+    let report = bcp_trace::AttributionReport::from_traces(&set, raw_compute_ns);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        exit(1);
+    });
+    let write = |name: &str, body: String| {
+        std::fs::write(dir.join(name), body).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", dir.join(name).display());
+            exit(1);
+        });
+    };
+    write("trace.folded", set.to_folded());
+    write("trace.jsonl", set.to_jsonl());
+    write("report.txt", report.render_text());
+    (set, report)
+}
+
 /// `bcp serve-bench`: closed-loop load against the micro-batching engine,
 /// with a sequential single-caller baseline for comparison.
 fn cmd_serve_bench(args: &Args) {
     use bcp_serve::{BackpressurePolicy, ServeConfig};
     use std::time::{Duration, Instant};
 
-    let get = |flag: &str, default: usize| -> usize {
-        args.flags
-            .get(flag)
-            .map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("--{flag} needs an integer, got '{v}'");
-                    exit(2);
-                })
-            })
-            .unwrap_or(default)
-    };
+    let get = |flag: &str, default: usize| -> usize { int_flag(args, flag, default) };
     let workers = get("workers", 2).max(1);
     let clients = get("clients", 8).max(1);
     let requests = get("requests", 50).max(1);
@@ -377,39 +444,26 @@ fn cmd_serve_bench(args: &Args) {
     if args.flags.contains_key("streaming-min-batch") {
         cfg.streaming_min_batch = Some(get("streaming-min-batch", 4).max(1));
     }
+    let trace_dir = args.flags.get("trace").map(std::path::PathBuf::from);
+    if trace_dir.is_some() {
+        cfg.trace = Some(bcp_trace::TraceConfig {
+            sample_rate: get("sample-rate", 64).max(1) as u64,
+            ..bcp_trace::TraceConfig::default()
+        });
+    }
+    let dump_metrics = args.flags.contains_key("dump-metrics");
 
-    // Predictor: a trained accelerator image when given, else an untrained
-    // (but deployable) network — throughput does not depend on the weights.
     let telemetry = telemetry_of(args);
-    let mut predictor = if args.flags.contains_key("accel") {
-        load_predictor(args)
-    } else {
-        let arch = match args.flags.get("arch").map(String::as_str) {
-            None | Some("tiny") => binarycop::recipe::tiny_arch(),
-            Some(name) => parse_arch(name).arch(),
-        };
-        let mut net = build_bnn(&arch, 0);
-        let x = bcp_tensor::init::uniform(
-            bcp_tensor::Shape::nchw(2, 3, arch.input_size, arch.input_size),
-            -1.0,
-            1.0,
-            1,
-        );
-        let _ = net.forward(&x, bcp_nn::Mode::Train);
-        BinaryCoP::from_trained(&net, &arch)
-    };
+    let mut predictor = bench_predictor(args);
     if let Some((registry, _)) = &telemetry {
         predictor = predictor.with_telemetry(registry.clone());
+    } else if trace_dir.is_some() || dump_metrics {
+        // Trace counters and the metrics dump need a registry even when no
+        // --telemetry artifacts were requested.
+        predictor = predictor.with_telemetry(bcp_telemetry::Registry::new());
     }
 
-    use bcp_dataset::{Dataset, GeneratorConfig};
-    let gen = GeneratorConfig {
-        img_size: predictor.arch().input_size,
-        supersample: 2,
-    };
-    let ds = Dataset::generate_balanced(&gen, n_frames.div_ceil(4), 0x5EEE);
-    let frames: Vec<bcp_tensor::Tensor> =
-        (0..n_frames.min(ds.len())).map(|i| ds.image(i)).collect();
+    let frames = bench_frames(&predictor, n_frames, 0x5EEE);
 
     // Baseline: one caller, one frame in flight, no batching.
     let t0 = Instant::now();
@@ -459,7 +513,145 @@ fn cmd_serve_bench(args: &Args) {
             bcp_finn::correlation_report(predictor.pipeline(), &stats).render_text()
         );
     }
+    if let (Some(dir), Some(tracer)) = (&trace_dir, engine.tracer()) {
+        let raw_ns = (1e9 / seq_fps.max(1e-9)) as u64;
+        let (set, trace_report) = write_trace_artifacts(&tracer, dir, Some(raw_ns));
+        println!(
+            "trace: {} records sampled at 1/{} ({} dropped) → {}",
+            set.records.len(),
+            tracer.config().sample_rate,
+            set.dropped,
+            dir.display()
+        );
+        print!("{}", trace_report.render_text());
+    }
+    if dump_metrics {
+        if let Some(registry) = engine.registry() {
+            print!("{}", registry.render_text());
+        }
+    }
     finish_telemetry(telemetry);
+}
+
+/// `bcp profile`: dedicated profiling run — every request traced
+/// (sample rate 1 by default), flamegraph + waterfall + attribution
+/// artifacts written to `--out`, and the engine's overhead priced against
+/// a raw `classify_batch` baseline measured in the same process.
+fn cmd_profile(args: &Args) {
+    use bcp_serve::ServeConfig;
+    use bcp_trace::{TimeSeriesSampler, TraceConfig};
+    use std::time::{Duration, Instant};
+
+    let get = |flag: &str, default: usize| -> usize { int_flag(args, flag, default) };
+    let workers = get("workers", 2).max(1);
+    let clients = get("clients", 8).max(1);
+    let requests = get("requests", 40).max(1);
+    let n_frames = get("frames", 32).max(1);
+    let sample_rate = get("sample-rate", 1).max(1) as u64;
+    let out_dir = std::path::PathBuf::from(
+        args.flags
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("profile-out"),
+    );
+
+    let registry = bcp_telemetry::Registry::new();
+    let predictor = bench_predictor(args).with_telemetry(registry.clone());
+    let frames = bench_frames(&predictor, n_frames, 0x920F);
+
+    // Raw inference baseline: same frames, no engine, one caller calling
+    // `classify_batch` directly. This is the denominator of the "exact
+    // percentage the engine adds" line.
+    let rounds = 3usize;
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let _ = predictor.classify_batch(&frames);
+    }
+    let raw_ns = (t0.elapsed().as_nanos() / (rounds as u128 * frames.len() as u128).max(1)) as u64;
+    println!(
+        "raw classify_batch baseline: {:.3} ms/frame ({} frames × {} rounds)",
+        raw_ns as f64 / 1e6,
+        frames.len(),
+        rounds
+    );
+
+    let mut cfg = ServeConfig::default();
+    cfg.max_batch = get("max-batch", cfg.max_batch).max(1);
+    cfg.max_wait =
+        Duration::from_micros(get("max-wait-us", cfg.max_wait.as_micros() as usize) as u64);
+    if args.flags.contains_key("streaming-min-batch") {
+        cfg.streaming_min_batch = Some(get("streaming-min-batch", 4).max(1));
+    }
+    cfg.trace = Some(TraceConfig {
+        sample_rate,
+        ..TraceConfig::default()
+    });
+
+    let engine = binarycop::serve::engine(&predictor, workers, cfg);
+    // Queue-depth / worker-occupancy time series, probed off the hot path
+    // through the registry's gauges.
+    let depth = registry.gauge("serve.queue_depth");
+    let states: Vec<bcp_telemetry::Gauge> = (0..workers)
+        .map(|w| registry.gauge(&format!("serve.worker.{w}.state")))
+        .collect();
+    let sampler = TimeSeriesSampler::start(
+        vec!["queue_depth".into(), "healthy_workers".into()],
+        Duration::from_millis(2),
+        move || {
+            vec![
+                depth.get().max(0.0) as u64,
+                states.iter().filter(|s| s.get() == 0.0).count() as u64,
+            ]
+        },
+    );
+
+    let load = bcp_serve::run_closed_loop(&engine, &frames, clients, requests);
+    let tracer = engine.tracer().expect("profile engine always traces");
+    engine.shutdown();
+    let series = sampler.stop();
+
+    println!("engine ({workers} workers, {clients} clients):");
+    println!("{}", load.render_text());
+    if !load.accounted() {
+        eprintln!("BUG: request accounting mismatch — lost or duplicated responses");
+        exit(1);
+    }
+
+    let (set, report) = write_trace_artifacts(&tracer, &out_dir, Some(raw_ns));
+    std::fs::write(out_dir.join("timeseries.jsonl"), series.to_jsonl()).unwrap_or_else(|e| {
+        eprintln!("cannot write timeseries.jsonl: {e}");
+        exit(1);
+    });
+    println!(
+        "trace: {} records sampled at 1/{sample_rate} ({} dropped), audit ok",
+        set.records.len(),
+        set.dropped
+    );
+    println!(
+        "queue depth peak {} / workers healthy min {} over {} samples",
+        series.peak("queue_depth"),
+        series
+            .rows
+            .iter()
+            .filter_map(|r| r.values.get(1).copied())
+            .min()
+            .unwrap_or(0),
+        series.rows.len()
+    );
+    print!("{}", report.render_text());
+    print!("{}", set.render_waterfall(8));
+    println!(
+        "artifacts: {} (flamegraph: flamegraph.pl / speedscope on trace.folded)",
+        out_dir.display()
+    );
+    for name in [
+        "trace.folded",
+        "trace.jsonl",
+        "timeseries.jsonl",
+        "report.txt",
+    ] {
+        println!("  {}", out_dir.join(name).display());
+    }
 }
 
 /// `bcp scrub-bench`: measure the guard layer end to end — inject a known
@@ -627,10 +819,11 @@ fn main() {
         "info" => cmd_info(&args),
         "demo" => cmd_demo(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "profile" => cmd_profile(&args),
         "scrub-bench" => cmd_scrub_bench(&args),
         _ => {
             eprintln!(
-                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|scrub-bench> [flags]"
+                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench> [flags]"
             );
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
@@ -645,7 +838,13 @@ fn main() {
                 "  bcp serve-bench [--arch tiny|cnv|ncnv|ucnv | --arch <a> --accel accel.json] \
                  [--workers 2] [--clients 8] [--requests 50] [--frames 32] [--max-batch 8] \
                  [--max-wait-us 500] [--queue-cap 64] [--policy block|reject|shed] \
-                 [--deadline-ms N] [--streaming-min-batch N]"
+                 [--deadline-ms N] [--streaming-min-batch N] [--trace <dir>] \
+                 [--sample-rate 64] [--dump-metrics]"
+            );
+            eprintln!(
+                "  bcp profile  [--arch tiny|cnv|ncnv|ucnv] [--workers 2] [--clients 8] \
+                 [--requests 40] [--frames 32] [--sample-rate 1] [--max-batch 8] \
+                 [--max-wait-us 500] [--streaming-min-batch N] [--out profile-out]"
             );
             eprintln!(
                 "  bcp scrub-bench [--arch tiny|cnv|ncnv|ucnv] [--faults 64] [--seed 7] \
