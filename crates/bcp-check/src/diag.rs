@@ -20,6 +20,8 @@ use std::fmt;
 /// | `BCP04x`  | threshold soundness                        |
 /// | `BCP05x`  | device resource fit                        |
 /// | `BCP06x`  | checker configuration                      |
+/// | `BCP10x`  | repo-invariant lints (`bcp lint`)          |
+/// | `BCP11x`  | lint configuration                         |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `BCP001` — consecutive conv layers disagree on channel count.
@@ -74,11 +76,23 @@ pub enum Code {
     NearBudget,
     /// `BCP060` — checker configuration is itself invalid.
     InvalidConfig,
+    /// `BCP100` — an atomic `Ordering::*` use without a `// ordering:`
+    /// justification comment.
+    UnjustifiedOrdering,
+    /// `BCP101` — `unsafe` outside the audited allowlist.
+    UnsafeOutsideAllowlist,
+    /// `BCP102` — `unwrap()` on a channel send/recv in a serving hot path.
+    HotPathChannelUnwrap,
+    /// `BCP103` — telemetry metric emitted in code but absent from the
+    /// README metrics tables.
+    UndocumentedMetric,
+    /// `BCP110` — the lint pass itself could not run as configured.
+    LintConfigError,
 }
 
 impl Code {
     /// Every code, in numeric order (drives the README reference table).
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 31] = [
         Code::ConvChainMismatch,
         Code::FcChainMismatch,
         Code::FlattenMismatch,
@@ -105,6 +119,11 @@ impl Code {
         Code::DspOverBudget,
         Code::NearBudget,
         Code::InvalidConfig,
+        Code::UnjustifiedOrdering,
+        Code::UnsafeOutsideAllowlist,
+        Code::HotPathChannelUnwrap,
+        Code::UndocumentedMetric,
+        Code::LintConfigError,
     ];
 
     /// The stable `BCP0xx` string.
@@ -136,6 +155,11 @@ impl Code {
             Code::DspOverBudget => "BCP052",
             Code::NearBudget => "BCP053",
             Code::InvalidConfig => "BCP060",
+            Code::UnjustifiedOrdering => "BCP100",
+            Code::UnsafeOutsideAllowlist => "BCP101",
+            Code::HotPathChannelUnwrap => "BCP102",
+            Code::UndocumentedMetric => "BCP103",
+            Code::LintConfigError => "BCP110",
         }
     }
 
@@ -173,6 +197,11 @@ impl Code {
             Code::DspOverBudget => "DSP estimate exceeds device budget",
             Code::NearBudget => "resource above 90 % of device budget",
             Code::InvalidConfig => "checker configuration invalid",
+            Code::UnjustifiedOrdering => "atomic Ordering without a `// ordering:` justification",
+            Code::UnsafeOutsideAllowlist => "unsafe code outside the audited allowlist",
+            Code::HotPathChannelUnwrap => "unwrap() on channel send/recv in a serving hot path",
+            Code::UndocumentedMetric => "metric emitted in code but missing from README tables",
+            Code::LintConfigError => "lint pass could not run as configured",
         }
     }
 }

@@ -30,6 +30,7 @@
 pub mod analyses;
 pub mod diag;
 pub mod graph;
+pub mod lint;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use graph::{infer_shapes, ArchSpec, ConvSpec, FcSpec, ShapeAnalysis, StageKind, StagePlan};

@@ -1,0 +1,601 @@
+//! `bcp lint` — repo-invariant lints for the lock-free serving core.
+//!
+//! Where the rest of this crate verifies *designs*, this module verifies
+//! the *repository*: source-level invariants that `rustc`/`clippy` do not
+//! know about but the concurrency story depends on. All findings funnel
+//! into the same [`diag`](crate::diag) machinery as the design checks —
+//! stable `BCP1xx` codes, `--json` output, exit-1 on violations in CI.
+//!
+//! | code     | invariant                                                     |
+//! |----------|---------------------------------------------------------------|
+//! | `BCP100` | every atomic `Ordering::*` carries a `// ordering:` comment   |
+//! | `BCP101` | no `unsafe` outside the audited allowlist                     |
+//! | `BCP102` | no `unwrap()` on channel send/recv in serving hot paths       |
+//! | `BCP103` | every metric name emitted in code appears in README tables    |
+//! | `BCP110` | the lint pass itself failed to run as configured              |
+//!
+//! Scope: non-test code under each crate's `src/` (and the root crate's
+//! `src/`). Test modules — everything at and below the first
+//! `#[cfg(test)]`/`#[cfg(all(test, …))]` line — are skipped: tests may
+//! deliberately violate invariants (the model suite's seeded-bug ring
+//! being the canonical example). `vendor/` is excluded: vendored code is
+//! audited at import time, not continuously.
+
+use crate::diag::{Code, Diagnostic, Report};
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain `unsafe` (`BCP101`). Every entry is a
+/// repo-relative path whose unsafe blocks have been audited and carry
+/// `SAFETY:` comments; the lock-free ring is model-checked and
+/// Miri-checked on top.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/bcp-trace/src/ring.rs"];
+
+/// Crates whose `src/` is a serving hot path for the purposes of
+/// `BCP102`: a panicking channel endpoint there can take down a worker,
+/// the batcher, or the collector mid-request.
+const HOT_PATH_CRATES: &[&str] = &["crates/bcp-serve/src", "crates/bcp-trace/src"];
+
+/// How many lines above an `Ordering::*` use a `// ordering:` comment
+/// may sit (same line also counts). Five covers a multi-line
+/// `compare_exchange` call with one justification above it.
+const ORDERING_LOOKBACK: usize = 5;
+
+/// Lint the workspace rooted at `root` (the directory containing the
+/// top-level `Cargo.toml` and `README.md`). Never panics: I/O problems
+/// become `BCP110` diagnostics.
+pub fn lint_workspace(root: &Path) -> Report {
+    let mut report = Report::new("workspace", "-", "-");
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    match std::fs::read_dir(root.join("crates")) {
+        Ok(entries) => {
+            for e in entries.flatten() {
+                roots.push(e.path().join("src"));
+            }
+        }
+        Err(e) => {
+            report.push(Diagnostic::error(
+                Code::LintConfigError,
+                root.join("crates").display().to_string(),
+                format!("cannot enumerate workspace crates: {e}"),
+            ));
+        }
+    }
+    for dir in roots {
+        collect_rs_files(&dir, &mut files);
+    }
+    files.sort();
+
+    let readme_patterns = match std::fs::read_to_string(root.join("README.md")) {
+        Ok(readme) => readme_metric_patterns(&readme),
+        Err(e) => {
+            report.push(Diagnostic::error(
+                Code::LintConfigError,
+                root.join("README.md").display().to_string(),
+                format!("cannot read README for the metric-name lint: {e}"),
+            ));
+            Vec::new()
+        }
+    };
+    let have_readme = !readme_patterns.is_empty();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                report.push(Diagnostic::error(
+                    Code::LintConfigError,
+                    rel,
+                    format!("cannot read source file: {e}"),
+                ));
+                continue;
+            }
+        };
+        lint_file(
+            &rel,
+            &src,
+            have_readme.then_some(&readme_patterns),
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Lint one file's source. `readme_patterns` is `None` when the README
+/// was unreadable (the metric lint is skipped; `BCP110` already fired).
+fn lint_file(
+    rel: &str,
+    src: &str,
+    readme_patterns: Option<&Vec<Vec<DocSeg>>>,
+    report: &mut Report,
+) {
+    let lines = code_lines(src);
+    let test_start = first_test_line(&lines);
+
+    for (i, line) in lines.iter().enumerate() {
+        if i >= test_start {
+            break;
+        }
+        let lineno = i.saturating_add(1);
+        if has_atomic_ordering(&line.code) && !has_ordering_comment(&lines, i) {
+            report.push(
+                Diagnostic::error(
+                    Code::UnjustifiedOrdering,
+                    format!("{rel}:{lineno}"),
+                    "atomic Ordering use without a `// ordering:` justification within 5 lines",
+                )
+                .with_help("document WHY this ordering is sufficient, not what it does"),
+            );
+        }
+        if has_unsafe_token(&line.code) && !UNSAFE_ALLOWLIST.contains(&rel) {
+            report.push(
+                Diagnostic::error(
+                    Code::UnsafeOutsideAllowlist,
+                    format!("{rel}:{lineno}"),
+                    "unsafe outside the audited allowlist",
+                )
+                .with_help(
+                    "move the unsafety behind an allowlisted module, or extend \
+                     UNSAFE_ALLOWLIST after an audit",
+                ),
+            );
+        }
+        if HOT_PATH_CRATES.iter().any(|p| rel.starts_with(p)) && is_channel_unwrap(&line.code) {
+            report.push(
+                Diagnostic::error(
+                    Code::HotPathChannelUnwrap,
+                    format!("{rel}:{lineno}"),
+                    "unwrap() on a channel send/recv in a serving hot path",
+                )
+                .with_help("a disconnected peer is an expected teardown state — handle the Err"),
+            );
+        }
+    }
+
+    if let Some(patterns) = readme_patterns {
+        let head: String = lines[..test_start]
+            .iter()
+            .map(|l| format!("{}\n", l.with_strings))
+            .collect();
+        for (name, lineno) in emitted_metric_names(&head) {
+            let segs = code_metric_segments(&name);
+            if !patterns.iter().any(|p| metric_matches(&segs, p)) {
+                report.push(
+                    Diagnostic::error(
+                        Code::UndocumentedMetric,
+                        format!("{rel}:{lineno}"),
+                        format!("metric `{name}` is not documented in the README metrics tables"),
+                    )
+                    .with_help("add it to the Telemetry table in README.md"),
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- source model --
+
+/// One source line split into executable code and its trailing comment,
+/// with string-literal *contents* blanked in `code` (so `"unsafe"` in a
+/// message never triggers `BCP101`) but preserved in `strings`.
+struct SrcLine {
+    /// Code with comments removed and string contents replaced by spaces.
+    code: String,
+    /// The line's comment text (everything after `//`), if any.
+    comment: String,
+    /// Code with string contents preserved (for metric extraction).
+    with_strings: String,
+}
+
+/// Split source into [`SrcLine`]s, tracking block comments and string
+/// literals (with escapes) across the whole file. Raw strings are not
+/// handled; the workspace does not use them in linted positions.
+fn code_lines(src: &str) -> Vec<SrcLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in src.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut with_strings = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        let mut in_char = false;
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            if in_string || in_char {
+                with_strings.push(c);
+                if c == '\\' {
+                    if let Some(esc) = chars.next() {
+                        with_strings.push(esc);
+                    }
+                } else if in_string && c == '"' {
+                    code.push('"');
+                    in_string = false;
+                } else if in_char && c == '\'' {
+                    in_char = false;
+                } else {
+                    code.push(' ');
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    comment = chars.collect::<String>();
+                    comment.remove(0);
+                    break;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                '"' => {
+                    in_string = true;
+                    code.push('"');
+                    with_strings.push('"');
+                }
+                // A lifetime/label tick is followed by an identifier; a
+                // char literal tick is not ambiguous in linted patterns,
+                // so only treat `'x'`-shaped sequences as char literals.
+                '\'' => {
+                    let mut ahead = chars.clone();
+                    let is_char = matches!(
+                        (ahead.next(), ahead.next()),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        in_char = true;
+                    }
+                    code.push(' ');
+                    with_strings.push(' ');
+                }
+                _ => {
+                    code.push(c);
+                    with_strings.push(c);
+                }
+            }
+        }
+        out.push(SrcLine {
+            code,
+            comment,
+            with_strings,
+        });
+    }
+    out
+}
+
+/// Index of the first line opening a test module (`#[cfg(test)]` or
+/// `#[cfg(all(test, …))]`); everything from there on is skipped. By
+/// workspace convention test modules close out their files.
+fn first_test_line(lines: &[SrcLine]) -> usize {
+    lines
+        .iter()
+        .position(|l| {
+            let t = l.code.trim_start();
+            t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test")
+        })
+        .unwrap_or(lines.len())
+}
+
+fn has_atomic_ordering(code: &str) -> bool {
+    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .any(|v| code.contains(&format!("Ordering::{v}")))
+}
+
+fn has_ordering_comment(lines: &[SrcLine], at: usize) -> bool {
+    let from = at.saturating_sub(ORDERING_LOOKBACK);
+    lines[from..=at]
+        .iter()
+        .any(|l| l.comment.trim_start().starts_with("ordering:"))
+}
+
+fn has_unsafe_token(code: &str) -> bool {
+    // Word-boundary match: `unsafe` as its own token.
+    code.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .any(|w| w == "unsafe")
+}
+
+fn is_channel_unwrap(code: &str) -> bool {
+    code.contains(".unwrap()")
+        && [
+            ".send(",
+            ".try_send(",
+            ".recv()",
+            ".try_recv()",
+            ".recv_timeout(",
+        ]
+        .iter()
+        .any(|p| code.contains(p))
+}
+
+// ------------------------------------------------------ metric matching --
+
+/// A segment of a documented metric pattern from the README.
+#[derive(Debug, PartialEq)]
+enum DocSeg {
+    /// Literal dot-separated segment.
+    Lit(String),
+    /// `<stage>` / `<i>`-style placeholder: exactly one segment.
+    Any,
+}
+
+/// A segment of a metric name as emitted in code.
+#[derive(Debug, PartialEq)]
+enum CodeSeg {
+    Lit(String),
+    /// A `format!` interpolation (`{w}`, `{base}`, `{}`): one or MORE
+    /// segments, since the interpolated value may itself contain dots.
+    Interp,
+}
+
+/// Extract `(metric-name, line-number)` pairs from non-test source:
+/// string (or `format!` template) arguments of `.counter(` / `.gauge(` /
+/// `.histogram(`. Dynamic (non-literal) names are not extractable and
+/// are vouched for by the caller that builds them from documented parts.
+fn emitted_metric_names(code_with_strings: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in code_with_strings.lines().enumerate() {
+        let lineno = i.saturating_add(1);
+        let mut rest = line;
+        while let Some(pos) = ["counter(", "gauge(", "histogram("]
+            .iter()
+            .filter_map(|m| rest.find(&format!(".{m}")).map(|p| (p, m.len())))
+            .min()
+        {
+            let (at, mlen) = pos;
+            let after = &rest[at.saturating_add(mlen).saturating_add(1)..];
+            let arg = after
+                .trim_start()
+                .trim_start_matches('&')
+                .trim_start_matches("format!(")
+                .trim_start();
+            if let Some(stripped) = arg.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    out.push((stripped[..end].to_string(), lineno));
+                }
+            }
+            rest = after;
+        }
+    }
+    out
+}
+
+/// Split an emitted metric name into match segments.
+fn code_metric_segments(name: &str) -> Vec<CodeSeg> {
+    name.split('.')
+        .map(|s| {
+            if s.contains('{') {
+                CodeSeg::Interp
+            } else {
+                CodeSeg::Lit(s.to_string())
+            }
+        })
+        .collect()
+}
+
+/// Pull every backtick-quoted, brace-expanded, dotted name out of the
+/// README as a documented metric pattern. Non-metric backtick spans
+/// (crate names, CLI flags) never match a real emission, so
+/// over-collecting here is harmless.
+fn readme_metric_patterns(readme: &str) -> Vec<Vec<DocSeg>> {
+    let mut out = Vec::new();
+    for span in readme.split('`').skip(1).step_by(2) {
+        if !span.contains('.') || span.contains(' ') {
+            continue;
+        }
+        for expanded in brace_expand(span) {
+            let segs: Vec<DocSeg> = expanded
+                .split('.')
+                .map(|s| {
+                    if s.starts_with('<') && s.ends_with('>') {
+                        DocSeg::Any
+                    } else {
+                        DocSeg::Lit(s.to_string())
+                    }
+                })
+                .collect();
+            if !segs.is_empty() {
+                out.push(segs);
+            }
+        }
+    }
+    out
+}
+
+/// Expand `a.{x,y}.b` into `a.x.b`, `a.y.b` (repeatedly, for multiple
+/// groups). A name with unbalanced braces is returned as-is.
+fn brace_expand(name: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (name.find('{'), name.find('}')) else {
+        return vec![name.to_string()];
+    };
+    if close < open {
+        return vec![name.to_string()];
+    }
+    let mut out = Vec::new();
+    for alt in name[open.saturating_add(1)..close].split(',') {
+        let candidate = format!(
+            "{}{}{}",
+            &name[..open],
+            alt,
+            &name[close.saturating_add(1)..]
+        );
+        out.extend(brace_expand(&candidate));
+    }
+    out
+}
+
+/// Whether an emitted name (code side) matches a documented pattern.
+fn metric_matches(code: &[CodeSeg], doc: &[DocSeg]) -> bool {
+    match (code.first(), doc.first()) {
+        (None, None) => true,
+        (Some(CodeSeg::Lit(c)), Some(DocSeg::Lit(d))) => {
+            c == d && metric_matches(&code[1..], &doc[1..])
+        }
+        (Some(CodeSeg::Lit(_)), Some(DocSeg::Any)) => metric_matches(&code[1..], &doc[1..]),
+        (Some(CodeSeg::Interp), Some(_)) => {
+            // An interpolation spans one or more documented segments.
+            (1..=doc.len()).any(|k| metric_matches(&code[1..], &doc[k..]))
+        }
+        _ => false,
+    }
+}
+
+// -------------------------------------------------------- file walking --
+
+/// Recursively collect `.rs` files under `dir`, skipping `tests/`,
+/// `benches/` and `examples/` subtrees (integration tests may violate
+/// invariants on purpose). A missing `dir` is fine — not every crate
+/// has the standard layout.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !matches!(name.as_ref(), "tests" | "benches" | "examples" | "target") {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+
+    fn lint_src(rel: &str, src: &str) -> Report {
+        let mut r = Report::new("test", "-", "-");
+        lint_file(rel, src, None, &mut r);
+        r
+    }
+
+    #[test]
+    fn unjustified_ordering_is_flagged_and_justified_is_not() {
+        let bad = "fn f(x: &AtomicUsize) { x.load(Ordering::Acquire); }\n";
+        let r = lint_src("crates/x/src/lib.rs", bad);
+        assert!(r.has_code(Code::UnjustifiedOrdering), "{}", r.render_text());
+
+        let good = "fn f(x: &AtomicUsize) {\n    // ordering: Acquire — pairs with the Release publish.\n    x.load(Ordering::Acquire);\n}\n";
+        let r = lint_src("crates/x/src/lib.rs", good);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn ordering_lookback_is_bounded() {
+        let far = format!(
+            "// ordering: too far away\n{}x.load(Ordering::Relaxed);\n",
+            "let _ = 0;\n".repeat(ORDERING_LOOKBACK + 1)
+        );
+        let r = lint_src("crates/x/src/lib.rs", &far);
+        assert!(r.has_code(Code::UnjustifiedOrdering));
+    }
+
+    #[test]
+    fn ordering_in_comments_strings_and_tests_is_ignored() {
+        let src = concat!(
+            "// Ordering::SeqCst in prose is fine.\n",
+            "const MSG: &str = \"Ordering::SeqCst\";\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn f(x: &AtomicUsize) { x.load(Ordering::SeqCst); }\n",
+            "}\n"
+        );
+        let r = lint_src("crates/x/src/lib.rs", src);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unsafe_respects_the_allowlist() {
+        let src = "unsafe { core::hint::unreachable_unchecked() }\n";
+        let r = lint_src("crates/x/src/lib.rs", src);
+        assert!(r.has_code(Code::UnsafeOutsideAllowlist));
+        let r = lint_src("crates/bcp-trace/src/ring.rs", src);
+        assert!(
+            !r.has_code(Code::UnsafeOutsideAllowlist),
+            "{}",
+            r.render_text()
+        );
+        // `unsafe` inside a string or an identifier is not the keyword.
+        let r = lint_src("crates/x/src/lib.rs", "let not_unsafe = \"unsafe\";\n");
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn channel_unwrap_is_hot_path_scoped() {
+        let src = "tx.send(v).unwrap();\n";
+        let r = lint_src("crates/bcp-serve/src/engine.rs", src);
+        assert!(r.has_code(Code::HotPathChannelUnwrap));
+        let r = lint_src(
+            "crates/bcp-trace/src/tracer.rs",
+            "let v = rx.recv().unwrap();\n",
+        );
+        assert!(r.has_code(Code::HotPathChannelUnwrap));
+        // Same code outside the hot-path crates is allowed…
+        let r = lint_src("crates/bcp-nn/src/train.rs", src);
+        assert!(r.is_clean(), "{}", r.render_text());
+        // …and non-channel unwraps are not this lint's business.
+        let r = lint_src("crates/bcp-serve/src/engine.rs", "let x = opt.unwrap();\n");
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn metric_names_brace_expand_and_wildcard_match() {
+        let patterns = readme_metric_patterns(
+            "| `serve.{requests,ok}` and `serve.worker.<i>.batches` counters; `stream.<stage>.{tokens,busy_ns}` |",
+        );
+        let ok = |name: &str| {
+            let segs = code_metric_segments(name);
+            patterns.iter().any(|p| metric_matches(&segs, p))
+        };
+        assert!(ok("serve.requests"));
+        assert!(ok("serve.ok"));
+        assert!(ok("serve.worker.{w}.batches"));
+        assert!(ok("{base}.tokens"), "multi-segment interpolation");
+        assert!(!ok("serve.bogus"));
+        assert!(!ok("serve.worker.{w}.bogus"));
+    }
+
+    #[test]
+    fn undocumented_metric_is_flagged() {
+        let patterns = readme_metric_patterns("`serve.requests`");
+        let mut r = Report::new("t", "-", "-");
+        lint_file(
+            "crates/x/src/lib.rs",
+            "fn m(r: &Registry) { r.counter(\"serve.requests\").inc(); }\n",
+            Some(&patterns),
+            &mut r,
+        );
+        assert!(r.is_clean(), "{}", r.render_text());
+        let mut r = Report::new("t", "-", "-");
+        lint_file(
+            "crates/x/src/lib.rs",
+            "fn m(r: &Registry) { r.counter(&format!(\"serve.mystery.{x}\")).inc(); }\n",
+            Some(&patterns),
+            &mut r,
+        );
+        assert!(r.has_code(Code::UndocumentedMetric), "{}", r.render_text());
+    }
+
+    #[test]
+    fn missing_root_reports_lint_config_error_not_panic() {
+        let r = lint_workspace(Path::new("/nonexistent/bcp-lint-test"));
+        assert!(r.has_code(Code::LintConfigError));
+    }
+}

@@ -32,7 +32,7 @@
 
 use crate::config::{BackpressurePolicy, ServeConfig, ServeError};
 use crate::oneshot::{Expired, Slot};
-use crate::recovery::WorkerState;
+use crate::recovery::{WorkerState, WorkerStateCell};
 use crate::replica::Replica;
 use bcp_dataset::MaskClass;
 use bcp_finn::StreamStats;
@@ -42,7 +42,6 @@ use bcp_trace::{stamp, ActiveTrace, TraceEvent, TraceOutcome, Tracer};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -124,7 +123,7 @@ struct Shared {
     shed_rx: Receiver<Request>,
     /// Per-worker [`WorkerState`] bytes. Written only by the owning worker
     /// thread (single writer), read by the batcher and the public API.
-    states: Vec<AtomicU8>,
+    states: Vec<WorkerStateCell>,
     /// Pending chaos fault plans per worker, applied between batches.
     fault_mailboxes: Vec<Mutex<Vec<(usize, u64)>>>,
     /// Aggregate streaming statistics across all workers and batches.
@@ -139,12 +138,12 @@ impl Shared {
     }
 
     fn state(&self, w: usize) -> WorkerState {
-        WorkerState::from_u8(self.states[w].load(Ordering::Relaxed))
+        self.states[w].load()
     }
 
     /// Transition worker `w` and mirror the state into its gauge.
     fn set_state(&self, w: usize, s: WorkerState) {
-        self.states[w].store(s as u8, Ordering::Relaxed);
+        self.states[w].store(s);
         if let Some(m) = self.m() {
             m.worker_state[w].set(s as u8 as f64);
         }
@@ -290,14 +289,14 @@ impl Engine {
             submit_tx: RwLock::new(Some(submit_tx)),
             shed_rx,
             states: (0..workers)
-                .map(|_| AtomicU8::new(WorkerState::Healthy as u8))
+                .map(|_| WorkerStateCell::new(WorkerState::Healthy))
                 .collect(),
             fault_mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             stream_stats: Mutex::new(None),
             tracer,
         });
 
-        let mut handles = Vec::with_capacity(workers + 1);
+        let mut handles = Vec::with_capacity(workers.saturating_add(1));
         let mut worker_txs = Vec::with_capacity(workers);
         for (w, replica) in replicas.into_iter().enumerate() {
             // Two batches of headroom per worker: one in flight, one ready.
@@ -339,7 +338,7 @@ impl Engine {
             m.requests.inc();
         }
         let now = Instant::now();
-        let deadline = self.shared.cfg.deadline.map(|d| now + d);
+        let deadline = self.shared.cfg.deadline.and_then(|d| now.checked_add(d));
         let slot = Arc::new(Slot::new());
         // Head-sampling decision; a sampled trace is already stamped with
         // `Enqueue` and rides inside the request from here on.
@@ -518,7 +517,8 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
         );
         let mut batch = vec![first];
         // …and flushes on size or age, whichever comes first.
-        let flush_at = Instant::now() + shared.cfg.max_wait;
+        let now = Instant::now();
+        let flush_at = now.checked_add(shared.cfg.max_wait).unwrap_or(now);
         while batch.len() < shared.cfg.max_batch {
             match rx.recv_deadline(flush_at) {
                 Ok(mut r) => {
@@ -557,12 +557,13 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
     }
 }
 
-fn next_healthy(states: &[AtomicU8], next: &mut usize) -> Option<usize> {
+fn next_healthy(states: &[WorkerStateCell], next: &mut usize) -> Option<usize> {
     let n = states.len();
     for _ in 0..n {
-        let w = *next % n;
-        *next = (*next + 1) % n;
-        if states[w].load(Ordering::Relaxed) == WorkerState::Healthy as u8 {
+        // `n > 0` whenever the loop body runs, so the rem cannot fail.
+        let w = next.checked_rem(n)?;
+        *next = w.wrapping_add(1);
+        if states[w].load() == WorkerState::Healthy {
             return Some(w);
         }
     }
@@ -674,7 +675,7 @@ fn recovery_step<R: Replica>(
     probation_passes: &mut u32,
 ) {
     let strike_out = |strikes: &mut u32, fallback: WorkerState| {
-        *strikes += 1;
+        *strikes = strikes.saturating_add(1);
         if *strikes >= policy.max_strikes {
             shared.set_state(w, WorkerState::Retired);
             if let Some(m) = shared.m() {
@@ -709,7 +710,7 @@ fn recovery_step<R: Replica>(
                 None => true,
             };
             if pass {
-                *probation_passes += 1;
+                *probation_passes = probation_passes.saturating_add(1);
                 if *probation_passes >= policy.probation_passes {
                     *strikes = 0;
                     shared.set_state(w, WorkerState::Healthy);
@@ -755,7 +756,7 @@ fn serve_batch<R: Replica>(
             }
         }
     }
-    *batches_done += 1;
+    *batches_done = batches_done.saturating_add(1);
 
     shared.expire(&mut batch, ring);
     if batch.is_empty() {
@@ -856,6 +857,7 @@ fn serve_batch<R: Replica>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::replica::{canary_frame, SyntheticReplica};
     use std::time::Duration;

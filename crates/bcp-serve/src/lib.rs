@@ -34,15 +34,30 @@
 //! tests model-free. [`loadgen`] provides the closed-loop harness used by
 //! `bcp serve-bench` and the stress suite.
 
+#![warn(clippy::arithmetic_side_effects)]
+
+// Under `--cfg bcp_model` only the two model-checked structures are
+// compiled — the oneshot `Slot` and the `WorkerState` machinery — since
+// the full engine pulls in channels, wall-clock time and model crates
+// the model runtime does not provide. See DESIGN.md §"Concurrency
+// invariants".
+#[cfg(not(bcp_model))]
 pub mod config;
+#[cfg(not(bcp_model))]
 pub mod engine;
+#[cfg(not(bcp_model))]
 pub mod loadgen;
 pub mod oneshot;
 pub mod recovery;
+#[cfg(not(bcp_model))]
 pub mod replica;
 
+#[cfg(not(bcp_model))]
 pub use config::{BackpressurePolicy, ServeConfig, ServeError};
+#[cfg(not(bcp_model))]
 pub use engine::{Completion, Engine, Ticket};
+#[cfg(not(bcp_model))]
 pub use loadgen::{run_closed_loop, LoadReport};
-pub use recovery::{RecoveryPolicy, WorkerState};
+pub use recovery::{RecoveryPolicy, WorkerState, WorkerStateCell};
+#[cfg(not(bcp_model))]
 pub use replica::{canary_frame, Replica, SyntheticReplica};

@@ -46,7 +46,12 @@ pub struct LoadReport {
 impl LoadReport {
     /// Every attempted request resolved to exactly one outcome.
     pub fn accounted(&self) -> bool {
-        self.ok + self.rejected + self.shed + self.expired + self.faulted == self.total
+        self.ok
+            .saturating_add(self.rejected)
+            .saturating_add(self.shed)
+            .saturating_add(self.expired)
+            .saturating_add(self.faulted)
+            == self.total
     }
 
     /// Human-readable multi-line summary for CLI output.
@@ -99,21 +104,27 @@ pub fn run_closed_loop(
                     // [ok, rejected, shed, expired, faulted]
                     let mut tally = [0usize; 5];
                     for i in 0..requests_per_client {
-                        let frame = &frames[(c + i * clients) % frames.len()];
+                        let idx = c
+                            .saturating_add(i.saturating_mul(clients))
+                            .checked_rem(frames.len())
+                            .unwrap_or(0);
+                        let frame = &frames[idx];
                         let t0 = Instant::now();
                         match engine.classify(frame) {
                             Ok(_) => {
                                 latencies.push(t0.elapsed().as_nanos() as u64);
-                                tally[0] += 1;
+                                tally[0] = tally[0].saturating_add(1);
                             }
-                            Err(ServeError::Rejected) => tally[1] += 1,
-                            Err(ServeError::Shed) => tally[2] += 1,
-                            Err(ServeError::DeadlineExpired) => tally[3] += 1,
+                            Err(ServeError::Rejected) => tally[1] = tally[1].saturating_add(1),
+                            Err(ServeError::Shed) => tally[2] = tally[2].saturating_add(1),
+                            Err(ServeError::DeadlineExpired) => {
+                                tally[3] = tally[3].saturating_add(1)
+                            }
                             Err(
                                 ServeError::WorkerFault { .. }
                                 | ServeError::NoHealthyWorkers
                                 | ServeError::ShuttingDown,
-                            ) => tally[4] += 1,
+                            ) => tally[4] = tally[4].saturating_add(1),
                         }
                     }
                     (latencies, tally)
@@ -132,7 +143,7 @@ pub fn run_closed_loop(
     for (l, t) in per_client {
         latencies.extend(l);
         for (acc, v) in tally.iter_mut().zip(t) {
-            *acc += v;
+            *acc = acc.saturating_add(v);
         }
     }
     latencies.sort_unstable();
@@ -140,12 +151,14 @@ pub fn run_closed_loop(
         if latencies.is_empty() {
             return Duration::ZERO;
         }
-        let idx = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len()) - 1;
+        let idx = ((latencies.len() as f64 * q).ceil() as usize)
+            .clamp(1, latencies.len())
+            .saturating_sub(1);
         Duration::from_nanos(latencies[idx])
     };
     LoadReport {
         clients,
-        total: clients * requests_per_client,
+        total: clients.saturating_mul(requests_per_client),
         ok: tally[0],
         rejected: tally[1],
         shed: tally[2],

@@ -6,9 +6,15 @@
 //! and exactly one outcome for the waiter. When the waiter times out
 //! first, it atomically moves the slot to `Abandoned`, so a late engine
 //! completion becomes a counted no-op instead of a duplicate response.
+//!
+//! All primitives come from [`bcp_sync`], so this *exact* state machine
+//! is what the model checker exhausts under `--cfg bcp_model` (see
+//! `tests/model.rs`): worker delivery, deadline expiry and client drop
+//! racing in every interleaving, always producing exactly one terminal
+//! outcome.
 
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use bcp_sync::time::Instant;
+use bcp_sync::{Condvar, Mutex};
 
 enum State<T> {
     /// No value yet; a waiter may be parked on the condvar.
@@ -47,7 +53,7 @@ impl<T> Slot<T> {
     /// the slot was already completed or the waiter abandoned it, and the
     /// value was dropped.
     pub fn complete(&self, value: T) -> bool {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         match *st {
             State::Pending => {
                 *st = State::Done(value);
@@ -62,7 +68,7 @@ impl<T> Slot<T> {
     /// slot is marked abandoned so the producer's eventual `complete`
     /// returns `false` instead of delivering twice.
     pub fn wait(&self, deadline: Option<Instant>) -> Result<T, Expired> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         loop {
             match std::mem::replace(&mut *st, State::Taken) {
                 State::Done(v) => return Ok(v),
@@ -73,7 +79,7 @@ impl<T> Slot<T> {
             }
             match deadline {
                 None => {
-                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    st = self.cv.wait(st);
                 }
                 Some(d) => {
                     let now = Instant::now();
@@ -81,10 +87,7 @@ impl<T> Slot<T> {
                         *st = State::Abandoned;
                         return Err(Expired);
                     }
-                    let (guard, _) = self
-                        .cv
-                        .wait_timeout(st, d - now)
-                        .unwrap_or_else(|e| e.into_inner());
+                    let (guard, _) = self.cv.wait_timeout(st, d.saturating_duration_since(now));
                     st = guard;
                 }
             }
@@ -96,8 +99,9 @@ impl<T> Slot<T> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Expired;
 
-#[cfg(test)]
+#[cfg(all(test, not(bcp_model)))]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
@@ -156,5 +160,49 @@ mod tests {
             s.wait(Some(Instant::now() - Duration::from_millis(1))),
             Ok(3)
         );
+    }
+
+    #[test]
+    fn deadline_expiry_racing_delivery_yields_exactly_one_outcome() {
+        // The waiter's deadline and the worker's delivery race; whichever
+        // way it lands, accounting must agree: the wait succeeds iff the
+        // racing `complete` won, and a completion after an expiry is
+        // always the dropped (`false`) side. Run many rounds so both
+        // sides of the race actually occur under std scheduling.
+        for round in 0..64u64 {
+            let s: Arc<Slot<u64>> = Arc::new(Slot::new());
+            let p = s.clone();
+            let worker = std::thread::spawn(move || {
+                if round % 2 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                p.complete(round)
+            });
+            let waited = s.wait(Some(Instant::now() + Duration::from_micros(25)));
+            let delivered = worker.join().unwrap();
+            assert_eq!(
+                waited.is_ok(),
+                delivered,
+                "round {round}: wait outcome and delivery outcome must pair up"
+            );
+            if waited.is_err() {
+                assert!(!s.complete(999), "slot abandoned by expiry must stay dead");
+            }
+        }
+    }
+
+    #[test]
+    fn client_dropping_ticket_before_delivery_still_lets_complete_win() {
+        // A client that gives up its ticket without ever waiting must not
+        // poison the slot: the worker's delivery still wins (exactly one
+        // terminal outcome — the delivered-but-unclaimed value), and a
+        // second delivery still loses.
+        let s: Arc<Slot<u32>> = Arc::new(Slot::new());
+        let client_side = s.clone();
+        drop(client_side);
+        assert!(s.complete(5), "first delivery wins even with no waiter");
+        assert!(!s.complete(6), "second delivery must be dropped");
     }
 }

@@ -24,6 +24,7 @@
 //! accumulates strikes and is retired — the old permanent-removal
 //! behavior, reached deliberately instead of by omission.
 
+use bcp_sync::atomic::{AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Where a worker sits in the health lifecycle. Stored as one atomic byte
@@ -64,6 +65,39 @@ impl std::fmt::Display for WorkerState {
             WorkerState::Retired => "retired",
         };
         write!(f, "{s}")
+    }
+}
+
+/// One worker's lifecycle state as a single atomic byte.
+///
+/// **Single-writer**: only the owning worker thread transitions the
+/// cell; the batcher (`next_healthy`) and the public API merely observe
+/// it. The cell is built on [`bcp_sync`] atomics, so the model suite in
+/// `tests/model.rs` checks the dispatch invariant — no request is ever
+/// handed to a worker after it was observed `Quarantined`/`Retired` —
+/// under every interleaving of transitions and dispatch decisions.
+pub struct WorkerStateCell(AtomicU8);
+
+impl WorkerStateCell {
+    /// Cell starting in `state`.
+    pub fn new(state: WorkerState) -> WorkerStateCell {
+        WorkerStateCell(AtomicU8::new(state as u8))
+    }
+
+    /// Current state.
+    pub fn load(&self) -> WorkerState {
+        // ordering: Relaxed — the byte carries no payload to acquire;
+        // dispatch correctness needs only *some* recent value, and every
+        // dispatch already synchronizes through the batch channel.
+        WorkerState::from_u8(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Transition to `state` (owning worker thread only).
+    pub fn store(&self, state: WorkerState) {
+        // ordering: Relaxed — single-writer transition publishing no
+        // associated data; readers tolerate bounded staleness (a worker
+        // leaving rotation is observed on the next dispatch decision).
+        self.0.store(state as u8, Ordering::Relaxed);
     }
 }
 

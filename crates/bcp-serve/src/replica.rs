@@ -128,12 +128,15 @@ impl Replica for SyntheticReplica {
     }
 
     fn canary(&self, frame: &Tensor) -> Vec<i64> {
-        vec![self.label(frame) as i64 * self.weight, self.weight]
+        vec![
+            (self.label(frame) as i64).saturating_mul(self.weight),
+            self.weight,
+        ]
     }
 
     fn inject_faults(&mut self, n: usize, _seed: u64) {
         if n > 0 {
-            self.weight = -self.weight;
+            self.weight = self.weight.saturating_neg();
         }
     }
 
@@ -155,9 +158,9 @@ impl Replica for SyntheticReplica {
 /// the unit grid, suitable as an integrity canary (it exercises every
 /// pixel position) or as load-generator traffic.
 pub fn canary_frame(channels: usize, height: usize, width: usize) -> Tensor {
-    let n = channels * height * width;
+    let n = channels.saturating_mul(height).saturating_mul(width);
     let data: Vec<f32> = (0..n)
-        .map(|i| ((i * 131 + 17) % 256) as f32 / 255.0)
+        .map(|i| (i.saturating_mul(131).saturating_add(17) % 256) as f32 / 255.0)
         .collect();
     Tensor::from_vec(bcp_tensor::Shape::d3(channels, height, width), data)
 }

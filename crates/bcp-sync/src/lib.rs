@@ -1,0 +1,267 @@
+//! # bcp-sync — one sync vocabulary, two backends
+//!
+//! The serving stack's concurrency-bearing structures (the Vyukov trace
+//! [`Ring`](../bcp_trace/ring/index.html), the oneshot `Slot`, the
+//! `WorkerState` byte) import their primitives from this crate instead
+//! of `std`:
+//!
+//! * **Normal builds** re-export `std` (with parking_lot-style
+//!   panic-free lock APIs) at zero cost — `cell::UnsafeCell` is a
+//!   `#[repr(transparent)]` newtype, atomics are the `std` types
+//!   themselves.
+//! * **`--cfg bcp_model` builds** (`RUSTFLAGS="--cfg bcp_model"`)
+//!   switch every primitive to the vendored [`loom`] model checker:
+//!   schedule-exhaustive atomics with release/acquire happens-before
+//!   tracking, race-detected `UnsafeCell`, modeled `Mutex`/`Condvar`
+//!   with nondeterministic timeouts, and logical time.
+//!
+//! The point: the *same source* that serves requests in production is
+//! the source the model checker explores — there is no hand-translated
+//! model to drift out of sync. See DESIGN.md §"Concurrency invariants"
+//! for the per-structure memory-ordering rules and how to run the model
+//! suites, Miri, and TSan locally.
+//!
+//! Lock API convention (both backends): `Mutex::lock` returns the guard
+//! directly (no poison `Result` — a panicked holder in this workspace
+//! is either already fatal or, in the model, aborts the execution), and
+//! `Condvar::wait_timeout` returns `(guard, timed_out)`.
+
+#![warn(missing_docs)]
+#![warn(clippy::arithmetic_side_effects)]
+
+pub use std::sync::Arc;
+
+/// Atomic integer types and memory orderings.
+pub mod atomic {
+    #[cfg(not(bcp_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+    #[cfg(bcp_model)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+}
+
+/// Interior mutability with loom's closure-based access API.
+pub mod cell {
+    #[cfg(bcp_model)]
+    pub use loom::cell::UnsafeCell;
+
+    /// Zero-cost `std` wrapper matching loom's `UnsafeCell` API, so
+    /// code written against `with`/`with_mut` compiles identically
+    /// under both backends.
+    #[cfg(not(bcp_model))]
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(not(bcp_model))]
+    impl<T> UnsafeCell<T> {
+        /// New cell holding `value`.
+        pub const fn new(value: T) -> UnsafeCell<T> {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Immutable access to the cell's contents.
+        ///
+        /// The pointer is only valid for the closure's duration; the
+        /// *caller* is responsible for synchronization, exactly as with
+        /// a raw `std::cell::UnsafeCell`.
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Mutable access to the cell's contents; see
+        /// [`with`](UnsafeCell::with).
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+/// Thread spawning and yielding.
+pub mod thread {
+    #[cfg(not(bcp_model))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(bcp_model)]
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hints (a schedule point under the model).
+pub mod hint {
+    #[cfg(not(bcp_model))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(bcp_model)]
+    pub use loom::hint::spin_loop;
+}
+
+/// Monotonic time: `std::time::Instant` normally, the execution's
+/// logical clock under the model (deadlines become schedulable).
+pub mod time {
+    pub use std::time::Duration;
+
+    #[cfg(not(bcp_model))]
+    pub use std::time::Instant;
+
+    #[cfg(bcp_model)]
+    pub use loom::time::Instant;
+}
+
+#[cfg(bcp_model)]
+pub use loom::model;
+
+#[cfg(bcp_model)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(not(bcp_model))]
+mod std_locks {
+    use std::ops::{Deref, DerefMut};
+    use std::time::Duration;
+
+    /// `std::sync::Mutex` behind the parking_lot-style panic-free API
+    /// (the vendored parking_lot has no `Condvar`, and the oneshot
+    /// `Slot` needs a paired one — so the pairing lives here, over
+    /// `std`, with poisoning swallowed the way the workspace already
+    /// does by convention).
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// New mutex holding `value`.
+        pub const fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquire the lock. A poisoning panic elsewhere does not
+        /// cascade: the data is returned regardless.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Mutable access without locking (requires `&mut self`).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// `std::sync::Condvar` pairing with [`Mutex`]; `wait_timeout`
+    /// returns `(guard, timed_out)` under both backends.
+    #[derive(Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// New condvar.
+        pub const fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Release the guard's mutex, park until notified, reacquire.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard(self.0.wait(guard.0).unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Like [`wait`](Condvar::wait) with a timeout; the boolean is
+        /// `true` when the wait timed out rather than being notified.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let (g, r) = self
+                .0
+                .wait_timeout(guard.0, dur)
+                .unwrap_or_else(|e| e.into_inner());
+            (MutexGuard(g), r.timed_out())
+        }
+
+        /// Wake one parked waiter, if any.
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        /// Wake every parked waiter.
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(not(bcp_model))]
+pub use std_locks::{Condvar, Mutex, MutexGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicUsize, Ordering};
+    use super::cell::UnsafeCell;
+    use super::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    // ordering: test-only counter, no cross-thread publication.
+    #[test]
+    fn atomics_are_std_types_under_normal_builds() {
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 1);
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cell_with_and_with_mut_round_trip() {
+        let c = UnsafeCell::new(7u32);
+        c.with_mut(|p| unsafe { *p = 9 });
+        assert_eq!(c.with(|p| unsafe { *p }), 9);
+    }
+
+    #[test]
+    fn mutex_lock_is_panic_free_and_condvar_times_out() {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g = 6;
+        }
+        assert_eq!(*m.lock(), 6);
+        let cv = Condvar::new();
+        let (g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(1));
+        assert!(timed_out);
+        assert_eq!(*g, 6);
+    }
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p = pair.clone();
+        let h = super::thread::spawn(move || {
+            let mut done = p.0.lock();
+            *done = true;
+            p.1.notify_all();
+        });
+        let mut done = pair.0.lock();
+        while !*done {
+            done = pair.1.wait(done);
+        }
+        drop(done);
+        h.join().unwrap();
+    }
+}

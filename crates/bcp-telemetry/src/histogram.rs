@@ -43,7 +43,7 @@ impl Default for LogHistogram {
 /// Bucket index for `v`, clamped into the top bucket for values whose bit
 /// length exceeds the layout (`v >= 2^63`).
 fn bucket_of(v: u64) -> usize {
-    ((64 - v.leading_zeros()) as usize).min(TOP_BUCKET)
+    ((u64::BITS.saturating_sub(v.leading_zeros())) as usize).min(TOP_BUCKET)
 }
 
 /// Inclusive-exclusive value range `[lo, hi)` covered by a bucket. The top
@@ -53,7 +53,7 @@ fn bucket_range(i: usize) -> (u64, u64) {
         (0, 1)
     } else {
         (
-            1u64 << (i - 1),
+            1u64 << i.saturating_sub(1),
             if i == TOP_BUCKET { u64::MAX } else { 1u64 << i },
         )
     }
@@ -68,12 +68,13 @@ impl LogHistogram {
     /// Record one sample. Values at or beyond `2^63` land in the top
     /// bucket and are additionally counted as overflow.
     pub fn record(&mut self, v: u64) {
-        if (64 - v.leading_zeros()) as usize > TOP_BUCKET {
-            self.overflow += 1;
+        if (u64::BITS.saturating_sub(v.leading_zeros())) as usize > TOP_BUCKET {
+            self.overflow = self.overflow.saturating_add(1);
         }
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
+        let bucket = &mut self.counts[bucket_of(v)];
+        *bucket = bucket.saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(v));
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -116,13 +117,13 @@ impl LogHistogram {
             if c == 0 {
                 continue;
             }
-            if cum + c >= rank {
+            if cum.saturating_add(c) >= rank {
                 let (lo, hi) = bucket_range(i);
-                let within = (rank - cum) as f64 / c as f64;
-                let est = lo as f64 + (hi - lo) as f64 * within;
+                let within = rank.saturating_sub(cum) as f64 / c as f64;
+                let est = (hi.saturating_sub(lo) as f64).mul_add(within, lo as f64);
                 return (est as u64).clamp(self.min, self.max);
             }
-            cum += c;
+            cum = cum.saturating_add(c);
         }
         self.max
     }
@@ -131,7 +132,7 @@ impl LogHistogram {
     pub fn summarize(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
-            sum: self.sum as u64,
+            sum: u64::try_from(self.sum).unwrap_or(u64::MAX),
             min: if self.count == 0 { 0 } else { self.min },
             max: self.max,
             mean: self.mean(),
@@ -145,13 +146,13 @@ impl LogHistogram {
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
-        self.overflow += other.overflow;
+        self.overflow = self.overflow.saturating_add(other.overflow);
     }
 }
 

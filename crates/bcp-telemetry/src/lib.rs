@@ -32,6 +32,8 @@
 //! `predict.class.correct` (counter). Keep cardinality bounded — names are
 //! map keys, not label sets.
 
+#![warn(clippy::arithmetic_side_effects)]
+
 mod histogram;
 mod registry;
 mod report;

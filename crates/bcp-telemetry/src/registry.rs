@@ -156,6 +156,8 @@ impl Registry {
             .counters
             .read()
             .iter()
+            // ordering: Relaxed — snapshot reads tolerate torn-across-
+            // counters staleness; each counter alone is atomic.
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
         let gauges = self
@@ -189,6 +191,8 @@ impl Registry {
         use std::fmt::Write as _;
         let mut lines: Vec<String> = Vec::new();
         for (name, v) in self.inner.counters.read().iter() {
+            // ordering: Relaxed — same as `snapshot`: a metrics dump
+            // needs per-counter atomicity, not cross-counter ordering.
             lines.push(format!("{name} {}", v.load(Ordering::Relaxed)));
         }
         for (name, v) in self.inner.gauges.read().iter() {
@@ -250,11 +254,14 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — monotonic statistic; increments carry no
+        // payload and readers tolerate staleness.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — statistic read, staleness is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }

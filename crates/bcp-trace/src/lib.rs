@@ -33,18 +33,32 @@
 #![warn(clippy::arithmetic_side_effects)]
 #![warn(missing_docs)]
 
+// Under `--cfg bcp_model` only the lock-free ring is compiled: it is
+// the crate's model-checked structure, and the other modules pull in
+// wall-clock time and channel machinery the model runtime does not
+// provide. See DESIGN.md §"Concurrency invariants".
+#[cfg(not(bcp_model))]
 pub mod collect;
+#[cfg(not(bcp_model))]
 pub mod record;
+#[cfg(not(bcp_model))]
 pub mod report;
 pub mod ring;
+#[cfg(not(bcp_model))]
 pub mod sampler;
+#[cfg(not(bcp_model))]
 pub mod tracer;
 
+#[cfg(not(bcp_model))]
 pub use collect::{audit, span_tree, SpanNode, TraceSet};
+#[cfg(not(bcp_model))]
 pub use record::{
     Segment, TraceEvent, TraceId, TraceOutcome, TraceRecord, EVENTS, N_EVENTS, N_SEGMENTS, SEGMENTS,
 };
+#[cfg(not(bcp_model))]
 pub use report::{AttributionReport, SegmentStats};
 pub use ring::Ring;
+#[cfg(not(bcp_model))]
 pub use sampler::{SampleRow, TimeSeries, TimeSeriesSampler};
+#[cfg(not(bcp_model))]
 pub use tracer::{stamp, ActiveTrace, TraceConfig, Tracer};

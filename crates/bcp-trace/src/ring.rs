@@ -7,10 +7,14 @@
 //! never block and never allocate: when the ring is full the record is
 //! dropped and **counted** — saturation loses data loudly, never
 //! silently.
+//!
+//! All primitives come from [`bcp_sync`], so the *same* source is
+//! exhaustively model-checked under `--cfg bcp_model` (see
+//! `tests/model.rs` and DESIGN.md §"Concurrency invariants").
 
-use std::cell::UnsafeCell;
+use bcp_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use bcp_sync::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 struct Cell<T> {
     /// Vyukov sequence number: `seq == pos` means the cell is free for the
@@ -61,28 +65,40 @@ impl<T> Ring<T> {
 
     /// Records dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, no data is published
+        // through this counter.
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Push without blocking. On a full ring the value is dropped and the
     /// drop counter incremented; returns whether the value was stored.
     pub fn push(&self, value: T) -> bool {
+        // ordering: Relaxed — position hint only; staleness is repaired by
+        // the seq Acquire check and the CAS below.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[pos & self.mask];
+            // ordering: Acquire — pairs with the consumer's Release store
+            // of seq; seeing `seq == pos` proves the previous lap's value
+            // was fully read out before we overwrite the cell.
             let seq = cell.seq.load(Ordering::Acquire);
             if seq == pos {
                 // Cell free at our position: claim it.
                 match self.tail.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
+                    // ordering: Relaxed/Relaxed — the CAS only arbitrates
+                    // slot ownership between producers; the value itself is
+                    // published by the seq Release store, not by `tail`.
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
                         // SAFETY: winning the CAS gives us exclusive write
                         // access to this cell until we publish via seq.
-                        unsafe { (*cell.value.get()).write(value) };
+                        cell.value.with_mut(|p| unsafe { (*p).write(value) });
+                        // ordering: Release — publishes the cell write
+                        // above to the consumer's Acquire load of seq.
                         cell.seq.store(pos.wrapping_add(1), Ordering::Release);
                         return true;
                     }
@@ -90,10 +106,12 @@ impl<T> Ring<T> {
                 }
             } else if seq.wrapping_sub(pos) as isize > 0 {
                 // Another producer already advanced past us; retry there.
+                // ordering: Relaxed — fresh position hint, same as above.
                 pos = self.tail.load(Ordering::Relaxed);
             } else {
                 // seq < pos: the cell still holds an unconsumed value from
                 // one lap ago — the ring is full.
+                // ordering: Relaxed — statistic counter, never a publish.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
@@ -102,22 +120,33 @@ impl<T> Ring<T> {
 
     /// Pop the oldest record, if any.
     pub fn pop(&self) -> Option<T> {
+        // ordering: Relaxed — position hint only, repaired by the seq
+        // Acquire check and the CAS below.
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let cell = &self.cells[pos & self.mask];
+            // ordering: Acquire — pairs with the producer's Release store
+            // of seq; seeing `seq == pos + 1` makes the producer's cell
+            // write visible before we read it out.
             let seq = cell.seq.load(Ordering::Acquire);
             let expected = pos.wrapping_add(1);
             if seq == expected {
                 match self.head.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
+                    // ordering: Relaxed/Relaxed — the CAS only arbitrates
+                    // slot ownership between consumers; visibility of the
+                    // value came from the seq Acquire load above.
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
                         // SAFETY: winning the CAS gives us exclusive read
                         // access; the producer published via seq.
-                        let value = unsafe { (*cell.value.get()).assume_init_read() };
+                        let value = cell.value.with_mut(|p| unsafe { (*p).assume_init_read() });
+                        // ordering: Release — publishes the consumption to
+                        // the next-lap producer's Acquire load of seq, so
+                        // it cannot overwrite a cell still being read.
                         cell.seq
                             .store(pos.wrapping_add(self.cells.len()), Ordering::Release);
                         return Some(value);
@@ -125,6 +154,7 @@ impl<T> Ring<T> {
                     Err(actual) => pos = actual,
                 }
             } else if seq.wrapping_sub(expected) as isize > 0 {
+                // ordering: Relaxed — fresh position hint, same as above.
                 pos = self.head.load(Ordering::Relaxed);
             } else {
                 // seq < pos + 1: the cell is still empty — nothing queued.
@@ -150,7 +180,7 @@ impl<T> Drop for Ring<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(bcp_model)))]
 mod tests {
     #![allow(clippy::arithmetic_side_effects)]
     use super::*;

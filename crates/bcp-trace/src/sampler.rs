@@ -102,6 +102,8 @@ impl TimeSeriesSampler {
                         .lock()
                         .expect("sampler rows lock")
                         .push(SampleRow { t_ns, values });
+                    // ordering: Relaxed — a plain shutdown flag; the
+                    // join in `stop`/`drop` is the synchronization edge.
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
@@ -118,6 +120,8 @@ impl TimeSeriesSampler {
 
     /// Stop the sampler, join its thread, and return everything sampled.
     pub fn stop(mut self) -> TimeSeries {
+        // ordering: Relaxed — flag only; the join below orders
+        // everything the sampler thread wrote before we read the rows.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -131,6 +135,7 @@ impl TimeSeriesSampler {
 
 impl Drop for TimeSeriesSampler {
     fn drop(&mut self) {
+        // ordering: Relaxed — as in `stop`: the join is the edge.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

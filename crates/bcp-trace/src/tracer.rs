@@ -103,6 +103,8 @@ impl Tracer {
     /// `sample_rate`-th admission gets a live trace, already stamped with
     /// [`TraceEvent::Enqueue`].
     pub fn sample(&self) -> Option<Box<ActiveTrace>> {
+        // ordering: Relaxed — admission counter used only for the 1-in-N
+        // sampling decision; no data is published through it.
         let n = self.admissions.fetch_add(1, Ordering::Relaxed);
         if !n.is_multiple_of(self.cfg.sample_rate.max(1)) {
             return None;
@@ -110,6 +112,8 @@ impl Tracer {
         if let Some(m) = &self.metrics {
             m.sampled.inc();
         }
+        // ordering: Relaxed — id allocation needs uniqueness (RMW
+        // atomicity), not ordering.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut record = TraceRecord::new(id);
         record.stamps[TraceEvent::Enqueue as usize] = self.now_ns();
@@ -171,6 +175,7 @@ impl Tracer {
 
     /// Requests sampled so far.
     pub fn sampled(&self) -> u64 {
+        // ordering: Relaxed — statistic read; bounded staleness is fine.
         let n = self.admissions.load(Ordering::Relaxed);
         let rate = self.cfg.sample_rate.max(1);
         n.div_ceil(rate)

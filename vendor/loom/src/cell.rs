@@ -1,0 +1,64 @@
+//! Modeled `UnsafeCell`: the data-race detector's instrumentation
+//! point.
+//!
+//! Every access is checked against the vector clocks maintained by the
+//! runtime: a read must happen-after all prior writes, a write must
+//! happen-after all prior reads *and* writes. Unordered conflicting
+//! accesses abort the execution with the failing schedule.
+
+use crate::rt::{self, Object, VClock};
+use std::sync::OnceLock;
+
+/// Checked wrapper around [`std::cell::UnsafeCell`], mirroring loom's
+/// closure-based access API.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    id: OnceLock<usize>,
+}
+
+// SAFETY: the runtime serializes model threads (exactly one runs at a
+// time), so accesses never physically race; *logical* races are the
+// detector's job, which is the entire point of this type.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// New cell holding `value`.
+    pub const fn new(value: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| {
+            rt::register_object(Object::Cell {
+                reads: VClock::default(),
+                writes: VClock::default(),
+                last_writer: None,
+            })
+        })
+    }
+
+    /// Immutable access. The closure runs while this thread holds the
+    /// schedule, so no other model thread can touch the cell
+    /// concurrently — the *detector* (not the execution) finds races.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let id = self.id();
+        rt::op("cell.read", move |inner, me| {
+            rt::cell_access(inner, me, id, false);
+        });
+        f(self.data.get())
+    }
+
+    /// Mutable access; see [`with`](UnsafeCell::with).
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let id = self.id();
+        rt::op("cell.write", move |inner, me| {
+            rt::cell_access(inner, me, id, true);
+        });
+        f(self.data.get())
+    }
+}

@@ -1,0 +1,7 @@
+//! Modeled spin hints: a spin is a schedule point, so spinning code
+//! yields the schedule instead of busy-looping the model.
+
+/// Modeled [`std::hint::spin_loop`].
+pub fn spin_loop() {
+    crate::rt::yield_now();
+}

@@ -1,0 +1,237 @@
+//! # loom (offline stand-in) — bounded exhaustive concurrency model
+//! checking
+//!
+//! A self-contained, dependency-free reimplementation of the parts of
+//! loom the workspace needs, in the spirit of the other `vendor/`
+//! stand-ins: enough to *exhaustively* test the serving stack's
+//! lock-free structures under every (bounded) thread interleaving,
+//! with none of the upstream crate's surface we don't use.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let stats = loom::model::Builder::new().check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let m = n.clone();
+//!     let h = loom::thread::spawn(move || m.fetch_add(1, Ordering::Relaxed));
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(stats.complete);
+//! ```
+//!
+//! See [`rt`](crate::rt) for the scheduler and memory-model details;
+//! the headline features are DFS schedule exploration with replayable
+//! failure traces, CHESS-style preemption bounding, release/acquire
+//! happens-before tracking with a vector-clock data-race detector on
+//! [`cell::UnsafeCell`], deadlock/livelock detection, and logical time
+//! so deadline races become schedulable decisions.
+
+#![warn(missing_docs)]
+
+mod atomic;
+mod rt;
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub mod model {
+    //! Exploration entry points: [`Builder`] and [`Stats`].
+    pub use crate::rt::{Builder, Stats};
+}
+
+pub use rt::model;
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use crate::sync::{Arc, Condvar, Mutex};
+    use crate::{cell, model, thread};
+    use std::time::Duration;
+
+    /// Two relaxed increments of the same cell through an unsynchronized
+    /// flag: the detector must find the race.
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn relaxed_publish_is_a_detected_race() {
+        model::Builder::new().check(|| {
+            let data = Arc::new(cell::UnsafeCell::new(0u32));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, f) = (data.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                d.with_mut(|p| unsafe { *p = 42 });
+                // BUG under test: Relaxed publish transfers no
+                // happens-before edge to the reader.
+                f.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) {
+                data.with(|p| assert_eq!(unsafe { *p }, 42));
+            }
+            h.join().unwrap();
+        });
+    }
+
+    /// The same shape with a Release publish is race-free and the value
+    /// is always visible once the flag is.
+    #[test]
+    fn release_acquire_publish_is_clean() {
+        let stats = model::Builder::new().check(|| {
+            let data = Arc::new(cell::UnsafeCell::new(0u32));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, f) = (data.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                d.with_mut(|p| unsafe { *p = 42 });
+                f.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                data.with(|p| assert_eq!(unsafe { *p }, 42));
+            }
+            h.join().unwrap();
+        });
+        assert!(stats.complete, "small schedule tree must be exhausted");
+        assert!(stats.schedules >= 2, "both flag outcomes must be explored");
+    }
+
+    /// Failing executions report the schedule that produced them.
+    #[test]
+    fn failure_prints_replayable_schedule() {
+        let err = std::panic::catch_unwind(|| {
+            model::Builder::new().check(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let m = n.clone();
+                let h = thread::spawn(move || {
+                    // Classic lost update: load + store instead of RMW.
+                    let v = m.load(Ordering::SeqCst);
+                    m.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                h.join().unwrap();
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        })
+        .expect_err("the lost update must be found");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("failing schedule"), "got: {msg}");
+        assert!(msg.contains("AtomicUsize"), "got: {msg}");
+    }
+
+    /// ABBA lock ordering deadlocks; the runtime must say so instead of
+    /// hanging.
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn abba_deadlock_is_detected() {
+        model::Builder::new().check(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (a.clone(), b.clone());
+            let h = thread::spawn(move || {
+                let ga = a2.lock();
+                let gb = b2.lock();
+                drop((ga, gb));
+            });
+            let gb = b.lock();
+            let ga = a.lock();
+            drop((ga, gb));
+            h.join().unwrap();
+        });
+    }
+
+    /// Timed waits explore both the notified and the timed-out branch.
+    #[test]
+    fn wait_timeout_explores_both_outcomes() {
+        use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+        use std::sync::atomic::Ordering as StdOrdering;
+        let timed_out = Arc::new(StdAtomicUsize::new(0));
+        let notified = Arc::new(StdAtomicUsize::new(0));
+        let (t, n) = (timed_out.clone(), notified.clone());
+        let stats = model::Builder::new().check(move || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = pair.clone();
+            let h = thread::spawn(move || {
+                let mut done = p.0.lock();
+                *done = true;
+                p.1.notify_one();
+                drop(done);
+            });
+            let mut done = pair.0.lock();
+            let mut was_timeout = false;
+            while !*done {
+                let (guard, timeout) = pair.1.wait_timeout(done, Duration::from_millis(5));
+                done = guard;
+                if timeout {
+                    was_timeout = true;
+                    break;
+                }
+            }
+            drop(done);
+            if was_timeout {
+                t.fetch_add(1, StdOrdering::Relaxed);
+            } else {
+                n.fetch_add(1, StdOrdering::Relaxed);
+            }
+            h.join().unwrap();
+        });
+        assert!(stats.complete);
+        assert!(timed_out.load(StdOrdering::Relaxed) > 0, "timeout branch");
+        assert!(notified.load(StdOrdering::Relaxed) > 0, "notified branch");
+    }
+
+    /// A preemption bound prunes the schedule tree but still completes.
+    #[test]
+    fn preemption_bound_prunes_schedules() {
+        let count = |bound| {
+            let mut b = model::Builder::new();
+            b.preemption_bound = bound;
+            b.check(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let m = n.clone();
+                        thread::spawn(move || {
+                            for _ in 0..3 {
+                                m.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::Relaxed), 6);
+            })
+        };
+        let bounded = count(Some(1));
+        let full = count(None);
+        assert!(bounded.complete && full.complete);
+        assert!(
+            bounded.schedules < full.schedules,
+            "bound {} must prune below full {}",
+            bounded.schedules,
+            full.schedules
+        );
+    }
+
+    /// Logical time: the deadline only passes when the timeout fires.
+    #[test]
+    fn logical_clock_advances_on_timeout() {
+        let stats = model::Builder::new().check(|| {
+            let start = crate::time::Instant::now();
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let guard = pair.0.lock();
+            let (guard, timed_out) = pair.1.wait_timeout(guard, Duration::from_millis(7));
+            drop(guard);
+            assert!(timed_out, "nobody notifies: the wait must time out");
+            assert!(
+                start.elapsed() >= Duration::from_millis(7),
+                "timeout must advance the logical clock past the deadline"
+            );
+        });
+        assert!(stats.complete);
+    }
+}

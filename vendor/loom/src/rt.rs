@@ -1,0 +1,854 @@
+//! The model-checking runtime: a bounded exhaustive scheduler.
+//!
+//! One *execution* runs the user's model body on real OS threads, but
+//! only one thread is ever runnable at a time — every modeled operation
+//! (atomic access, mutex lock, condvar wait, `UnsafeCell` access) is a
+//! *schedule point* where the runtime decides which thread performs the
+//! next operation. The decision sequence is recorded; after the
+//! execution finishes, the deepest decision with an untried alternative
+//! is flipped and the prefix replayed — a depth-first search over the
+//! schedule tree (stateless model checking in the loom/CHESS style).
+//!
+//! Soundness model:
+//!
+//! * Atomic **values** are sequentially consistent (every load sees the
+//!   latest store), but **happens-before** is tracked per the C11
+//!   release/acquire rules with vector clocks: only a Release (or
+//!   stronger) store publishes the writer's clock, and only an Acquire
+//!   (or stronger) load joins it. `Relaxed` accesses order nothing.
+//! * [`cell::UnsafeCell`](crate::cell::UnsafeCell) accesses are checked
+//!   against those clocks: two conflicting accesses not ordered by
+//!   happens-before abort the execution with a data-race report.
+//! * A *preemption bound* (CHESS) optionally restricts the search to
+//!   schedules with at most N involuntary context switches, which keeps
+//!   exploration tractable while still finding most ordering bugs.
+//! * Deadlocks (every live thread blocked) and livelocks (an execution
+//!   exceeding the step budget) abort with the same replayable report.
+//!
+//! On any failure the runtime panics with the full schedule of the
+//! failing execution — one `tN op` line per step — so the interleaving
+//! can be read off directly (and optionally written to
+//! `BCP_MODEL_REPLAY_DIR`).
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+thread_local! {
+    /// The execution this OS thread participates in, and its model tid.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Sentinel panic payload used to unwind model threads when the
+/// execution has already failed (deadlock, race, assertion elsewhere).
+pub(crate) struct ModelAbort;
+
+/// A vector clock: `vc[tid]` is the last step of thread `tid` known to
+/// happen-before the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: usize, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid.saturating_add(1), 0);
+        }
+        self.0[tid] = v;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (tid, &v) in other.0.iter().enumerate() {
+            if self.get(tid) < v {
+                self.set(tid, v);
+            }
+        }
+    }
+
+    /// `self` ≤ `other` componentwise: everything the owner of `self`
+    /// did is visible to the owner of `other`.
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(tid, &v)| v <= other.get(tid))
+    }
+}
+
+/// State of one modeled thread.
+#[derive(Clone, Debug, PartialEq)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Parked in a waitset (mutex or condvar); only a wake makes it
+    /// runnable again.
+    Blocked,
+    /// Parked in a timed condvar wait: a wake makes it runnable, but the
+    /// scheduler may also *choose* it directly, which models the timeout
+    /// firing (logical time jumps forward by the wait duration).
+    TimedBlocked(Duration),
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+struct ThreadSlot {
+    run: Run,
+    /// Happens-before clock of this thread.
+    clock: VClock,
+    /// Set when a timed wait was ended by the scheduler (timeout) rather
+    /// than a notify.
+    timed_out: bool,
+    /// Threads blocked in `join()` on this one.
+    joiners: Vec<usize>,
+    /// Clock at `Finished`, joined by joiners.
+    final_clock: VClock,
+    /// Description of the op this thread will perform when scheduled
+    /// (for the deadlock report).
+    waiting_on: String,
+}
+
+/// One scheduling decision: which thread performed the next op.
+struct Branch {
+    /// Threads that were eligible, in tid order.
+    enabled: Vec<usize>,
+    /// Index into `enabled` actually taken.
+    chosen: usize,
+    /// Preemptions consumed by the schedule *before* this decision.
+    preemptions_before: usize,
+    /// The thread that performed the previous op (to classify
+    /// alternatives as preemptive or not).
+    prev: usize,
+}
+
+/// Modeled shared objects live here, indexed by id, recreated for every
+/// execution together with the user's objects.
+pub(crate) enum Object {
+    Atomic {
+        value: u64,
+        /// Clock published by the last Release-or-stronger store (or
+        /// joined into by release RMWs).
+        sync: VClock,
+        /// Whether the *latest* store was Release-or-stronger — a later
+        /// Relaxed store breaks the release chain.
+        released: bool,
+    },
+    Mutex {
+        owner: Option<usize>,
+        /// Clock of the last unlock.
+        sync: VClock,
+        waiters: Vec<usize>,
+    },
+    Condvar {
+        waiters: VecDeque<usize>,
+    },
+    Cell {
+        /// Per-thread clock component of the last read / write.
+        reads: VClock,
+        writes: VClock,
+        last_writer: Option<usize>,
+    },
+}
+
+pub(crate) struct ExecInner {
+    threads: Vec<ThreadSlot>,
+    /// The single thread allowed to run user code right now.
+    /// `usize::MAX` once the execution has ended.
+    current: usize,
+    objects: Vec<Object>,
+    /// Schedule points taken so far this execution.
+    steps: usize,
+    max_steps: usize,
+    /// Decision log of this execution.
+    branches: Vec<Branch>,
+    /// Replay prefix: for decision `i < replay.len()`, take
+    /// `enabled[replay[i]]`.
+    replay: Vec<usize>,
+    preemptions: usize,
+    /// Human-readable trace of the execution: one `tN op` per step.
+    trace: Vec<String>,
+    /// First failure (race / deadlock / livelock / user panic).
+    failure: Option<String>,
+    /// Set with `failure`: model threads unwind when they observe it.
+    abort: bool,
+    /// Logical nanoseconds since the execution started.
+    clock_ns: u128,
+    live_threads: usize,
+}
+
+pub(crate) struct Execution {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>, max_steps: usize) -> Execution {
+        Execution {
+            inner: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                current: 0,
+                objects: Vec::new(),
+                steps: 0,
+                max_steps,
+                branches: Vec::new(),
+                replay,
+                preemptions: 0,
+                trace: Vec::new(),
+                failure: None,
+                abort: false,
+                clock_ns: 0,
+                live_threads: 0,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ExecInner {
+    fn register_thread(&mut self, parent: Option<usize>) -> usize {
+        let tid = self.threads.len();
+        let mut clock = VClock::default();
+        if let Some(p) = parent {
+            // Spawn edge: everything the parent did happens-before the
+            // child's first op.
+            let parent_clock = self.threads[p].clock.clone();
+            clock.join(&parent_clock);
+            let pc = self.threads[p].clock.get(p).saturating_add(1);
+            self.threads[p].clock.set(p, pc);
+        }
+        clock.set(tid, 1);
+        self.threads.push(ThreadSlot {
+            run: Run::Runnable,
+            clock,
+            timed_out: false,
+            joiners: Vec::new(),
+            final_clock: VClock::default(),
+            waiting_on: String::new(),
+        });
+        self.live_threads = self.live_threads.saturating_add(1);
+        tid
+    }
+
+    pub(crate) fn alloc_object(&mut self, obj: Object) -> usize {
+        self.objects.push(obj);
+        self.objects.len().saturating_sub(1)
+    }
+
+    pub(crate) fn object(&mut self, id: usize) -> &mut Object {
+        &mut self.objects[id]
+    }
+
+    pub(crate) fn clock_of(&mut self, tid: usize) -> &mut VClock {
+        &mut self.threads[tid].clock
+    }
+
+    /// Advance `tid`'s own clock component — called once per modeled op
+    /// so distinct ops by the same thread are distinguishable to the
+    /// race detector.
+    fn tick(&mut self, tid: usize) {
+        let c = self.threads[tid].clock.get(tid).saturating_add(1);
+        self.threads[tid].clock.set(tid, c);
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, Run::Runnable | Run::TimedBlocked(_)))
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    fn fail(&mut self, kind: &str, detail: &str) {
+        if self.failure.is_none() {
+            let mut msg = format!("{kind}: {detail}\n");
+            msg.push_str(&render_trace(&self.trace, &self.threads));
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+        // Unblock everything so parked OS threads can unwind.
+        for t in &mut self.threads {
+            if matches!(t.run, Run::Blocked | Run::TimedBlocked(_)) {
+                t.run = Run::Runnable;
+            }
+        }
+    }
+
+    /// Pick the next thread to run after `prev`'s op. Returns false when
+    /// the execution is over (all threads finished, or failed).
+    fn schedule_next(&mut self, prev: usize) -> bool {
+        if self.abort {
+            self.current = usize::MAX;
+            return false;
+        }
+        let mut enabled = self.enabled();
+        if enabled.is_empty() {
+            if self.threads.iter().all(|t| t.run == Run::Finished) {
+                self.current = usize::MAX;
+                return false;
+            }
+            let stuck: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.run, Run::Blocked | Run::TimedBlocked(_)))
+                .map(|(tid, t)| format!("t{tid} blocked on {}", t.waiting_on))
+                .collect();
+            self.fail("deadlock", &stuck.join("; "));
+            self.current = usize::MAX;
+            return false;
+        }
+        // Preference order: previous thread first (the zero-preemption
+        // default), then the remaining runnable tids ascending. The
+        // default choice is therefore ALWAYS index 0, which is what
+        // `next_replay`'s `chosen + 1 ..` enumeration relies on for
+        // exhaustiveness — and the reordering is deterministic, so a
+        // replayed prefix reproduces the identical decision list.
+        if let Some(p) = enabled.iter().position(|&t| t == prev) {
+            enabled.remove(p);
+            enabled.insert(0, prev);
+        }
+        let depth = self.branches.len();
+        let chosen_idx = if let Some(&idx) = self.replay.get(depth) {
+            idx.min(enabled.len().saturating_sub(1))
+        } else {
+            0
+        };
+        let chosen = enabled[chosen_idx];
+        let preemptive = chosen != prev && enabled.contains(&prev);
+        self.branches.push(Branch {
+            enabled,
+            chosen: chosen_idx,
+            preemptions_before: self.preemptions,
+            prev,
+        });
+        if preemptive {
+            self.preemptions = self.preemptions.saturating_add(1);
+        }
+        // Scheduling a timed waiter = its timeout fires.
+        if let Run::TimedBlocked(d) = self.threads[chosen].run {
+            self.threads[chosen].run = Run::Runnable;
+            self.threads[chosen].timed_out = true;
+            self.clock_ns = self.clock_ns.saturating_add(d.as_nanos());
+        }
+        self.current = chosen;
+        true
+    }
+}
+
+fn render_trace(trace: &[String], threads: &[ThreadSlot]) -> String {
+    let mut out = String::from("failing schedule (replay, one line per step):\n");
+    for (i, line) in trace.iter().enumerate() {
+        out.push_str(&format!("  {i:4}  {line}\n"));
+    }
+    out.push_str("thread states at failure:\n");
+    for (tid, t) in threads.iter().enumerate() {
+        out.push_str(&format!("  t{tid}: {:?}\n", t.run));
+    }
+    out
+}
+
+/// Access the current execution, failing loudly outside a model body.
+pub(crate) fn current() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("bcp_model sync primitive used outside loom::model body")
+    })
+}
+
+/// Register a shared object with the current execution.
+pub(crate) fn register_object(obj: Object) -> usize {
+    let (exec, _) = current();
+    let mut inner = exec.lock();
+    inner.alloc_object(obj)
+}
+
+fn check_abort(inner: &ExecInner) {
+    if inner.abort {
+        panic::panic_any(ModelAbort);
+    }
+}
+
+/// Perform one modeled operation: log it, run `f` atomically, then hand
+/// the schedule to the next thread and wait for our next turn.
+///
+/// The calling thread must be `current` (invariant: between runtime
+/// calls, exactly the current thread runs user code).
+pub(crate) fn op<R>(desc: &str, f: impl FnOnce(&mut ExecInner, usize) -> R) -> R {
+    let (exec, me) = current();
+    // Destructors (guard drops, `Ring::drop`) run modeled ops while the
+    // thread unwinds from an abort or assertion failure. The execution
+    // is already doomed: apply the effect without scheduling so cleanup
+    // cannot panic inside a panic (which would SIGABRT the process).
+    if std::thread::panicking() {
+        let mut inner = exec.lock();
+        return f(&mut inner, me);
+    }
+    let mut inner = exec.lock();
+    check_abort(&inner);
+    debug_assert_eq!(inner.current, me, "non-current thread performed an op");
+    // Pre-op schedule point: decide who performs the *next* effect —
+    // possibly another thread, whose ops then run before this one.
+    inner.steps = inner.steps.saturating_add(1);
+    if inner.steps > inner.max_steps {
+        let budget = inner.max_steps;
+        inner.fail(
+            "livelock",
+            &format!("execution exceeded {budget} schedule points"),
+        );
+        exec.cv.notify_all();
+        panic::panic_any(ModelAbort);
+    }
+    inner.schedule_next(me);
+    exec.cv.notify_all();
+    if inner.abort {
+        // Execution failed during scheduling — unwind this thread.
+        drop(inner);
+        panic::panic_any(ModelAbort);
+    }
+    while inner.current != me {
+        inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        check_abort(&inner);
+    }
+    // Our turn: perform the op.
+    inner.trace.push(format!("t{me} {desc}"));
+    inner.tick(me);
+    f(&mut inner, me)
+}
+
+/// Outcome of an [`op_cond`] schedule point.
+pub(crate) struct OpOutcome {
+    /// True when `f` chose to proceed without blocking.
+    pub proceeded: bool,
+    /// True when a timed block ended by timeout rather than a wake.
+    pub timed_out: bool,
+}
+
+/// Like [`op`], but `f` may decide — atomically with its effects — that
+/// the thread must park (returning `false`): it then blocks until some
+/// other op wakes it, or, when `timed` is set, until the scheduler
+/// fires the timeout. `f` must enqueue the thread into whatever waitset
+/// will later wake it before returning `false`.
+pub(crate) fn op_cond(
+    desc: &str,
+    timed: Option<Duration>,
+    f: impl FnOnce(&mut ExecInner, usize) -> bool,
+) -> OpOutcome {
+    let (exec, me) = current();
+    // As in `op`: never schedule or park while unwinding.
+    if std::thread::panicking() {
+        let mut inner = exec.lock();
+        let proceeded = f(&mut inner, me);
+        return OpOutcome {
+            proceeded,
+            timed_out: false,
+        };
+    }
+    let mut inner = exec.lock();
+    check_abort(&inner);
+    debug_assert_eq!(inner.current, me, "non-current thread performed an op");
+    // Pre-op schedule point, as in `op`.
+    inner.steps = inner.steps.saturating_add(1);
+    if inner.steps > inner.max_steps {
+        let budget = inner.max_steps;
+        inner.fail(
+            "livelock",
+            &format!("execution exceeded {budget} schedule points"),
+        );
+        exec.cv.notify_all();
+        panic::panic_any(ModelAbort);
+    }
+    inner.schedule_next(me);
+    exec.cv.notify_all();
+    if inner.abort {
+        drop(inner);
+        panic::panic_any(ModelAbort);
+    }
+    while inner.current != me {
+        inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        check_abort(&inner);
+    }
+    // Our turn: perform the op; `f` may decide to park us.
+    inner.trace.push(format!("t{me} {desc}"));
+    inner.tick(me);
+    let proceeded = f(&mut inner, me);
+    if !proceeded {
+        inner.threads[me].run = match timed {
+            Some(d) => Run::TimedBlocked(d),
+            None => Run::Blocked,
+        };
+        inner.threads[me].timed_out = false;
+        inner.threads[me].waiting_on = desc.to_string();
+        // Hand the schedule to someone who can make progress.
+        inner.schedule_next(me);
+        exec.cv.notify_all();
+        if inner.abort {
+            drop(inner);
+            panic::panic_any(ModelAbort);
+        }
+        while !(inner.current == me && inner.threads[me].run == Run::Runnable) {
+            check_abort(&inner);
+            inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+        check_abort(&inner);
+    }
+    let timed_out = inner.threads[me].timed_out;
+    inner.threads[me].timed_out = false;
+    OpOutcome {
+        proceeded,
+        timed_out,
+    }
+}
+
+/// Wake every thread in `waiters` (drained by the caller) — used by
+/// mutex unlock and `notify_all`. Runs inside an [`op`] closure.
+pub(crate) fn wake(inner: &mut ExecInner, waiters: impl IntoIterator<Item = usize>) {
+    for tid in waiters {
+        if matches!(inner.threads[tid].run, Run::Blocked | Run::TimedBlocked(_)) {
+            inner.threads[tid].run = Run::Runnable;
+            inner.threads[tid].timed_out = false;
+        }
+    }
+}
+
+/// Mark a condvar waiter as notified: a `TimedBlocked` thread woken this
+/// way reports `timed_out == false`.
+pub(crate) fn notify_thread(inner: &mut ExecInner, tid: usize) {
+    wake(inner, [tid]);
+}
+
+/// The logical clock, in nanoseconds since the execution started.
+pub(crate) fn clock_ns() -> u128 {
+    let (exec, _) = current();
+    let ns = exec.lock().clock_ns;
+    ns
+}
+
+/// Race-detector bookkeeping for a modeled `UnsafeCell` access.
+pub(crate) fn cell_access(inner: &mut ExecInner, me: usize, id: usize, write: bool) {
+    if std::thread::panicking() {
+        // Cleanup access during an abort unwind: nothing left to check.
+        return;
+    }
+    let my_clock = inner.threads[me].clock.clone();
+    let Object::Cell {
+        reads,
+        writes,
+        last_writer,
+    } = &mut inner.objects[id]
+    else {
+        unreachable!("cell op on non-cell object");
+    };
+    let writes_visible = writes.le(&my_clock);
+    let reads_visible = reads.le(&my_clock);
+    let racy = if write {
+        !writes_visible || !reads_visible
+    } else {
+        !writes_visible
+    };
+    if write {
+        writes.set(me, my_clock.get(me));
+        *last_writer = Some(me);
+    } else {
+        reads.set(me, my_clock.get(me));
+    }
+    if racy {
+        let kind = if write { "write" } else { "read" };
+        let other = last_writer.map_or("another thread".to_string(), |w| format!("t{w}"));
+        inner.fail(
+            "data race",
+            &format!(
+                "t{me} {kind} of UnsafeCell(#{id}) is unordered with a prior access by {other} \
+                 (missing Release/Acquire edge?)"
+            ),
+        );
+        panic::panic_any(ModelAbort);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread support
+// ---------------------------------------------------------------------------
+
+/// Handle to a modeled thread. Unlike `std`, dropping without joining is
+/// allowed — the execution still waits for the thread to finish.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result. Panics in the
+    /// child propagate (as with `std`'s `join().unwrap()` idiom this
+    /// returns `Err` on child panic).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let tid = self.tid;
+        loop {
+            // Check-and-park atomically, so a finish between the check
+            // and the park cannot strand us.
+            let outcome = op_cond(&format!("join(t{tid})"), None, |inner, me| {
+                if inner.threads[tid].run == Run::Finished {
+                    let fc = inner.threads[tid].final_clock.clone();
+                    inner.threads[me].clock.join(&fc);
+                    true
+                } else {
+                    inner.threads[tid].joiners.push(me);
+                    false
+                }
+            });
+            if outcome.proceeded {
+                break;
+            }
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("thread result already taken")
+    }
+}
+
+/// Spawn a modeled thread.
+pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    let (exec, me) = current();
+    let tid = {
+        let mut inner = exec.lock();
+        inner.register_thread(Some(me))
+    };
+    let result: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+    let os = {
+        let exec = exec.clone();
+        let result = result.clone();
+        std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+            // Wait for our first turn; skip the body entirely if the
+            // execution already failed.
+            let aborted = {
+                let mut inner = exec.lock();
+                while inner.current != tid && !inner.abort {
+                    inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+                inner.abort
+            };
+            let r = if aborted {
+                Err(Box::new(ModelAbort) as Box<dyn std::any::Any + Send>)
+            } else {
+                panic::catch_unwind(AssertUnwindSafe(f))
+            };
+            finish_thread(&exec, tid, &r);
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+    };
+    JoinHandle {
+        tid,
+        result,
+        os: Some(os),
+    }
+}
+
+/// Mark `tid` finished: record its final clock, wake joiners, schedule
+/// someone else, and surface non-abort panics as execution failures.
+fn finish_thread<T>(exec: &Arc<Execution>, tid: usize, r: &std::thread::Result<T>) {
+    let mut inner = exec.lock();
+    if let Err(e) = r {
+        if !e.is::<ModelAbort>() {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            inner.fail("panic", &format!("t{tid}: {msg}"));
+        }
+    }
+    inner.threads[tid].run = Run::Finished;
+    inner.threads[tid].final_clock = inner.threads[tid].clock.clone();
+    inner.live_threads = inner.live_threads.saturating_sub(1);
+    let joiners: Vec<usize> = inner.threads[tid].joiners.drain(..).collect();
+    wake(&mut inner, joiners);
+    if inner.current == tid || inner.current == usize::MAX {
+        inner.schedule_next(tid);
+    }
+    exec.cv.notify_all();
+}
+
+/// A schedule point with no effect — `yield_now` / `spin_loop`.
+pub fn yield_now() {
+    op("yield", |_, _| ());
+}
+
+// ---------------------------------------------------------------------------
+// The exploration driver
+// ---------------------------------------------------------------------------
+
+/// Exploration statistics returned by [`Builder::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Executions (schedules) explored.
+    pub schedules: u64,
+    /// True when the schedule tree was exhausted within the bounds; false
+    /// when the iteration or wall-clock cap stopped the search first.
+    pub complete: bool,
+}
+
+/// Exploration bounds. The defaults suit small model tests: full DFS
+/// capped at 200k schedules / 30 s wall clock / 20k steps per execution.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// CHESS preemption bound; `None` explores every schedule.
+    pub preemption_bound: Option<usize>,
+    /// Stop after exploring this many schedules (sets `complete=false`).
+    pub max_schedules: u64,
+    /// Stop after this much wall-clock time (sets `complete=false`).
+    pub max_duration: Duration,
+    /// Per-execution schedule-point budget — exceeding it is reported as
+    /// a livelock.
+    pub max_steps: usize,
+    /// Name used for the replay artifact written to
+    /// `$BCP_MODEL_REPLAY_DIR` on failure.
+    pub name: String,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_schedules: 200_000,
+            max_duration: Duration::from_secs(30),
+            max_steps: 20_000,
+            name: "model".to_string(),
+        }
+    }
+}
+
+impl Builder {
+    /// Fresh builder with default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explore schedules of `body` until the tree is exhausted or a
+    /// bound is hit. Panics (with the failing schedule) on the first
+    /// execution that races, deadlocks, livelocks, or panics.
+    pub fn check<F>(&self, body: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let started = std::time::Instant::now();
+        let mut replay: Vec<usize> = Vec::new();
+        let mut schedules: u64 = 0;
+        loop {
+            let exec = Arc::new(Execution::new(replay.clone(), self.max_steps));
+            // tid 0 = the model body.
+            {
+                let mut inner = exec.lock();
+                inner.register_thread(None);
+                inner.current = 0;
+            }
+            let root = {
+                let exec = exec.clone();
+                let body = body.clone();
+                std::thread::spawn(move || {
+                    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), 0)));
+                    let r = panic::catch_unwind(AssertUnwindSafe(|| body()));
+                    finish_thread(&exec, 0, &r);
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                })
+            };
+            // Wait for the execution to end: all threads finished.
+            {
+                let mut inner = exec.lock();
+                while inner.live_threads > 0 {
+                    inner = exec.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            let _ = root.join();
+            schedules = schedules.saturating_add(1);
+            let inner = exec.lock();
+            if let Some(failure) = &inner.failure {
+                let msg = format!(
+                    "model check '{}' failed on schedule {schedules}\n{failure}",
+                    self.name
+                );
+                write_replay_artifact(&self.name, &msg);
+                drop(inner);
+                panic!("{msg}");
+            }
+            // Backtrack: deepest decision with an admissible untried
+            // alternative.
+            let next = next_replay(&inner.branches, self.preemption_bound);
+            drop(inner);
+            match next {
+                Some(r) => replay = r,
+                None => {
+                    return Stats {
+                        schedules,
+                        complete: true,
+                    }
+                }
+            }
+            if schedules >= self.max_schedules || started.elapsed() >= self.max_duration {
+                return Stats {
+                    schedules,
+                    complete: false,
+                };
+            }
+        }
+    }
+}
+
+/// DFS backtracking over the decision log of the last execution.
+fn next_replay(branches: &[Branch], bound: Option<usize>) -> Option<Vec<usize>> {
+    for depth in (0..branches.len()).rev() {
+        let b = &branches[depth];
+        let mut alt = b.chosen.saturating_add(1);
+        while alt < b.enabled.len() {
+            let preemptive = b.enabled[alt] != b.prev && b.enabled.contains(&b.prev);
+            let admissible = match bound {
+                Some(bound) => !preemptive || b.preemptions_before < bound,
+                None => true,
+            };
+            if admissible {
+                let mut replay: Vec<usize> = branches[..depth].iter().map(|b| b.chosen).collect();
+                replay.push(alt);
+                return Some(replay);
+            }
+            alt = alt.saturating_add(1);
+        }
+    }
+    None
+}
+
+fn write_replay_artifact(name: &str, msg: &str) {
+    if let Ok(dir) = std::env::var("BCP_MODEL_REPLAY_DIR") {
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("replay-{safe}.txt"));
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, msg);
+    }
+}
+
+/// Explore `body` with default bounds, panicking on any failure.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(body);
+}

@@ -1,0 +1,264 @@
+//! Modeled blocking primitives: `Mutex` and `Condvar`.
+//!
+//! API follows the parking_lot convention the workspace already uses:
+//! `lock()` returns the guard directly (a panicked model thread aborts
+//! the whole execution, so poisoning is meaningless here), and
+//! `wait_timeout` returns `(guard, timed_out)`.
+//!
+//! A timed condvar wait is modeled *nondeterministically*: the waiter
+//! stays eligible for scheduling, and the scheduler choosing it before
+//! any notify arrives is exactly the timeout firing — logical time
+//! jumps forward by the wait duration. Both the notified and the
+//! timed-out outcome are therefore explored on every `wait_timeout`.
+
+pub use std::sync::Arc;
+
+use crate::rt::{self, Object, VClock};
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+pub mod atomic {
+    //! Modeled atomics (`loom::sync::atomic`).
+    pub use crate::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+}
+
+/// Modeled mutex. Lock acquisition order is a scheduler decision, so
+/// every contention outcome is explored.
+pub struct Mutex<T> {
+    data: std::cell::UnsafeCell<T>,
+    id: OnceLock<usize>,
+}
+
+// SAFETY: the runtime guarantees at most one model thread runs at a
+// time and the lock protocol below guarantees mutual exclusion of
+// guards, so `&Mutex<T>` may cross model threads whenever `T: Send`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// New mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            data: std::cell::UnsafeCell::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| {
+            rt::register_object(Object::Mutex {
+                owner: None,
+                sync: VClock::default(),
+                waiters: Vec::new(),
+            })
+        })
+    }
+
+    /// Acquire the lock, parking until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        lock_loop(self.id(), None);
+        MutexGuard { lock: self }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Acquire mutex `mutex_id`; on first attempt also deregister from
+/// condvar `cv_cleanup` (the timed-out-waiter path). Attempt and park
+/// are one atomic schedule point, so wakeups cannot be lost.
+fn lock_loop(mutex_id: usize, cv_cleanup: Option<usize>) {
+    let mut cleanup = cv_cleanup;
+    loop {
+        let outcome = rt::op_cond("Mutex.lock", None, |inner, me| {
+            if let Some(cv) = cleanup {
+                let Object::Condvar { waiters } = inner.object(cv) else {
+                    unreachable!("condvar op on non-condvar object");
+                };
+                waiters.retain(|&t| t != me);
+            }
+            let Object::Mutex {
+                owner,
+                sync,
+                waiters,
+            } = inner.object(mutex_id)
+            else {
+                unreachable!("mutex op on non-mutex object");
+            };
+            if owner.is_none() {
+                *owner = Some(me);
+                let s = sync.clone();
+                inner.clock_of(me).join(&s);
+                true
+            } else {
+                waiters.push(me);
+                false
+            }
+        });
+        cleanup = None;
+        // During an abort unwind ops never park (see `rt::op_cond`), so
+        // give up rather than spin on a lock nobody will release.
+        if outcome.proceeded || std::thread::panicking() {
+            return;
+        }
+    }
+}
+
+/// Release mutex `mutex_id`, publishing the caller's clock and waking
+/// every parked waiter to recontend.
+fn unlock(mutex_id: usize) {
+    rt::op("Mutex.unlock", |inner, me| {
+        let clock = inner.clock_of(me).clone();
+        let Object::Mutex {
+            owner,
+            sync,
+            waiters,
+        } = inner.object(mutex_id)
+        else {
+            unreachable!("mutex op on non-mutex object");
+        };
+        *owner = None;
+        *sync = clock;
+        let woken: Vec<usize> = std::mem::take(waiters);
+        rt::wake(inner, woken);
+    });
+}
+
+/// Guard for a modeled [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the modeled lock; mutual exclusion is
+        // enforced by the runtime's lock protocol.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `Deref`, plus `&mut self` forbids aliasing.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        unlock(self.lock.id());
+    }
+}
+
+/// Modeled condition variable; pairs with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// New condvar.
+    pub const fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| {
+            rt::register_object(Object::Condvar {
+                waiters: VecDeque::new(),
+            })
+        })
+    }
+
+    /// Release the guard's mutex, park until notified, reacquire.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (mutex_id, lock) = (guard.lock.id(), guard.lock);
+        std::mem::forget(guard);
+        self.park(mutex_id, None);
+        MutexGuard { lock }
+    }
+
+    /// Like [`wait`](Condvar::wait) with a timeout: returns the
+    /// reacquired guard and whether the wait timed out (`true`) rather
+    /// than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (mutex_id, lock) = (guard.lock.id(), guard.lock);
+        std::mem::forget(guard);
+        let timed_out = self.park(mutex_id, Some(dur));
+        (MutexGuard { lock }, timed_out)
+    }
+
+    /// Atomically release the mutex and park on the condvar; returns
+    /// whether a timed park timed out.
+    fn park(&self, mutex_id: usize, timed: Option<Duration>) -> bool {
+        let cv_id = self.id();
+        let outcome = rt::op_cond("Condvar.wait", timed, |inner, me| {
+            let clock = inner.clock_of(me).clone();
+            let Object::Mutex {
+                owner,
+                sync,
+                waiters,
+            } = inner.object(mutex_id)
+            else {
+                unreachable!("mutex op on non-mutex object");
+            };
+            *owner = None;
+            *sync = clock;
+            let woken: Vec<usize> = std::mem::take(waiters);
+            rt::wake(inner, woken);
+            let Object::Condvar { waiters } = inner.object(cv_id) else {
+                unreachable!("condvar op on non-condvar object");
+            };
+            waiters.push_back(me);
+            false
+        });
+        // Reacquire; a timed-out waiter is still queued on the condvar
+        // and must deregister (atomically with its first lock attempt)
+        // so it cannot swallow a later notify meant for someone else.
+        let cleanup = if outcome.timed_out { Some(cv_id) } else { None };
+        lock_loop(mutex_id, cleanup);
+        outcome.timed_out
+    }
+
+    /// Wake the longest-parked waiter, if any.
+    pub fn notify_one(&self) {
+        let cv_id = self.id();
+        rt::op("Condvar.notify_one", |inner, _me| {
+            let Object::Condvar { waiters } = inner.object(cv_id) else {
+                unreachable!("condvar op on non-condvar object");
+            };
+            if let Some(t) = waiters.pop_front() {
+                rt::notify_thread(inner, t);
+            }
+        });
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        let cv_id = self.id();
+        rt::op("Condvar.notify_all", |inner, _me| {
+            let Object::Condvar { waiters } = inner.object(cv_id) else {
+                unreachable!("condvar op on non-condvar object");
+            };
+            let woken: Vec<usize> = waiters.drain(..).collect();
+            rt::wake(inner, woken);
+        });
+    }
+}

@@ -1,0 +1,3 @@
+//! Modeled threads (`loom::thread`).
+
+pub use crate::rt::{spawn, yield_now, JoinHandle};

@@ -1,0 +1,66 @@
+//! Logical time for the model: `Instant` reads the execution's logical
+//! nanosecond clock, which only advances when a timed wait fires.
+//!
+//! This makes deadline races *schedulable*: whether a deadline expires
+//! before or after a competing delivery is a scheduler decision, not a
+//! wall-clock accident, so both outcomes are explored deterministically.
+
+use std::time::Duration;
+
+/// Modeled monotonic instant (logical nanoseconds since the execution
+/// started).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(u128);
+
+impl Instant {
+    /// The current logical time.
+    pub fn now() -> Instant {
+        Instant(crate::rt::clock_ns())
+    }
+
+    /// Logical time elapsed since `self`.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// `self + d`, `None` on overflow.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d.as_nanos()).map(Instant)
+    }
+
+    /// Duration from `earlier` to `self`; `None` when `earlier` is
+    /// later.
+    pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+        let ns = self.0.checked_sub(earlier.0)?;
+        Some(Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX)))
+    }
+
+    /// Duration from `earlier` to `self`, zero when `earlier` is later.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        self.checked_duration_since(earlier)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Duration from `earlier` to `self`; panics when `earlier` is
+    /// later (mirrors `std`).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.checked_duration_since(earlier)
+            .expect("supplied instant is later than self")
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, d: Duration) -> Instant {
+        self.checked_add(d).expect("overflow when adding duration")
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, earlier: Instant) -> Duration {
+        self.duration_since(earlier)
+    }
+}
