@@ -5,6 +5,8 @@
 //! the benches measure *mechanisms* (inference, export, Grad-CAM, resource
 //! estimation), and print the regenerated artifact once per run.
 
+#![forbid(unsafe_code)]
+
 use bcp_finn::data::QuantMap;
 use bcp_finn::Pipeline;
 use bcp_nn::{Mode, Sequential};

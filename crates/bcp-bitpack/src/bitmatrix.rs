@@ -23,7 +23,7 @@ impl BitMatrix {
             rows,
             cols,
             words_per_row: wpr,
-            words: vec![0; rows * wpr],
+            words: vec![0; rows.saturating_mul(wpr)],
         }
     }
 
@@ -34,8 +34,8 @@ impl BitMatrix {
         let mut m = BitMatrix::zeros(rows.len(), cols);
         for (r, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), cols, "row {r} length mismatch");
-            let dst = r * m.words_per_row;
-            m.words[dst..dst + m.words_per_row].copy_from_slice(row.words());
+            let dst = r.saturating_mul(m.words_per_row);
+            m.words[dst..dst.saturating_add(m.words_per_row)].copy_from_slice(row.words());
         }
         m
     }
@@ -63,7 +63,11 @@ impl BitMatrix {
     /// Rebuild from raw storage; validates dimensions and padding hygiene.
     pub fn from_words(rows: usize, cols: usize, words: Vec<u64>) -> Self {
         let wpr = words_for(cols);
-        assert_eq!(words.len(), rows * wpr, "word buffer size mismatch");
+        assert_eq!(
+            words.len(),
+            rows.saturating_mul(wpr),
+            "word buffer size mismatch"
+        );
         let m = BitMatrix {
             rows,
             cols,
@@ -72,8 +76,8 @@ impl BitMatrix {
         };
         let tail = cols % WORD_BITS;
         if tail != 0 {
-            for r in 0..rows {
-                let last = m.words[r * wpr + wpr - 1];
+            for (r, row) in m.words.chunks_exact(wpr).enumerate() {
+                let last = row.last().copied().unwrap_or(0);
                 assert!(
                     last & !low_mask(tail) == 0,
                     "row {r} has set padding bits beyond col {cols}"
@@ -85,8 +89,14 @@ impl BitMatrix {
 
     /// Packed words of row `r`.
     #[inline]
+    // Row-offset arithmetic is in range by construction (r < rows is asserted and
+    // rows·words_per_row == words.len()); plain ops keep the accessor branch-free.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — row slicing feeds every XNOR kernel inner product
     pub fn row_words(&self, r: usize) -> &[u64] {
+        // audit: allow(panic): row bound is the accessor's contract; one compare per row, hoisted out of the word loop
         assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        // audit: allow(index): r < rows was just asserted, so the word range is in bounds by construction
         &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
     }
 
@@ -100,7 +110,9 @@ impl BitMatrix {
     /// Element mutator.
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
         assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
-        let w = &mut self.words[r * self.words_per_row + c / WORD_BITS];
+        let w = &mut self.words[r
+            .saturating_mul(self.words_per_row)
+            .saturating_add(c / WORD_BITS)];
         let m = 1u64 << (c % WORD_BITS);
         if value {
             *w |= m;
@@ -122,7 +134,12 @@ impl BitMatrix {
 
     /// XNOR-popcount ±1 dot product between row `r` and a packed vector of
     /// matching length.
+    // Popcounts are bounded by cols (≪ 2^31 for any representable layer), so the
+    // agreement arithmetic cannot overflow; plain ops keep the PE lane vectorizable.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — one PE-lane inner product per output neuron
     pub fn row_dot(&self, r: usize, v: &BitVec64) -> i32 {
+        // audit: allow(panic): length mismatch is a programming error, checked once per row — not per word
         assert_eq!(
             v.len(),
             self.cols,
@@ -135,12 +152,15 @@ impl BitMatrix {
         let full = self.cols / WORD_BITS;
         let mut agree = 0u32;
         for i in 0..full {
+            // audit: allow(index): i < full = cols/64 ≤ words per row for both operands (lengths asserted above)
             agree += (!(a[i] ^ b[i])).count_ones();
         }
         let tail = self.cols % WORD_BITS;
         if tail != 0 {
+            // audit: allow(index): a ragged tail implies a final partial word at index full
             agree += ((!(a[full] ^ b[full])) & low_mask(tail)).count_ones();
         }
+        // audit: allow(cast): popcount ≤ cols and layer widths are far below 2^31, so both casts are value-preserving
         2 * agree as i32 - self.cols as i32
     }
 
@@ -171,7 +191,7 @@ impl BitMatrix {
 
     /// Decode to a dense ±1 f32 buffer (row-major), for tests and export.
     pub fn to_signs(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.rows * self.cols);
+        let mut out = Vec::with_capacity(self.rows.saturating_mul(self.cols));
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.push(if self.get(r, c) { 1.0 } else { -1.0 });
@@ -183,6 +203,7 @@ impl BitMatrix {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use proptest::prelude::*;
 

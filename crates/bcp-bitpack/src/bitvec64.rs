@@ -30,7 +30,7 @@ pub fn low_mask(n: usize) -> u64 {
     if n == WORD_BITS {
         u64::MAX
     } else {
-        (1u64 << n) - 1
+        (1u64 << n).wrapping_sub(1)
     }
 }
 
@@ -39,6 +39,7 @@ impl BitVec64 {
     pub fn zeros(len: usize) -> Self {
         BitVec64 {
             len,
+            // audit: allow(alloc): constructing a packed vector allocates by definition — hot callers recycle via layer-level buffer reuse (ROADMAP item 2)
             words: vec![0; words_for(len)],
         }
     }
@@ -97,23 +98,29 @@ impl BitVec64 {
 
     /// Read bit `i`.
     #[inline]
+    // bcp:hot-path — per-bit read used by pooling and packing stages (name is on the audit stoplist, so rooted explicitly)
     pub fn get(&self, i: usize) -> bool {
+        // audit: allow(panic): the bit bound is the accessor's contract — one compare guarding the shift below
         assert!(
             i < self.len,
             "bit index {i} out of range (len {})",
             self.len
         );
+        // audit: allow(index): i < len was just asserted, so i/64 is within the word buffer
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
     /// Write bit `i`.
     #[inline]
+    // bcp:hot-path — per-neuron write of every threshold stage (name is on the audit stoplist, so rooted explicitly)
     pub fn set(&mut self, i: usize, value: bool) {
+        // audit: allow(panic): the bit bound is the accessor's contract — one compare guarding the store below
         assert!(
             i < self.len,
             "bit index {i} out of range (len {})",
             self.len
         );
+        // audit: allow(index): i < len was just asserted, so i/64 is within the word buffer
         let w = &mut self.words[i / WORD_BITS];
         let m = 1u64 << (i % WORD_BITS);
         if value {
@@ -130,7 +137,12 @@ impl BitVec64 {
 
     /// Popcount of `XNOR(self, other)` over the valid bits only —
     /// the number of positions where the two ±1 vectors agree.
+    // Word counts are len/64-bounded and popcount sums fit u32 for any
+    // representable vector; plain ops keep the XNOR loop vectorizable.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — agreement count of the packed ±1 kernel
     pub fn xnor_popcount(&self, other: &BitVec64) -> u32 {
+        // audit: allow(panic): length mismatch is a programming error, checked once per call — not per word
         assert_eq!(self.len, other.len, "xnor_popcount length mismatch");
         if self.len == 0 {
             return 0;
@@ -138,10 +150,12 @@ impl BitVec64 {
         let full_words = self.len / WORD_BITS;
         let mut count = 0u32;
         for i in 0..full_words {
+            // audit: allow(index): i < full_words = len/64 ≤ word count for both operands (lengths asserted equal)
             count += (!(self.words[i] ^ other.words[i])).count_ones();
         }
         let tail = self.len % WORD_BITS;
         if tail != 0 {
+            // audit: allow(index): a ragged tail implies a final partial word at index full_words
             let x = !(self.words[full_words] ^ other.words[full_words]) & low_mask(tail);
             count += x.count_ones();
         }
@@ -150,7 +164,11 @@ impl BitVec64 {
 
     /// ±1 dot product via XNOR + popcount: `2·agreements − len`.
     #[inline]
+    // 2·agreements − len cannot overflow i32 for any representable layer width.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — per-neuron ±1 dot product (paper Eq. 3)
     pub fn dot(&self, other: &BitVec64) -> i32 {
+        // audit: allow(cast): popcount ≤ len and layer widths are far below 2^31, so both casts are value-preserving
         2 * self.xnor_popcount(other) as i32 - self.len as i32
     }
 
@@ -206,6 +224,7 @@ impl BitVec64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use proptest::prelude::*;
 

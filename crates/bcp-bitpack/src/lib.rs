@@ -18,6 +18,9 @@
 //! - [`checksum`]: CRC-32 integrity codes over packed rows, the detection
 //!   half of the weight-memory scrubbing in `bcp-guard`.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::arithmetic_side_effects)]
+
 pub mod bitmatrix;
 pub mod bitvec64;
 pub mod checksum;

@@ -37,11 +37,18 @@ pub fn pack_signs(xs: &[f32]) -> BitVec64 {
 
 /// Pack a row-major `rows × cols` float buffer into a [`BitMatrix`].
 pub fn pack_matrix(rows: usize, cols: usize, xs: &[f32]) -> BitMatrix {
-    assert_eq!(xs.len(), rows * cols, "buffer does not match {rows}×{cols}");
+    assert_eq!(
+        xs.len(),
+        rows.saturating_mul(cols),
+        "buffer does not match {rows}×{cols}"
+    );
     let mut m = BitMatrix::zeros(rows, cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            if sign_bit(xs[r * cols + c]) {
+    if cols == 0 {
+        return m;
+    }
+    for (r, row) in xs.chunks_exact(cols).enumerate() {
+        for (c, &x) in row.iter().enumerate() {
+            if sign_bit(x) {
                 m.set(r, c, true);
             }
         }

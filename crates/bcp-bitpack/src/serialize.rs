@@ -12,7 +12,7 @@
 //! ```
 
 use crate::bitmatrix::BitMatrix;
-use crate::bitvec64::words_for;
+use crate::bitvec64::{low_mask, words_for};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Frame magic: ASCII "BCoP".
@@ -57,7 +57,7 @@ impl std::error::Error for DecodeError {}
 
 /// Encode a [`BitMatrix`] into a framed bitstream.
 pub fn encode_matrix(m: &BitMatrix) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 16 + m.words().len() * 8);
+    let mut buf = BytesMut::with_capacity(m.words().len().saturating_mul(8).saturating_add(20));
     buf.put_u32_le(MAGIC);
     buf.put_u64_le(m.rows() as u64);
     buf.put_u64_le(m.cols() as u64);
@@ -78,7 +78,7 @@ pub fn decode_matrix(mut buf: impl Buf) -> Result<BitMatrix, DecodeError> {
     }
     let rows = buf.get_u64_le() as usize;
     let cols = buf.get_u64_le() as usize;
-    let expected = rows * words_for(cols);
+    let expected = rows.saturating_mul(words_for(cols));
     let got = buf.remaining() / 8;
     if got < expected {
         return Err(DecodeError::ShortPayload {
@@ -93,12 +93,13 @@ pub fn decode_matrix(mut buf: impl Buf) -> Result<BitMatrix, DecodeError> {
     // from_words panics on dirty padding; surface it as an error instead.
     let tail = cols % 64;
     if tail != 0 {
-        let mask = !((1u64 << tail) - 1);
+        let mask = !low_mask(tail);
         let wpr = words_for(cols);
-        for r in 0..rows {
-            if words[r * wpr + wpr - 1] & mask != 0 {
-                return Err(DecodeError::DirtyPadding);
-            }
+        if words
+            .chunks_exact(wpr)
+            .any(|row| row.last().copied().unwrap_or(0) & mask != 0)
+        {
+            return Err(DecodeError::DirtyPadding);
         }
     }
     Ok(BitMatrix::from_words(rows, cols, words))

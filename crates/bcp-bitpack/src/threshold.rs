@@ -110,7 +110,9 @@ impl ThresholdUnit {
 
     /// Threshold channel `c`'s accumulator.
     #[inline]
+    // bcp:hot-path — one comparison per output neuron of every threshold stage
     pub fn apply(&self, c: usize, acc: i64) -> bool {
+        // audit: allow(index): callers iterate 0..len() (bank size validated against neuron count at construction)
         self.channels[c].apply(acc)
     }
 

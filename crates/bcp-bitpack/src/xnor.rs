@@ -12,15 +12,21 @@ use rayon::prelude::*;
 
 /// Popcount of XNOR between two word slices over `bits` valid bits.
 #[inline]
+// Word counts are bits/64-bounded and popcount sums fit u32 for any
+// representable row; plain ops keep the innermost loop vectorizable.
+#[allow(clippy::arithmetic_side_effects)]
+// bcp:hot-path — the innermost PE-lane loop of every inference
 pub fn xnor_popcount_words(a: &[u64], b: &[u64], bits: usize) -> u32 {
     debug_assert_eq!(a.len(), b.len());
     let full = bits / WORD_BITS;
     let mut agree = 0u32;
     for i in 0..full {
+        // audit: allow(index): i < full = bits/64 ≤ slice length for word-aligned rows — callers pass equal-length packed rows
         agree += (!(a[i] ^ b[i])).count_ones();
     }
     let tail = bits % WORD_BITS;
     if tail != 0 {
+        // audit: allow(index): a ragged tail implies a final partial word at index full
         agree += ((!(a[full] ^ b[full])) & low_mask(tail)).count_ones();
     }
     agree
@@ -28,7 +34,11 @@ pub fn xnor_popcount_words(a: &[u64], b: &[u64], bits: usize) -> u32 {
 
 /// Signed ±1 dot product over packed words.
 #[inline]
+// 2·agreements − bits cannot overflow i32 for any representable layer width.
+#[allow(clippy::arithmetic_side_effects)]
+// bcp:hot-path — signed accumulator of the XNOR kernel (paper Eq. 3)
 pub fn xnor_dot_words(a: &[u64], b: &[u64], bits: usize) -> i32 {
+    // audit: allow(cast): popcount ≤ bits and layer widths are far below 2^31, so both casts are value-preserving
     2 * xnor_popcount_words(a, b, bits) as i32 - bits as i32
 }
 
@@ -36,7 +46,9 @@ pub fn xnor_dot_words(a: &[u64], b: &[u64], bits: usize) -> i32 {
 /// (i.e. `b_t` stores the columns of the logical right-hand matrix as rows,
 /// which is how MVTU weight memories are laid out). Returns the `m × n`
 /// signed accumulator matrix, row-major.
+// bcp:hot-path — batched MVTU GEMM, once per layer per batch
 pub fn xnor_gemm(a: &BitMatrix, b_t: &BitMatrix) -> Vec<i32> {
+    // audit: allow(panic): dimension mismatch is a programming error, checked once per call — never per element
     assert_eq!(
         a.cols(),
         b_t.cols(),
@@ -45,7 +57,8 @@ pub fn xnor_gemm(a: &BitMatrix, b_t: &BitMatrix) -> Vec<i32> {
         b_t.cols()
     );
     let (m, n, k) = (a.rows(), b_t.rows(), a.cols());
-    let mut out = vec![0i32; m * n];
+    // audit: allow(alloc): one accumulator buffer per layer invocation — layer-level buffer reuse is ROADMAP item 2
+    let mut out = vec![0i32; m.saturating_mul(n)];
     out.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
         let arow = a.row_words(i);
         for (j, c) in crow.iter_mut().enumerate() {
@@ -57,15 +70,21 @@ pub fn xnor_gemm(a: &BitMatrix, b_t: &BitMatrix) -> Vec<i32> {
 
 /// Matrix–vector product `y = A · x` over ±1 entries (one MVTU output
 /// column at full unfold).
+// bcp:hot-path — per-frame MVTU matvec at full unfold
 pub fn xnor_matvec(a: &BitMatrix, x: &BitVec64) -> Vec<i32> {
+    // audit: allow(panic): length mismatch is a programming error, checked once per call
     assert_eq!(a.cols(), x.len(), "xnor_matvec length mismatch");
     (0..a.rows())
         .map(|r| xnor_dot_words(a.row_words(r), x.words(), a.cols()))
+        // audit: allow(alloc): one accumulator vector per layer invocation — layer-level buffer reuse is ROADMAP item 2
         .collect()
 }
 
 /// Reference ±1 GEMM via dense decode (tests/benches baseline: this is the
 /// "what the FPGA replaces" float path).
+// The textbook reference is kept as plainly-written loops; dims are the same
+// in-range layer widths the packed kernel handles.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn gemm_naive_signs(a: &BitMatrix, b_t: &BitMatrix) -> Vec<i32> {
     assert_eq!(a.cols(), b_t.cols());
     let (m, n, k) = (a.rows(), b_t.rows(), a.cols());
@@ -86,6 +105,7 @@ pub fn gemm_naive_signs(a: &BitMatrix, b_t: &BitMatrix) -> Vec<i32> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use proptest::prelude::*;
 

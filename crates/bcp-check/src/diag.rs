@@ -22,6 +22,7 @@ use std::fmt;
 /// | `BCP06x`  | checker configuration                      |
 /// | `BCP10x`  | repo-invariant lints (`bcp lint`)          |
 /// | `BCP11x`  | lint configuration                         |
+/// | `BCP2xx`  | hot-path audit (`bcp audit`)               |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `BCP001` — consecutive conv layers disagree on channel count.
@@ -88,11 +89,30 @@ pub enum Code {
     UndocumentedMetric,
     /// `BCP110` — the lint pass itself could not run as configured.
     LintConfigError,
+    /// `BCP200` — panic site (`unwrap`/`expect`/`panic!`/…) reachable
+    /// from a hot-path root.
+    HotPathPanic,
+    /// `BCP201` — slice/array indexing without `get` reachable from a
+    /// hot-path root.
+    HotPathIndexing,
+    /// `BCP202` — unchecked division/remainder by a non-literal divisor
+    /// reachable from a hot-path root.
+    HotPathDivision,
+    /// `BCP210` — heap allocation reachable from a hot-path root.
+    HotPathAllocation,
+    /// `BCP220` — blocking call (lock, I/O, sleep) reachable from a
+    /// hot-path root without an `// audit: allow(block)` justification.
+    HotPathBlocking,
+    /// `BCP230` — unjustified narrowing `as` cast reachable from a
+    /// hot-path root.
+    HotPathNarrowingCast,
+    /// `BCP240` — the audit pass itself could not run as configured.
+    AuditConfigError,
 }
 
 impl Code {
     /// Every code, in numeric order (drives the README reference table).
-    pub const ALL: [Code; 31] = [
+    pub const ALL: [Code; 38] = [
         Code::ConvChainMismatch,
         Code::FcChainMismatch,
         Code::FlattenMismatch,
@@ -124,6 +144,13 @@ impl Code {
         Code::HotPathChannelUnwrap,
         Code::UndocumentedMetric,
         Code::LintConfigError,
+        Code::HotPathPanic,
+        Code::HotPathIndexing,
+        Code::HotPathDivision,
+        Code::HotPathAllocation,
+        Code::HotPathBlocking,
+        Code::HotPathNarrowingCast,
+        Code::AuditConfigError,
     ];
 
     /// The stable `BCP0xx` string.
@@ -160,6 +187,13 @@ impl Code {
             Code::HotPathChannelUnwrap => "BCP102",
             Code::UndocumentedMetric => "BCP103",
             Code::LintConfigError => "BCP110",
+            Code::HotPathPanic => "BCP200",
+            Code::HotPathIndexing => "BCP201",
+            Code::HotPathDivision => "BCP202",
+            Code::HotPathAllocation => "BCP210",
+            Code::HotPathBlocking => "BCP220",
+            Code::HotPathNarrowingCast => "BCP230",
+            Code::AuditConfigError => "BCP240",
         }
     }
 
@@ -202,6 +236,13 @@ impl Code {
             Code::HotPathChannelUnwrap => "unwrap() on channel send/recv in a serving hot path",
             Code::UndocumentedMetric => "metric emitted in code but missing from README tables",
             Code::LintConfigError => "lint pass could not run as configured",
+            Code::HotPathPanic => "panic site reachable from a hot-path root",
+            Code::HotPathIndexing => "unchecked indexing reachable from a hot-path root",
+            Code::HotPathDivision => "unchecked non-literal division on a hot path",
+            Code::HotPathAllocation => "heap allocation reachable from a hot-path root",
+            Code::HotPathBlocking => "blocking call reachable from a hot-path root",
+            Code::HotPathNarrowingCast => "unjustified narrowing `as` cast on a hot path",
+            Code::AuditConfigError => "audit pass could not run as configured",
         }
     }
 }

@@ -25,12 +25,16 @@
 //! `binarycop` calls these from `Arch::try_validate` / `deploy` and the
 //! `bcp check` CLI subcommand.
 
+#![forbid(unsafe_code)]
 #![warn(clippy::arithmetic_side_effects)]
 
 pub mod analyses;
+pub mod audit;
+pub mod callgraph;
 pub mod diag;
 pub mod graph;
 pub mod lint;
+mod srcmodel;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use graph::{infer_shapes, ArchSpec, ConvSpec, FcSpec, ShapeAnalysis, StageKind, StagePlan};

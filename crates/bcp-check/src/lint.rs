@@ -22,6 +22,7 @@
 //! audited at import time, not continuously.
 
 use crate::diag::{Code, Diagnostic, Report};
+use crate::srcmodel::{code_lines, first_test_line, SrcLine};
 use std::path::{Path, PathBuf};
 
 /// Files allowed to contain `unsafe` (`BCP101`). Every entry is a
@@ -178,114 +179,7 @@ fn lint_file(
     }
 }
 
-// --------------------------------------------------------- source model --
-
-/// One source line split into executable code and its trailing comment,
-/// with string-literal *contents* blanked in `code` (so `"unsafe"` in a
-/// message never triggers `BCP101`) but preserved in `strings`.
-struct SrcLine {
-    /// Code with comments removed and string contents replaced by spaces.
-    code: String,
-    /// The line's comment text (everything after `//`), if any.
-    comment: String,
-    /// Code with string contents preserved (for metric extraction).
-    with_strings: String,
-}
-
-/// Split source into [`SrcLine`]s, tracking block comments and string
-/// literals (with escapes) across the whole file. Raw strings are not
-/// handled; the workspace does not use them in linted positions.
-fn code_lines(src: &str) -> Vec<SrcLine> {
-    let mut out = Vec::new();
-    let mut in_block_comment = false;
-    for raw in src.lines() {
-        let mut code = String::with_capacity(raw.len());
-        let mut with_strings = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut chars = raw.chars().peekable();
-        let mut in_string = false;
-        let mut in_char = false;
-        while let Some(c) = chars.next() {
-            if in_block_comment {
-                if c == '*' && chars.peek() == Some(&'/') {
-                    chars.next();
-                    in_block_comment = false;
-                }
-                continue;
-            }
-            if in_string || in_char {
-                with_strings.push(c);
-                if c == '\\' {
-                    if let Some(esc) = chars.next() {
-                        with_strings.push(esc);
-                    }
-                } else if in_string && c == '"' {
-                    code.push('"');
-                    in_string = false;
-                } else if in_char && c == '\'' {
-                    in_char = false;
-                } else {
-                    code.push(' ');
-                }
-                continue;
-            }
-            match c {
-                '/' if chars.peek() == Some(&'/') => {
-                    comment = chars.collect::<String>();
-                    comment.remove(0);
-                    break;
-                }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    in_block_comment = true;
-                }
-                '"' => {
-                    in_string = true;
-                    code.push('"');
-                    with_strings.push('"');
-                }
-                // A lifetime/label tick is followed by an identifier; a
-                // char literal tick is not ambiguous in linted patterns,
-                // so only treat `'x'`-shaped sequences as char literals.
-                '\'' => {
-                    let mut ahead = chars.clone();
-                    let is_char = matches!(
-                        (ahead.next(), ahead.next()),
-                        (Some('\\'), _) | (Some(_), Some('\''))
-                    );
-                    if is_char {
-                        in_char = true;
-                    }
-                    code.push(' ');
-                    with_strings.push(' ');
-                }
-                _ => {
-                    code.push(c);
-                    with_strings.push(c);
-                }
-            }
-        }
-        out.push(SrcLine {
-            code,
-            comment,
-            with_strings,
-        });
-    }
-    out
-}
-
-/// Index of the first line opening a test module (`#[cfg(test)]` or
-/// `#[cfg(all(test, …))]`); everything from there on is skipped. By
-/// workspace convention test modules close out their files.
-fn first_test_line(lines: &[SrcLine]) -> usize {
-    lines
-        .iter()
-        .position(|l| {
-            let t = l.code.trim_start();
-            t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test")
-        })
-        .unwrap_or(lines.len())
-}
+// ------------------------------------------------------ token matching --
 
 fn has_atomic_ordering(code: &str) -> bool {
     ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
@@ -457,7 +351,7 @@ fn metric_matches(code: &[CodeSeg], doc: &[DocSeg]) -> bool {
 /// `benches/` and `examples/` subtrees (integration tests may violate
 /// invariants on purpose). A missing `dir` is fine — not every crate
 /// has the standard layout.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };

@@ -1,0 +1,351 @@
+//! Mutation tests for the hot-path audit (`bcp audit`): each test seeds
+//! exactly one violation into an otherwise-clean miniature workspace and
+//! pins the diagnostic to its BCP2xx code, its `file:line` location, its
+//! message text, and its call-chain witness. A detector that silently
+//! stops firing — or fires with a useless witness — fails here, not in
+//! production.
+
+use bcp_check::audit::audit_sources;
+use bcp_check::{Code, Diagnostic, Report};
+
+/// The single diagnostic carrying `code`, asserting there is exactly one.
+fn only(report: &Report, code: Code) -> &Diagnostic {
+    let hits: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {code:?} finding, got:\n{}",
+        report.render_text()
+    );
+    hits[0]
+}
+
+fn help(d: &Diagnostic) -> &str {
+    d.help.as_deref().unwrap_or("")
+}
+
+#[test]
+fn bcp200_panic_site_in_callee_carries_cross_file_witness() {
+    let report = audit_sources(&[
+        (
+            "crates/x/src/engine.rs",
+            "// bcp:hot-path — dispatch entry\n\
+             pub fn dispatch(v: Option<u64>) -> u64 {\n\
+                 stage(v)\n\
+             }\n",
+        ),
+        (
+            "crates/x/src/kernel.rs",
+            "pub fn stage(v: Option<u64>) -> u64 {\n\
+                 v.unwrap()\n\
+             }\n",
+        ),
+    ]);
+    assert!(!report.is_clean());
+    let d = only(&report, Code::HotPathPanic);
+    assert_eq!(d.location, "crates/x/src/kernel.rs:2");
+    assert!(
+        d.message
+            .contains("panic site `.unwrap()` on the audited hot path"),
+        "message: {}",
+        d.message
+    );
+    assert!(
+        help(d).contains("reachable from root `dispatch` via `stage`"),
+        "witness missing from help: {}",
+        help(d)
+    );
+    assert!(help(d).contains("audit: allow(panic)"), "help: {}", help(d));
+}
+
+#[test]
+fn bcp200_witness_chain_runs_root_to_leaf() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root() { mid() }\n\
+         fn mid() { leaf() }\n\
+         fn leaf() { panic!(\"boom\") }\n",
+    )]);
+    let d = only(&report, Code::HotPathPanic);
+    assert_eq!(d.location, "crates/x/src/lib.rs:4");
+    assert!(
+        help(d).contains("reachable from root `root` via `mid` → `leaf`"),
+        "help: {}",
+        help(d)
+    );
+}
+
+#[test]
+fn bcp201_unchecked_indexing_in_root_body() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(xs: &[u64], i: usize) -> u64 {\n\
+             xs[i]\n\
+         }\n",
+    )]);
+    let d = only(&report, Code::HotPathIndexing);
+    assert_eq!(d.location, "crates/x/src/lib.rs:3");
+    assert!(
+        d.message.contains("unchecked `[…]` indexing"),
+        "message: {}",
+        d.message
+    );
+    assert!(
+        help(d).contains("in hot-path root `root`"),
+        "a root-body finding gets the root-form witness: {}",
+        help(d)
+    );
+}
+
+#[test]
+fn bcp202_division_by_non_constant_names_the_divisor() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(total: u64, batch: u64) -> u64 {\n\
+             total / batch\n\
+         }\n",
+    )]);
+    let d = only(&report, Code::HotPathDivision);
+    assert_eq!(d.location, "crates/x/src/lib.rs:3");
+    assert!(
+        d.message
+            .contains("division/modulo by non-constant `batch`"),
+        "message: {}",
+        d.message
+    );
+}
+
+#[test]
+fn bcp210_heap_allocation_in_reached_method() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "struct Pool;\n\
+         impl Pool {\n\
+             // bcp:hot-path — per-request checkout\n\
+             pub fn checkout(&self) -> Vec<u8> {\n\
+                 self.fresh()\n\
+             }\n\
+             fn fresh(&self) -> Vec<u8> {\n\
+                 Vec::new()\n\
+             }\n\
+         }\n",
+    )]);
+    let d = only(&report, Code::HotPathAllocation);
+    assert_eq!(d.location, "crates/x/src/lib.rs:8");
+    assert!(
+        d.message.contains("heap allocation `Vec::new`"),
+        "message: {}",
+        d.message
+    );
+    assert!(
+        help(d).contains("reachable from root `Pool::checkout` via `Pool::fresh`"),
+        "help: {}",
+        help(d)
+    );
+}
+
+#[test]
+fn bcp220_blocking_lock_on_hot_path() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(m: &std::sync::Mutex<u64>) -> u64 {\n\
+             *m.lock().unwrap()\n\
+         }\n",
+    )]);
+    let d = only(&report, Code::HotPathBlocking);
+    assert_eq!(d.location, "crates/x/src/lib.rs:3");
+    assert!(
+        d.message.contains("blocking call `.lock()`"),
+        "message: {}",
+        d.message
+    );
+    // The same line also panics (`unwrap`); both detectors must fire.
+    assert!(report.has_code(Code::HotPathPanic));
+}
+
+#[test]
+fn bcp230_narrowing_cast_names_the_target_type() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(x: u64) -> u8 {\n\
+             x as u8\n\
+         }\n",
+    )]);
+    let d = only(&report, Code::HotPathNarrowingCast);
+    assert_eq!(d.location, "crates/x/src/lib.rs:3");
+    assert!(
+        d.message.contains("narrowing `as u8` cast"),
+        "message: {}",
+        d.message
+    );
+}
+
+#[test]
+fn widening_cast_is_not_a_finding() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(x: u8) -> u64 {\n\
+             x as u64\n\
+         }\n",
+    )]);
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn bcp240_no_roots_refuses_to_pass_vacuously() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "fn quiet() { let _ = Vec::<u8>::new(); }\n",
+    )]);
+    let d = only(&report, Code::AuditConfigError);
+    assert!(
+        d.message
+            .contains("no `// bcp:hot-path` roots found: the audit would pass vacuously"),
+        "message: {}",
+        d.message
+    );
+    // With no roots nothing is reachable, so no BCP2xx body findings —
+    // the config error is the only thing keeping this from a false pass.
+    assert!(!report.has_code(Code::HotPathAllocation));
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn bcp240_malformed_directives_each_variant() {
+    // Unclosed allow.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root() {\n// audit: allow(panic: oops\n    let _ = 1;\n}\n",
+    )]);
+    assert!(only(&r, Code::AuditConfigError)
+        .message
+        .contains("unclosed `audit: allow(…)` directive"),);
+
+    // Unknown kind, with the known-kinds help.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root() {\n// audit: allow(everything): please\n    let _ = 1;\n}\n",
+    )]);
+    let d = only(&r, Code::AuditConfigError);
+    assert!(d
+        .message
+        .contains("unknown audit allow kind(s): everything"));
+    assert!(help(d).contains("known kinds: panic, index, div, alloc, block, cast"));
+
+    // Allow without a justification.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root(xs: &[u8]) -> u8 {\n// audit: allow(index)\n    xs[0]\n}\n",
+    )]);
+    assert!(only(&r, Code::AuditConfigError)
+        .message
+        .contains("audit allow without a justification"),);
+
+    // `external` without a justification.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root() {\n// audit: external\n    helper();\n}\nfn helper() {}\n",
+    )]);
+    assert!(only(&r, Code::AuditConfigError)
+        .message
+        .contains("`audit: external` without a justification"),);
+
+    // `cold` without a justification.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root() {}\n// audit: cold\nfn teardown() {}\n",
+    )]);
+    assert!(only(&r, Code::AuditConfigError)
+        .message
+        .contains("`audit: cold` without a justification"),);
+
+    // Unknown directive.
+    let r = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root() {}\n// audit: trustme — honest\nfn other() {}\n",
+    )]);
+    assert!(only(&r, Code::AuditConfigError)
+        .message
+        .contains("unknown audit directive"),);
+}
+
+#[test]
+fn allow_suppresses_only_its_own_kind() {
+    // `xs[i]` is allowed, but the `.unwrap()` on the same line is not:
+    // a single allow must not blanket the whole line.
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root(xs: &[Option<u64>], i: usize) -> u64 {\n\
+             // audit: allow(index): i is pre-masked to capacity\n\
+             xs[i].unwrap()\n\
+         }\n",
+    )]);
+    assert!(
+        !report.has_code(Code::HotPathIndexing),
+        "{}",
+        report.render_text()
+    );
+    let d = only(&report, Code::HotPathPanic);
+    assert_eq!(d.location, "crates/x/src/lib.rs:4");
+}
+
+#[test]
+fn cold_boundary_stops_traversal_before_the_violation() {
+    // The panic lives behind an `audit: cold` function: unreachable from
+    // the root, so the audit is clean. Deleting the cold marker must
+    // resurface it (checked as the second half).
+    let cold = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root() { recover() }\n\
+         // audit: cold — repair path, never per-request\n\
+         fn recover() { deep() }\n\
+         fn deep() { panic!(\"repair\") }\n",
+    )]);
+    assert!(cold.is_clean(), "{}", cold.render_text());
+
+    let hot = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root() { recover() }\n\
+         fn recover() { deep() }\n\
+         fn deep() { panic!(\"repair\") }\n",
+    )]);
+    assert!(hot.has_code(Code::HotPathPanic), "{}", hot.render_text());
+}
+
+#[test]
+fn external_directive_cuts_the_call_edge_on_that_line() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\n\
+         fn root() {\n\
+             // audit: external — replica compute is audited at its own kernel roots\n\
+             replica_compute();\n\
+         }\n\
+         fn replica_compute() { let _v = vec![0u8; 4]; }\n",
+    )]);
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn findings_render_with_code_and_location() {
+    let report = audit_sources(&[(
+        "crates/x/src/lib.rs",
+        "// bcp:hot-path\nfn root(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    )]);
+    let text = report.render_text();
+    assert!(text.contains("BCP200"), "rendered: {text}");
+    assert!(text.contains("crates/x/src/lib.rs:3"), "rendered: {text}");
+}

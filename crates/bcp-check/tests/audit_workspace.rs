@@ -1,0 +1,71 @@
+//! Self-audit: the workspace's own hot paths must stay clean. This is
+//! the same gate CI runs (`bcp audit`), pinned as a test so a violation
+//! fails `cargo test` locally before it fails the pipeline.
+
+use bcp_check::audit::audit_workspace;
+use bcp_check::Code;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/bcp-check → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bcp-check sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_hot_paths_are_clean() {
+    let report = audit_workspace(workspace_root());
+    assert!(
+        report.is_clean(),
+        "the workspace hot-path audit must pass:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn workspace_audit_directives_are_well_formed() {
+    let report = audit_workspace(workspace_root());
+    assert!(
+        !report.has_code(Code::AuditConfigError),
+        "malformed audit directive (or no roots) in the workspace:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn workspace_has_a_substantial_root_set() {
+    // The audit is only as strong as its root set. The serving entries,
+    // worker loop, oneshot delivery, kernels and trace push are all
+    // annotated; if a refactor silently drops most of the annotations,
+    // the reachability proof quietly shrinks — fail loudly instead.
+    let mut count = 0usize;
+    let mut stack = vec![workspace_root().join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name()
+                    .is_some_and(|n| n == "target" || n == "vendor")
+                {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let src = std::fs::read_to_string(&p).unwrap_or_default();
+                count += src
+                    .lines()
+                    .filter(|l| l.trim_start().starts_with("// bcp:hot-path"))
+                    .count();
+            }
+        }
+    }
+    assert!(
+        count >= 10,
+        "expected at least 10 `// bcp:hot-path` roots across the workspace, found {count}"
+    );
+}

@@ -24,6 +24,8 @@
 //! Every image is quantized to the 8-bit grid (`k/255`), matching the
 //! camera→accelerator interface the FINN first layer consumes.
 
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod canvas;
 pub mod classes;

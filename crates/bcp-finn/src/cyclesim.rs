@@ -44,6 +44,9 @@ pub fn simulate(pipeline: &Pipeline, frames: usize, fifo_depth: usize) -> CycleS
 /// actual tandem-queue recurrence; `bcp-check`'s rate-balance analysis
 /// calls it on cycle counts derived from an architecture description alone,
 /// before any weights exist.
+// The recurrence indices are guarded (i ≥ 1, k ≥ fifo_depth) and cycle
+// counts would need >10^19 simulated cycles to overflow u64.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn simulate_service(service: &[u64], frames: usize, fifo_depth: usize) -> CycleSimReport {
     assert!(fifo_depth >= 1, "inter-stage FIFOs need at least one slot");
     let n = service.len();
@@ -103,6 +106,7 @@ pub fn simulate_service(service: &[u64], frames: usize, fifo_depth: usize) -> Cy
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::data::QuantMap;
     use crate::folding::Folding;

@@ -23,7 +23,7 @@ impl BinMap {
             c,
             h,
             w,
-            bits: BitVec64::zeros(c * h * w),
+            bits: BitVec64::zeros(c.saturating_mul(h).saturating_mul(w)),
         }
     }
 
@@ -31,7 +31,7 @@ impl BinMap {
     pub fn from_bits(c: usize, h: usize, w: usize, bits: BitVec64) -> Self {
         assert_eq!(
             bits.len(),
-            c * h * w,
+            c.saturating_mul(h).saturating_mul(w),
             "bit count does not match {c}×{h}×{w}"
         );
         BinMap { c, h, w, bits }
@@ -41,7 +41,7 @@ impl BinMap {
     pub fn from_signs(c: usize, h: usize, w: usize, signs: &[f32]) -> Self {
         assert_eq!(
             signs.len(),
-            c * h * w,
+            c.saturating_mul(h).saturating_mul(w),
             "sign count does not match {c}×{h}×{w}"
         );
         BinMap {
@@ -64,12 +64,17 @@ impl BinMap {
 
     /// Bit at (channel, y, x): `true` = +1.
     #[inline]
+    // The CHW offset is in range (debug-asserted) and the backing accessor
+    // bounds-checks; plain ops keep the per-pixel address math tight.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn get(&self, ch: usize, y: usize, x: usize) -> bool {
         debug_assert!(ch < self.c && y < self.h && x < self.w);
         self.bits.get((ch * self.h + y) * self.w + x)
     }
 
     /// Set bit at (channel, y, x).
+    // Same in-range CHW offset as `get`; the backing accessor bounds-checks.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn set(&mut self, ch: usize, y: usize, x: usize, v: bool) {
         self.bits.set((ch * self.h + y) * self.w + x, v);
     }
@@ -110,7 +115,7 @@ impl QuantMap {
     pub fn from_unit_floats(c: usize, h: usize, w: usize, pixels: &[f32]) -> Self {
         assert_eq!(
             pixels.len(),
-            c * h * w,
+            c.saturating_mul(h).saturating_mul(w),
             "pixel count does not match {c}×{h}×{w}"
         );
         let values = pixels
@@ -118,7 +123,7 @@ impl QuantMap {
             .map(|&v| {
                 assert!((0.0..=1.0).contains(&v), "pixel {v} outside [0,1]");
                 let q = (v * 255.0).round() as i32;
-                2 * q - 255
+                q.saturating_mul(2).saturating_sub(255)
             })
             .collect();
         QuantMap { c, h, w, values }
@@ -126,6 +131,8 @@ impl QuantMap {
 
     /// Value at (channel, y, x).
     #[inline]
+    // The CHW offset is in range by construction; indexing bounds-checks.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn get(&self, ch: usize, y: usize, x: usize) -> i32 {
         self.values[(ch * self.h + y) * self.w + x]
     }

@@ -48,9 +48,9 @@ impl ResourceUsage {
     #[allow(clippy::should_implement_trait)] // a named helper, not operator overloading
     pub fn add(self, other: ResourceUsage) -> ResourceUsage {
         ResourceUsage {
-            luts: self.luts + other.luts,
-            bram18: self.bram18 + other.bram18,
-            dsps: self.dsps + other.dsps,
+            luts: self.luts.saturating_add(other.luts),
+            bram18: self.bram18.saturating_add(other.bram18),
+            dsps: self.dsps.saturating_add(other.dsps),
         }
     }
 }

@@ -90,7 +90,7 @@ impl std::fmt::Display for IntegrityFault {
 /// is computed over: one tag byte per channel, plus the little-endian
 /// threshold for the comparing variants.
 pub fn threshold_bytes(unit: &ThresholdUnit) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(unit.len() * 9);
+    let mut bytes = Vec::with_capacity(unit.len().saturating_mul(9));
     for ch in unit.channels() {
         match ch {
             ThresholdChannel::Ge(t) => {
@@ -229,6 +229,7 @@ impl GoldenDigest {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::fault::{apply_fault, FaultRecord};
     use crate::folding::Folding;

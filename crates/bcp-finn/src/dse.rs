@@ -52,7 +52,7 @@ pub struct DseResult {
 
 /// Smallest divisor of `n` strictly greater than `cur`, if any.
 fn next_divisor(n: usize, cur: usize) -> Option<usize> {
-    ((cur + 1)..=n).find(|d| n.is_multiple_of(*d))
+    (cur.saturating_add(1)..=n).find(|d| n.is_multiple_of(*d))
 }
 
 /// Greedy throughput-matching allocation under a LUT budget.
@@ -98,8 +98,8 @@ pub fn allocate(layers: &[LayerDims], lut_budget: f64) -> DseResult {
                 None => true,
                 // Prefer the bigger cycle reduction per LUT.
                 Some((_, bd, bc)) => {
-                    let gain = (l.cycles(f) - cycles) as f64 / delta.max(1e-9);
-                    let bgain = (l.cycles(f) - bc) as f64 / bd.max(1e-9);
+                    let gain = l.cycles(f).saturating_sub(cycles) as f64 / delta.max(1e-9);
+                    let bgain = l.cycles(f).saturating_sub(bc) as f64 / bd.max(1e-9);
                     gain > bgain
                 }
             };

@@ -133,7 +133,7 @@ pub fn apply_burst(
     try_apply_fault(pipeline, first)?;
     let mut records = vec![first];
     let (_, cols) = stage_weight_dims(&pipeline.stages()[stage]).expect("validated above");
-    for c in col + 1..(col + k).min(cols) {
+    for c in col.saturating_add(1)..col.saturating_add(k).min(cols) {
         let rec = FaultRecord { stage, row, col: c };
         try_apply_fault(pipeline, rec).expect("burst tail within validated row");
         records.push(rec);
@@ -162,7 +162,10 @@ pub fn inject_random_faults(pipeline: &mut Pipeline, n: usize, seed: u64) -> Vec
         .enumerate()
         .filter_map(|(i, s)| stage_weight_dims(s).map(|(r, c)| (i, r, c)))
         .collect();
-    let total_bits: u64 = sizes.iter().map(|&(_, r, c)| (r * c) as u64).sum();
+    let total_bits: u64 = sizes
+        .iter()
+        .map(|&(_, r, c)| (r as u64).saturating_mul(c as u64))
+        .sum();
     assert!(
         (n as u64) <= total_bits,
         "cannot inject {n} distinct faults into {total_bits} weight bits"
@@ -180,25 +183,27 @@ pub fn inject_random_faults(pipeline: &mut Pipeline, n: usize, seed: u64) -> Vec
     let mut chosen = std::collections::HashSet::new();
     let mut records = Vec::with_capacity(n);
     while records.len() < n {
-        let bit = next() % total_bits;
+        let bit = next().checked_rem(total_bits).unwrap_or(0);
         if !chosen.insert(bit) {
             continue;
         }
         // Locate the bit within the stage list.
         let mut offset = bit;
         for &(stage, rows, cols) in &sizes {
-            let bits = (rows * cols) as u64;
+            let bits = (rows as u64).saturating_mul(cols as u64);
             if offset < bits {
+                // offset < bits = rows·cols forces cols ≥ 1.
+                let cw = cols as u64;
                 let record = FaultRecord {
                     stage,
-                    row: (offset / cols as u64) as usize,
-                    col: (offset % cols as u64) as usize,
+                    row: offset.checked_div(cw).unwrap_or(0) as usize,
+                    col: offset.checked_rem(cw).unwrap_or(0) as usize,
                 };
                 try_apply_fault(pipeline, record).expect("drawn record is within bounds");
                 records.push(record);
                 break;
             }
-            offset -= bits;
+            offset = offset.saturating_sub(bits);
         }
     }
     records
@@ -206,6 +211,7 @@ pub fn inject_random_faults(pipeline: &mut Pipeline, n: usize, seed: u64) -> Vec
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::data::QuantMap;
     use crate::folding::Folding;

@@ -70,18 +70,18 @@ impl Folding {
 
     /// Cycles to process one input vector of a `rows × cols` matrix.
     pub fn fold(&self, rows: usize, cols: usize) -> u64 {
-        (rows.div_ceil(self.pe) as u64) * (cols.div_ceil(self.simd) as u64)
+        (rows.div_ceil(self.pe) as u64).saturating_mul(cols.div_ceil(self.simd) as u64)
     }
 
     /// Cycles per frame for an MVTU fed `vectors` input vectors
     /// (`OH·OW` for conv layers, 1 for dense layers).
     pub fn cycles_per_frame(&self, rows: usize, cols: usize, vectors: usize) -> u64 {
-        self.fold(rows, cols) * vectors as u64
+        self.fold(rows, cols).saturating_mul(vectors as u64)
     }
 
     /// Hardware parallelism (synapse ops per cycle).
     pub fn parallelism(&self) -> u64 {
-        (self.pe * self.simd) as u64
+        (self.pe as u64).saturating_mul(self.simd as u64)
     }
 
     /// Whether the folding divides the matrix exactly (no padding waste).

@@ -55,6 +55,7 @@ impl PipelineImage {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::data::QuantMap;
     use crate::folding::Folding;

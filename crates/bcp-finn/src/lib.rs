@@ -26,6 +26,9 @@
 //! dataflow: one thread per stage over bounded channels, the software
 //! analogue of Fig. 1's streaming architecture.
 
+#![forbid(unsafe_code)]
+#![warn(clippy::arithmetic_side_effects)]
+
 pub mod cyclesim;
 pub mod data;
 pub mod device;

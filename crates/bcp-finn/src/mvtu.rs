@@ -94,7 +94,9 @@ impl BinaryMvtu {
     }
 
     /// Raw signed accumulators for one input vector.
+    // bcp:hot-path — one MVTU pass per hidden layer per frame
     pub fn accumulate(&self, input: &BitVec64) -> Vec<i64> {
+        // audit: allow(panic): fan-in mismatch is a programming error, checked once per layer pass
         assert_eq!(
             input.len(),
             self.weights.cols(),
@@ -104,17 +106,21 @@ impl BinaryMvtu {
         );
         (0..self.weights.rows())
             .map(|r| xnor_dot_words(self.weights.row_words(r), input.words(), input.len()) as i64)
+            // audit: allow(alloc): one accumulator vector per layer pass — layer-level buffer reuse is ROADMAP item 2
             .collect()
     }
 
     /// Thresholded output bits for one input vector. Panics when built
     /// without thresholds.
+    // bcp:hot-path — threshold stage of every hidden layer
     pub fn threshold_bits(&self, input: &BitVec64) -> BitVec64 {
         let t = self
             .thresholds
             .as_ref()
+            // audit: allow(panic): calling the threshold stage on a logits-mode unit is a wiring error caught at the first frame
             .expect("threshold_bits() on a logits-mode MVTU");
         let accs = self.accumulate(input);
+        // audit: allow(alloc): one packed output vector per layer pass — layer-level buffer reuse is ROADMAP item 2
         let mut out = BitVec64::zeros(accs.len());
         for (i, &a) in accs.iter().enumerate() {
             if t.apply(i, a) {
@@ -189,7 +195,12 @@ impl FixedInputMvtu {
     }
 
     /// Signed accumulators: `Σ (w ? +x : −x)`.
+    // The accumulator is bounded by 255·fan-in ≪ i64::MAX; plain adds keep
+    // the per-pixel loop tight.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — first-layer fixed-point accumulation, once per frame
     pub fn accumulate(&self, input: &[i32]) -> Vec<i64> {
+        // audit: allow(panic): fan-in mismatch is a programming error, checked once per layer pass
         assert_eq!(
             input.len(),
             self.weights.cols(),
@@ -209,12 +220,15 @@ impl FixedInputMvtu {
                 }
                 acc
             })
+            // audit: allow(alloc): one accumulator vector per layer pass — layer-level buffer reuse is ROADMAP item 2
             .collect()
     }
 
     /// Thresholded output bits.
+    // bcp:hot-path — first-layer threshold stage, once per frame
     pub fn threshold_bits(&self, input: &[i32]) -> BitVec64 {
         let accs = self.accumulate(input);
+        // audit: allow(alloc): one packed output vector per layer pass — layer-level buffer reuse is ROADMAP item 2
         let mut out = BitVec64::zeros(accs.len());
         for (i, &a) in accs.iter().enumerate() {
             if self.thresholds.apply(i, a) {

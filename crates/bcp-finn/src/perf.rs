@@ -75,12 +75,16 @@ impl PerfReport {
             return 0.0;
         }
         // Fill latency for the first frame, II for each subsequent one.
-        (self.latency_cycles + (frames as u64 - 1) * self.initiation_interval) as f64 / clock.hz
+        let steady = (frames as u64)
+            .saturating_sub(1)
+            .saturating_mul(self.initiation_interval);
+        self.latency_cycles.saturating_add(steady) as f64 / clock.hz
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::data::QuantMap;
     use crate::folding::Folding;

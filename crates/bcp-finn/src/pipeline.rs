@@ -79,7 +79,11 @@ impl Stage {
             Stage::ConvBinary {
                 mvtu, k, in_dims, ..
             } => (mvtu.rows(), out_dim(in_dims.1, *k), out_dim(in_dims.2, *k)),
-            Stage::PoolOr { k, in_dims, .. } => (in_dims.0, in_dims.1 / k, in_dims.2 / k),
+            Stage::PoolOr { k, in_dims, .. } => (
+                in_dims.0,
+                in_dims.1.checked_div(*k).unwrap_or(0),
+                in_dims.2.checked_div(*k).unwrap_or(0),
+            ),
             Stage::DenseBinary { mvtu, .. } => (mvtu.rows(), 1, 1),
             Stage::DenseLogits { mvtu, .. } => (mvtu.rows(), 1, 1),
         }
@@ -90,7 +94,10 @@ impl Stage {
         match self {
             Stage::ConvFixed { in_dims, .. }
             | Stage::ConvBinary { in_dims, .. }
-            | Stage::PoolOr { in_dims, .. } => in_dims.0 * in_dims.1 * in_dims.2,
+            | Stage::PoolOr { in_dims, .. } => in_dims
+                .0
+                .saturating_mul(in_dims.1)
+                .saturating_mul(in_dims.2),
             Stage::DenseBinary { mvtu, .. } | Stage::DenseLogits { mvtu, .. } => mvtu.cols(),
         }
     }
@@ -109,10 +116,14 @@ impl Stage {
     /// Weight-memory size in bits (0 for pool stages).
     pub fn weight_bits(&self) -> u64 {
         match self {
-            Stage::ConvFixed { mvtu, .. } => (mvtu.rows() * mvtu.cols()) as u64,
+            Stage::ConvFixed { mvtu, .. } => {
+                (mvtu.rows() as u64).saturating_mul(mvtu.cols() as u64)
+            }
             Stage::ConvBinary { mvtu, .. }
             | Stage::DenseBinary { mvtu, .. }
-            | Stage::DenseLogits { mvtu, .. } => (mvtu.rows() * mvtu.cols()) as u64,
+            | Stage::DenseLogits { mvtu, .. } => {
+                (mvtu.rows() as u64).saturating_mul(mvtu.cols() as u64)
+            }
             Stage::PoolOr { .. } => 0,
         }
     }
@@ -159,18 +170,19 @@ impl Stage {
             Stage::ConvFixed {
                 mvtu, k, in_dims, ..
             } => {
-                let vecs = out_dim(in_dims.1, *k) * out_dim(in_dims.2, *k);
+                let vecs = out_dim(in_dims.1, *k).saturating_mul(out_dim(in_dims.2, *k));
                 mvtu.folding
                     .cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
             }
             Stage::ConvBinary {
                 mvtu, k, in_dims, ..
             } => {
-                let vecs = out_dim(in_dims.1, *k) * out_dim(in_dims.2, *k);
+                let vecs = out_dim(in_dims.1, *k).saturating_mul(out_dim(in_dims.2, *k));
                 mvtu.folding
                     .cycles_per_frame(mvtu.rows(), mvtu.cols(), vecs)
             }
-            Stage::PoolOr { k, in_dims, .. } => ((in_dims.1 / k) * (in_dims.2 / k)) as u64,
+            Stage::PoolOr { k, in_dims, .. } => (in_dims.1.checked_div(*k).unwrap_or(0) as u64)
+                .saturating_mul(in_dims.2.checked_div(*k).unwrap_or(0) as u64),
             Stage::DenseBinary { mvtu, .. } | Stage::DenseLogits { mvtu, .. } => {
                 mvtu.folding.cycles_per_frame(mvtu.rows(), mvtu.cols(), 1)
             }
@@ -196,7 +208,11 @@ impl Stage {
                 let mut out = BinMap::zeros(mvtu.rows(), oh, ow);
                 for (p, window) in windows_quant(&q, *k).iter().enumerate() {
                     let bits = mvtu.threshold_bits(window);
-                    let (oy, ox) = (p / ow, p % ow);
+                    // ow ≥ 1 whenever a window exists, so the divisor is never zero.
+                    let (oy, ox) = (
+                        p.checked_div(ow).unwrap_or(0),
+                        p.checked_rem(ow).unwrap_or(0),
+                    );
                     for ch in 0..mvtu.rows() {
                         if bits.get(ch) {
                             out.set(ch, oy, ox, true);
@@ -221,7 +237,11 @@ impl Stage {
                 let mut out = BinMap::zeros(mvtu.rows(), oh, ow);
                 for (p, window) in windows_binary(&b, *k).iter().enumerate() {
                     let bits = mvtu.threshold_bits(window);
-                    let (oy, ox) = (p / ow, p % ow);
+                    // ow ≥ 1 whenever a window exists, so the divisor is never zero.
+                    let (oy, ox) = (
+                        p.checked_div(ow).unwrap_or(0),
+                        p.checked_rem(ow).unwrap_or(0),
+                    );
                     for ch in 0..mvtu.rows() {
                         if bits.get(ch) {
                             out.set(ch, oy, ox, true);
@@ -274,22 +294,23 @@ impl Pipeline {
             matches!(stages[0], Stage::ConvFixed { .. }),
             "first stage must consume the quantized camera input"
         );
-        for i in 1..stages.len() {
-            let (c, h, w) = stages[i - 1].out_dims();
+        for pair in stages.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            let (c, h, w) = prev.out_dims();
             assert_eq!(
-                c * h * w,
-                stages[i].in_count(),
+                c.saturating_mul(h).saturating_mul(w),
+                cur.in_count(),
                 "stage '{}' output {}×{}×{} does not feed stage '{}' (expects {} elements)",
-                stages[i - 1].name(),
+                prev.name(),
                 c,
                 h,
                 w,
-                stages[i].name(),
-                stages[i].in_count()
+                cur.name(),
+                cur.in_count()
             );
         }
         for (i, s) in stages.iter().enumerate() {
-            let is_last = i + 1 == stages.len();
+            let is_last = i.saturating_add(1) == stages.len();
             assert_eq!(
                 matches!(s, Stage::DenseLogits { .. }),
                 is_last,
@@ -381,6 +402,7 @@ impl Pipeline {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use bcp_bitpack::pack::pack_matrix;
     use bcp_bitpack::{ThresholdChannel, ThresholdUnit};

@@ -8,6 +8,9 @@
 use crate::data::BinMap;
 
 /// OR-pool a binary map with a `k×k` window and stride `k`.
+// Window offsets oy·k+ky < h and ox·k+kx < w by the tiling assert; plain
+// ops keep the window walk tight.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn or_pool(map: &BinMap, k: usize) -> BinMap {
     assert!(
         k > 0 && map.h.is_multiple_of(k) && map.w.is_multiple_of(k),
@@ -40,6 +43,7 @@ pub fn or_pool(map: &BinMap, k: usize) -> BinMap {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
 
     #[test]

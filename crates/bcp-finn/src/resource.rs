@@ -81,28 +81,29 @@ pub fn estimate_specs(specs: &[StageResourceSpec], dsp_offload: bool) -> Resourc
             continue;
         }
         luts += f.parallelism() as f64 * LUT_PER_SYNAPSE + f.pe as f64 * LUT_PER_PE + LUT_PER_STAGE;
-        total_parallelism += f.parallelism();
+        total_parallelism = total_parallelism.saturating_add(f.parallelism());
         if i == 0 {
             first_layer_pe = f.pe as u64;
         }
         if bits > 0 {
             let per_pe = bits.div_ceil(f.pe as u64);
             if per_pe >= LUTRAM_LIMIT_BITS {
-                bram18 += f.pe as u64 * per_pe.div_ceil(BRAM18_BITS);
+                bram18 = bram18
+                    .saturating_add((f.pe as u64).saturating_mul(per_pe.div_ceil(BRAM18_BITS)));
             } else {
                 luts += bits as f64 / 64.0 * LUT_PER_64_LUTRAM_BITS;
             }
         }
     }
 
-    let mut dsps = DSP_BASE + first_layer_pe;
+    let mut dsps = DSP_BASE.saturating_add(first_layer_pe);
     let mut final_luts = luts;
     if dsp_offload {
         // Move a share of the XNOR parallelism into DSP48 slices: each
         // slice absorbs ~16 synapse-bits of LUT logic.
         let offload = total_parallelism.div_ceil(16);
-        dsps += offload;
-        final_luts -= (offload * 16) as f64 * LUT_PER_SYNAPSE * 0.5;
+        dsps = dsps.saturating_add(offload);
+        final_luts -= offload.saturating_mul(16) as f64 * LUT_PER_SYNAPSE * 0.5;
     }
 
     ResourceUsage {
@@ -114,6 +115,7 @@ pub fn estimate_specs(specs: &[StageResourceSpec], dsp_offload: bool) -> Resourc
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::device::{Z7010, Z7020};
     use crate::folding::Folding;

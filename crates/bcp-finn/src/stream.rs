@@ -51,7 +51,9 @@ pub struct StageTimings {
 
 impl StageTimings {
     fn total_ns(&self) -> u64 {
-        self.busy_ns + self.idle_ns + self.blocked_ns
+        self.busy_ns
+            .saturating_add(self.idle_ns)
+            .saturating_add(self.blocked_ns)
     }
 
     /// Fraction of this stage thread's loop time spent processing.
@@ -114,22 +116,24 @@ impl StreamStats {
             other.stages.len(),
             "cannot merge stats from pipelines with different stage counts"
         );
-        self.frames += other.frames;
+        self.frames = self.frames.saturating_add(other.frames);
         self.wall_seconds += other.wall_seconds;
         for (mine, theirs) in self
             .per_stage_processed
             .iter_mut()
             .zip(&other.per_stage_processed)
         {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
             assert_eq!(mine.name, theirs.name, "stage order mismatch in merge");
-            mine.busy_ns += theirs.busy_ns;
-            mine.idle_ns += theirs.idle_ns;
-            mine.blocked_ns += theirs.blocked_ns;
-            mine.occupancy_sum += theirs.occupancy_sum;
-            mine.occupancy_samples += theirs.occupancy_samples;
+            mine.busy_ns = mine.busy_ns.saturating_add(theirs.busy_ns);
+            mine.idle_ns = mine.idle_ns.saturating_add(theirs.idle_ns);
+            mine.blocked_ns = mine.blocked_ns.saturating_add(theirs.blocked_ns);
+            mine.occupancy_sum = mine.occupancy_sum.saturating_add(theirs.occupancy_sum);
+            mine.occupancy_samples = mine
+                .occupancy_samples
+                .saturating_add(theirs.occupancy_samples);
         }
     }
 
@@ -178,7 +182,7 @@ impl StreamStats {
         let frames = self.frames.max(1) as u64;
         self.stages
             .iter()
-            .map(|s| (s.name.clone(), s.busy_ns / frames))
+            .map(|s| (s.name.clone(), s.busy_ns.checked_div(frames).unwrap_or(0)))
             .collect()
     }
 }
@@ -202,7 +206,7 @@ pub fn run_streaming(
     let (input_tx, first_rx) = bounded::<StageData>(channel_depth);
     let mut rxs = vec![first_rx];
     let mut txs = Vec::with_capacity(n_stages);
-    for _ in 0..n_stages - 1 {
+    for _ in 0..n_stages.saturating_sub(1) {
         let (tx, rx) = bounded::<StageData>(channel_depth);
         txs.push(tx);
         rxs.push(rx);
@@ -232,19 +236,28 @@ pub fn run_streaming(
                         Ok(t) => t,
                         Err(_) => break, // upstream hung up and drained
                     };
-                    local.idle_ns += t_wait.elapsed().as_nanos() as u64;
+                    local.idle_ns = local
+                        .idle_ns
+                        .saturating_add(t_wait.elapsed().as_nanos() as u64);
                     // Backlog left in our FIFO after taking one token.
-                    local.occupancy_sum += rx.len() as u64;
-                    local.occupancy_samples += 1;
+                    local.occupancy_sum = local.occupancy_sum.saturating_add(rx.len() as u64);
+                    local.occupancy_samples = local.occupancy_samples.saturating_add(1);
 
                     let t_busy = Instant::now();
                     let out = stage.process(token);
-                    local.busy_ns += t_busy.elapsed().as_nanos() as u64;
-                    processed.lock()[i] += 1;
+                    local.busy_ns = local
+                        .busy_ns
+                        .saturating_add(t_busy.elapsed().as_nanos() as u64);
+                    {
+                        let mut done = processed.lock();
+                        done[i] = done[i].saturating_add(1);
+                    }
 
                     let t_send = Instant::now();
                     let sent = tx.send(out);
-                    local.blocked_ns += t_send.elapsed().as_nanos() as u64;
+                    local.blocked_ns = local
+                        .blocked_ns
+                        .saturating_add(t_send.elapsed().as_nanos() as u64);
                     if sent.is_err() {
                         break; // downstream hung up
                     }
@@ -367,6 +380,7 @@ pub fn correlation_report(pipeline: &Pipeline, stats: &StreamStats) -> Correlati
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
     use super::*;
     use crate::folding::Folding;
     use crate::mvtu::{BinaryMvtu, FixedInputMvtu};

@@ -15,11 +15,14 @@ use bcp_bitpack::BitVec64;
 /// path, the deployed networks never use it).
 pub fn out_dim(extent: usize, k: usize) -> usize {
     assert!(extent >= k, "window k={k} does not fit extent {extent}");
-    extent - k + 1
+    extent.saturating_sub(k).saturating_add(1)
 }
 
 /// Gather the binary window vectors for a K×K convolution: one
 /// `C·K·K`-bit vector per output pixel, output pixels row-major.
+// Window offsets oy+ky and ox+kx stay within the map by out_dim's contract;
+// plain ops keep the per-pixel gather tight.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn windows_binary(map: &BinMap, k: usize) -> Vec<BitVec64> {
     let (oh, ow) = (out_dim(map.h, k), out_dim(map.w, k));
     let mut out = Vec::with_capacity(oh * ow);
@@ -45,6 +48,8 @@ pub fn windows_binary(map: &BinMap, k: usize) -> Vec<BitVec64> {
 
 /// Gather integer window vectors for the first (fixed-point-input) layer,
 /// same ordering as [`windows_binary`].
+// Same in-range window offsets as [`windows_binary`].
+#[allow(clippy::arithmetic_side_effects)]
 pub fn windows_quant(map: &QuantMap, k: usize) -> Vec<Vec<i32>> {
     let (oh, ow) = (out_dim(map.h, k), out_dim(map.w, k));
     let mut out = Vec::with_capacity(oh * ow);

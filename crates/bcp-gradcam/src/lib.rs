@@ -12,6 +12,8 @@
 //! - [`render`]: ASCII heat maps and PPM overlays for the paper's
 //!   Figs. 3–9.
 
+#![forbid(unsafe_code)]
+
 pub mod render;
 pub mod stats;
 

@@ -139,6 +139,7 @@ impl GoldenStore {
     }
 
     /// Golden words of one weight row.
+    // audit: cold — golden-store decode runs on the scrub/repair path, never per-request (shares its name with BitMatrix::row_words)
     pub fn row_words(&self, stage: usize, row: usize) -> Vec<u64> {
         self.stages[stage].row_words[row].decode()
     }

@@ -20,6 +20,7 @@
 //! `bcp-serve` builds its quarantine → repair → probation worker lifecycle
 //! on top of these pieces; `bcp scrub-bench` measures the end-to-end
 //! detection/repair rate and scrub overhead.
+#![forbid(unsafe_code)]
 #![warn(clippy::arithmetic_side_effects)]
 
 pub mod golden;

@@ -89,6 +89,7 @@ impl BatchNorm {
 
     /// Overwrite the affine parameters and running statistics — used by
     /// tests and by deserialization.
+    // audit: cold — parameter restore runs at load time, never per-request (shares its name with the engine's Shared::set_state)
     pub fn set_state(&mut self, gamma: Vec<f32>, beta: Vec<f32>, mean: Vec<f32>, var: Vec<f32>) {
         assert!(
             gamma.len() == self.channels

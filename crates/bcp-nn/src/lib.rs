@@ -23,6 +23,8 @@
 //! - [`metrics`]: accuracy and the confusion matrix of Fig. 2.
 //! - [`serialize`]: JSON state-dict save/load.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod batchnorm;
 pub mod conv;

@@ -40,6 +40,7 @@ use bcp_telemetry::{Counter, Gauge, Histogram, Registry};
 use bcp_tensor::Tensor;
 use bcp_trace::{stamp, ActiveTrace, TraceEvent, TraceOutcome, Tracer};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::queue::ArrayQueue;
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -130,6 +131,13 @@ struct Shared {
     stream_stats: Mutex<Option<StreamStats>>,
     /// Request-lifecycle tracer (None = tracing disabled).
     tracer: Option<Arc<Tracer>>,
+    /// Retired response slots awaiting reuse. A slot re-enters the pool
+    /// only once `Arc::strong_count == 1` (see [`Shared::release_slot`]),
+    /// so at steady state `submit` stops minting slot allocations.
+    slot_pool: ArrayQueue<Arc<Slot<Completion>>>,
+    /// Drained batch `Vec`s with their capacity intact, recycled between
+    /// the batcher and the workers so sealing a batch stops allocating.
+    shell_pool: ArrayQueue<Vec<Request>>,
 }
 
 impl Shared {
@@ -137,15 +145,22 @@ impl Shared {
         self.metrics.as_ref()
     }
 
+    /// Worker `w`'s lifecycle state. An out-of-range index (impossible by
+    /// construction) reads as `Retired`, i.e. permanently out of rotation.
     fn state(&self, w: usize) -> WorkerState {
-        self.states[w].load()
+        self.states
+            .get(w)
+            .map_or(WorkerState::Retired, |c| c.load())
     }
 
     /// Transition worker `w` and mirror the state into its gauge.
     fn set_state(&self, w: usize, s: WorkerState) {
-        self.states[w].store(s);
-        if let Some(m) = self.m() {
-            m.worker_state[w].set(s as u8 as f64);
+        if let Some(cell) = self.states.get(w) {
+            cell.store(s);
+        }
+        if let Some(g) = self.m().and_then(|m| m.worker_state.get(w)) {
+            // audit: allow(cast): WorkerState is a #[repr(u8)] enum of four variants — the cast is total
+            g.set(s as u8 as f64);
         }
     }
 
@@ -162,10 +177,11 @@ impl Shared {
         }
     }
 
-    /// Complete every request in `batch` with `err` (counted as failed).
-    /// `ring` is the calling thread's trace ring.
-    fn fail_batch(&self, batch: Vec<Request>, err: ServeError, ring: usize) {
-        for mut req in batch {
+    /// Complete every request in `batch` with `err` (counted as failed),
+    /// draining the shell in place so the caller can recycle it. `ring` is
+    /// the calling thread's trace ring.
+    fn fail_batch(&self, batch: &mut Vec<Request>, err: ServeError, ring: usize) {
+        for mut req in batch.drain(..) {
             self.finish_trace(&mut req.trace, TraceOutcome::Failed, ring);
             if req.slot.complete(Err(err)) {
                 if let Some(m) = self.m() {
@@ -174,6 +190,7 @@ impl Shared {
             } else if let Some(m) = self.m() {
                 m.abandoned.inc();
             }
+            self.release_slot(req.slot);
         }
     }
 
@@ -212,6 +229,46 @@ impl Shared {
     fn client_ring(&self) -> usize {
         self.tracer.as_ref().map_or(0, |t| t.client_ring())
     }
+
+    /// Pop a recycled response slot, or mint one on a pool miss. After the
+    /// warm-up window every request is served from the pool.
+    fn acquire_slot(&self) -> Arc<Slot<Completion>> {
+        self.slot_pool.pop().unwrap_or_else(|| {
+            // audit: allow(alloc): pool miss — at most ~2×queue_cap slots are ever minted before steady-state reuse takes over
+            Arc::new(Slot::new())
+        })
+    }
+
+    /// Return a resolved slot to the pool — but only when we hold the
+    /// *last* reference. A strong count of 1 proves no client or worker
+    /// can still complete or wait on it, and the count cannot grow again
+    /// because cloning requires an existing handle; `reset` is therefore
+    /// race-free. Callers pass ownership unconditionally and the slot
+    /// simply drops when another handle is still live or the pool is full.
+    fn release_slot(&self, slot: Arc<Slot<Completion>>) {
+        if Arc::strong_count(&slot) == 1 {
+            slot.reset();
+            // audit: allow(alloc): lock-free store into the preallocated pool ring — no heap traffic
+            let _ = self.slot_pool.push(slot);
+        }
+    }
+
+    /// Pop a recycled batch shell (empty, capacity retained), or mint one
+    /// sized for a full batch on a pool miss.
+    fn acquire_shell(&self) -> Vec<Request> {
+        self.shell_pool.pop().unwrap_or_else(|| {
+            // audit: allow(alloc): pool miss — shells are minted once per unit of pipeline depth, then recycled forever
+            Vec::with_capacity(self.cfg.max_batch)
+        })
+    }
+
+    /// Return a drained batch shell to the pool, keeping its capacity for
+    /// the next batch. A full pool lets the shell drop instead.
+    fn release_shell(&self, mut shell: Vec<Request>) {
+        shell.clear();
+        // audit: allow(alloc): lock-free store into the preallocated pool ring — no heap traffic
+        let _ = self.shell_pool.push(shell);
+    }
 }
 
 /// Handle to one in-flight request. Consume it with [`Ticket::wait`];
@@ -220,19 +277,32 @@ impl Shared {
 pub struct Ticket {
     slot: Arc<Slot<Completion>>,
     deadline: Option<Instant>,
-    timeout_ctr: Option<Counter>,
+    shared: Arc<Shared>,
 }
 
 impl Ticket {
     /// Block until this request resolves. With a configured deadline the
     /// wait gives up at that deadline and the request is marked abandoned,
     /// so a late engine completion is dropped rather than duplicated.
+    ///
+    /// A delivered outcome also recycles the response slot: the engine
+    /// side has already relinquished its handle by the time delivery is
+    /// observable, so the waiter usually holds the last reference and the
+    /// slot goes straight back into the pool.
+    // bcp:hot-path — client-side completion pickup, once per request
     pub fn wait(self) -> Completion {
+        // audit: allow(block): waiting for the response is the ticket's contract
         match self.slot.wait(self.deadline) {
-            Ok(outcome) => outcome,
+            Ok(outcome) => {
+                self.shared.release_slot(self.slot);
+                outcome
+            }
             Err(Expired) => {
-                if let Some(c) = &self.timeout_ctr {
-                    c.inc();
+                // The slot is now Abandoned and the engine still holds a
+                // handle; the engine-side release recycles it after the
+                // late completion is dropped.
+                if let Some(m) = self.shared.m() {
+                    m.timeout.inc();
                 }
                 Err(ServeError::DeadlineExpired)
             }
@@ -282,6 +352,11 @@ impl Engine {
             .trace
             .clone()
             .map(|tc| Tracer::new(tc, workers, registry.as_ref()));
+        // Pool capacities cover the worst-case number of live objects:
+        // queued + in-flight + just-resolved slots stay under 2×queue_cap,
+        // and shells under one forming + two queued per worker.
+        let slot_pool = ArrayQueue::new(cfg.queue_cap.saturating_mul(2).max(1));
+        let shell_pool = ArrayQueue::new(workers.saturating_mul(2).saturating_add(1));
         let shared = Arc::new(Shared {
             cfg,
             registry,
@@ -294,6 +369,8 @@ impl Engine {
             fault_mailboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             stream_stats: Mutex::new(None),
             tracer,
+            slot_pool,
+            shell_pool,
         });
 
         let mut handles = Vec::with_capacity(workers.saturating_add(1));
@@ -329,7 +406,9 @@ impl Engine {
     /// Enqueue one frame for classification. Returns a [`Ticket`] to wait
     /// on, or an immediate error when the backpressure policy refuses
     /// admission ([`ServeError::Rejected`]) or the engine is draining.
+    // bcp:hot-path — request admission and policy enforcement
     pub fn submit(&self, frame: &Tensor) -> Result<Ticket, ServeError> {
+        // audit: allow(block): shutdown-gate RwLock; read-acquired, contended only at teardown
         let guard = self.shared.submit_tx.read();
         let Some(tx) = guard.as_ref() else {
             return Err(ServeError::ShuttingDown);
@@ -339,19 +418,22 @@ impl Engine {
         }
         let now = Instant::now();
         let deadline = self.shared.cfg.deadline.and_then(|d| now.checked_add(d));
-        let slot = Arc::new(Slot::new());
+        let slot = self.shared.acquire_slot();
         // Head-sampling decision; a sampled trace is already stamped with
         // `Enqueue` and rides inside the request from here on.
+        // audit: external — `sample` also names Tensor::sample; the tracer's sampler is audited at its own root
         let trace = self.shared.tracer.as_ref().and_then(|t| t.sample());
         let mut req = Request {
+            // audit: allow(alloc): the single ingestion copy that decouples the caller's buffer from the pipeline (ROADMAP item 1 tracks batch-level reuse downstream of this point)
             frame: frame.clone(),
-            slot: slot.clone(),
+            slot: Arc::clone(&slot),
             enqueued: now,
             deadline,
             trace,
         };
         match self.shared.cfg.policy {
             BackpressurePolicy::Block => {
+                // audit: allow(block): Block policy — the caller opted into parking on a full queue
                 if let Err(e) = tx.send(req) {
                     let mut req = e.0;
                     self.shared.finish_trace(
@@ -412,7 +494,7 @@ impl Engine {
         Ok(Ticket {
             slot,
             deadline,
-            timeout_ctr: self.shared.m().map(|m| m.timeout.clone()),
+            shared: Arc::clone(&self.shared),
         })
     }
 
@@ -499,13 +581,16 @@ impl Drop for Engine {
 }
 
 /// Coalesce queued requests into micro-batches and hand them to healthy
-/// workers round-robin.
+/// workers round-robin. Batches are built inside recycled shells from the
+/// [`Shared::shell_pool`], so steady-state sealing does not allocate.
+// bcp:hot-path — batch formation and dispatch
 fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, shared: Arc<Shared>) {
     let mut next = 0usize;
     let mut closed = false;
     let ring = shared.batcher_ring();
     while !closed {
         // A batch opens when its first request arrives…
+        // audit: allow(block): idle park awaiting the first request of a batch — the batcher's contract
         let mut first = match rx.recv() {
             Ok(r) => r,
             Err(_) => break,
@@ -515,14 +600,18 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
             &shared.tracer,
             TraceEvent::AdmissionDequeue,
         );
-        let mut batch = vec![first];
+        let mut batch = shared.acquire_shell();
+        // audit: allow(alloc): append into a recycled shell whose capacity is retained across batches
+        batch.push(first);
         // …and flushes on size or age, whichever comes first.
         let now = Instant::now();
         let flush_at = now.checked_add(shared.cfg.max_wait).unwrap_or(now);
         while batch.len() < shared.cfg.max_batch {
+            // audit: allow(block): deadline-bounded coalescing wait implementing cfg.max_wait
             match rx.recv_deadline(flush_at) {
                 Ok(mut r) => {
                     stamp(&mut r.trace, &shared.tracer, TraceEvent::AdmissionDequeue);
+                    // audit: allow(alloc): append into a recycled shell whose capacity is retained across batches
                     batch.push(r);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -539,20 +628,27 @@ fn batcher_loop(rx: Receiver<Request>, worker_txs: Vec<Sender<Vec<Request>>>, sh
         }
         shared.expire(&mut batch, ring);
         if batch.is_empty() {
+            shared.release_shell(batch);
             continue;
         }
         if let Some(m) = shared.m() {
             m.batch_size.record(batch.len() as u64);
             m.batches.inc();
         }
-        match next_healthy(&shared.states, &mut next) {
-            Some(w) => {
-                if let Err(e) = worker_txs[w].send(batch) {
+        match next_healthy(&shared.states, &mut next).and_then(|w| Some((w, worker_txs.get(w)?))) {
+            Some((w, tx)) => {
+                // audit: allow(block): bounded worker hand-off — two batches of headroom is the designed backpressure
+                if let Err(e) = tx.send(batch) {
                     // Worker thread gone (can only happen on teardown).
-                    shared.fail_batch(e.0, ServeError::WorkerFault { worker: w }, ring);
+                    let mut failed = e.0;
+                    shared.fail_batch(&mut failed, ServeError::WorkerFault { worker: w }, ring);
+                    shared.release_shell(failed);
                 }
             }
-            None => shared.fail_batch(batch, ServeError::NoHealthyWorkers, ring),
+            None => {
+                shared.fail_batch(&mut batch, ServeError::NoHealthyWorkers, ring);
+                shared.release_shell(batch);
+            }
         }
     }
 }
@@ -563,7 +659,10 @@ fn next_healthy(states: &[WorkerStateCell], next: &mut usize) -> Option<usize> {
         // `n > 0` whenever the loop body runs, so the rem cannot fail.
         let w = next.checked_rem(n)?;
         *next = w.wrapping_add(1);
-        if states[w].load() == WorkerState::Healthy {
+        if states
+            .get(w)
+            .is_some_and(|c| c.load() == WorkerState::Healthy)
+        {
             return Some(w);
         }
     }
@@ -576,6 +675,7 @@ fn next_healthy(states: &[WorkerStateCell], next: &mut usize) -> Option<usize> {
 /// never block forever behind it. With a recovery policy configured, an
 /// off-rotation worker additionally runs repair attempts and probation
 /// canaries between (timed) queue polls, entirely off the serving path.
+// bcp:hot-path — batch execution and completion
 fn worker_loop<R: Replica>(
     w: usize,
     mut replica: R,
@@ -586,32 +686,37 @@ fn worker_loop<R: Replica>(
     let mut batches_done = 0u64;
     let mut strikes = 0u32;
     let mut probation_passes = 0u32;
+    // Per-worker scratch the inference frames are moved into, reused
+    // across every batch this worker ever serves.
+    // audit: allow(alloc): one-time per-worker scratch; its capacity is retained for the thread's lifetime
+    let mut frames: Vec<Tensor> = Vec::new();
     loop {
         // An off-rotation worker wakes on a timer so repair and probation
         // work proceeds even with no traffic racing in; a healthy worker
         // blocks on its queue as before.
-        let recovering = shared.cfg.recovery.is_some()
-            && matches!(
-                shared.state(w),
-                WorkerState::Quarantined | WorkerState::Probation
-            );
-        let received = if recovering {
-            let interval = shared
-                .cfg
-                .recovery
-                .as_ref()
-                .expect("recovering implies a policy")
-                .retry_interval;
-            match rx.recv_timeout(interval) {
+        let recovery_wait = match shared.cfg.recovery {
+            Some(policy)
+                if matches!(
+                    shared.state(w),
+                    WorkerState::Quarantined | WorkerState::Probation
+                ) =>
+            {
+                Some(policy.retry_interval)
+            }
+            _ => None,
+        };
+        let received = match recovery_wait {
+            // audit: allow(block): timed queue poll so off-rotation recovery work keeps a heartbeat
+            Some(interval) => match rx.recv_timeout(interval) {
                 Ok(b) => Some(b),
                 Err(RecvTimeoutError::Timeout) => None,
                 Err(RecvTimeoutError::Disconnected) => break,
-            }
-        } else {
-            match rx.recv() {
+            },
+            // audit: allow(block): idle park on the worker's batch queue — the worker's contract
+            None => match rx.recv() {
                 Ok(b) => Some(b),
                 Err(_) => break,
-            }
+            },
         };
 
         if let Some(mut batch) = received {
@@ -625,26 +730,40 @@ fn worker_loop<R: Replica>(
             }
             // Apply chaos faults queued for this worker (simulated SEUs
             // land between batches, like real upsets land between frames).
-            let plans: Vec<(usize, u64)> = std::mem::take(&mut *shared.fault_mailboxes[w].lock());
-            for (n, seed) in plans {
-                replica.inject_faults(n, seed);
+            if let Some(mailbox) = shared.fault_mailboxes.get(w) {
+                // audit: allow(block): chaos-fault mailbox — empty and uncontended outside fault-injection tests
+                let plans: Vec<(usize, u64)> = std::mem::take(&mut *mailbox.lock());
+                for (n, seed) in plans {
+                    // audit: external — chaos fault injection is test plumbing, not serving work
+                    replica.inject_faults(n, seed);
+                }
             }
 
             if shared.state(w) == WorkerState::Healthy {
-                serve_batch(w, &mut replica, batch, &canary, &shared, &mut batches_done);
+                serve_batch(
+                    w,
+                    &mut replica,
+                    &mut batch,
+                    &mut frames,
+                    &canary,
+                    &shared,
+                    &mut batches_done,
+                );
                 if shared.state(w) == WorkerState::Healthy {
                     if let Some(units) = shared.cfg.background_scrub {
+                        // audit: external — background scrubbing belongs to the guard layer and is audited there
                         replica.scrub_tick(units);
                     }
                 }
             } else {
                 // Out of rotation; drain any batch that raced in.
                 shared.fail_batch(
-                    batch,
+                    &mut batch,
                     ServeError::WorkerFault { worker: w },
                     shared.worker_ring(w),
                 );
             }
+            shared.release_shell(batch);
         }
 
         if let Some(policy) = shared.cfg.recovery {
@@ -665,6 +784,7 @@ fn worker_loop<R: Replica>(
 /// replica attempts `repair()`; a probation replica runs one canary.
 /// Transitions (and their `serve.worker.*` metrics) happen here, on the
 /// worker's own thread — the single writer of its state byte.
+// audit: cold — repair and probation run off-rotation, never on the serving path
 fn recovery_step<R: Replica>(
     w: usize,
     replica: &mut R,
@@ -731,10 +851,15 @@ fn recovery_step<R: Replica>(
 /// Canary-gate and run one batch on a healthy worker, completing every
 /// slot. On a canary mismatch or a panic the worker leaves rotation
 /// (`Quarantined`) and the batch fails with `WorkerFault`.
+///
+/// `batch` is always drained before returning so the caller can recycle
+/// the shell; `frames` is the worker's long-lived scratch that each
+/// request's tensor is *moved* into (no per-batch copies).
 fn serve_batch<R: Replica>(
     w: usize,
     replica: &mut R,
-    mut batch: Vec<Request>,
+    batch: &mut Vec<Request>,
+    frames: &mut Vec<Tensor>,
     canary: &Option<(Tensor, Vec<i64>)>,
     shared: &Shared,
     batches_done: &mut u64,
@@ -745,6 +870,7 @@ fn serve_batch<R: Replica>(
     // preceded by a golden-output check.
     if let Some((frame, expected)) = canary {
         if shared.cfg.canary_every > 0 && batches_done.is_multiple_of(shared.cfg.canary_every) {
+            // audit: external — the canary runs the replica's own inference, audited at the kernel roots
             let got = catch_unwind(AssertUnwindSafe(|| replica.canary(frame))).ok();
             if got.as_deref() != Some(expected.as_slice()) {
                 shared.set_state(w, WorkerState::Quarantined);
@@ -758,18 +884,23 @@ fn serve_batch<R: Replica>(
     }
     *batches_done = batches_done.saturating_add(1);
 
-    shared.expire(&mut batch, ring);
+    shared.expire(batch, ring);
     if batch.is_empty() {
         return;
     }
-    let frames: Vec<Tensor> = batch.iter().map(|r| r.frame.clone()).collect();
+    frames.clear();
+    // Frames are moved out of the requests (each leaves a rank-0
+    // placeholder behind); the scratch's capacity is reused every batch.
+    // audit: allow(alloc): refills the per-worker scratch in place — `mem::take` moves each frame without copying
+    frames.extend(batch.iter_mut().map(|r| std::mem::take(&mut r.frame)));
+    let frames: &[Tensor] = frames;
     let stream = shared
         .cfg
         .streaming_min_batch
         .is_some_and(|min| frames.len() >= min);
     if shared.tracer.is_some() {
         let size = batch.len();
-        for r in &mut batch {
+        for r in batch.iter_mut() {
             stamp(&mut r.trace, &shared.tracer, TraceEvent::ComputeStart);
             if let Some(t) = r.trace.as_mut() {
                 t.set_batch_size(size);
@@ -778,14 +909,16 @@ fn serve_batch<R: Replica>(
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if stream {
-            if let Some((classes, stats)) = replica.infer_batch_streaming(&frames) {
+            // audit: external — replica inference is audited at the XNOR kernel roots
+            if let Some((classes, stats)) = replica.infer_batch_streaming(frames) {
                 return (classes, Some(stats));
             }
         }
-        (replica.infer_batch(&frames), None)
+        // audit: external — replica inference is audited at the XNOR kernel roots
+        (replica.infer_batch(frames), None)
     }));
     if shared.tracer.is_some() {
-        for r in &mut batch {
+        for r in batch.iter_mut() {
             stamp(&mut r.trace, &shared.tracer, TraceEvent::ComputeEnd);
         }
     }
@@ -793,26 +926,31 @@ fn serve_batch<R: Replica>(
         Ok((classes, stats)) if classes.len() == batch.len() => {
             if let Some(stats) = stats {
                 if let Some(r) = &shared.registry {
+                    // audit: external — streaming-stats export runs only on streaming batches, off steady state
                     stats.record_into(r);
                 }
                 // Per-pipeline-stage compute sub-spans for the traced
                 // requests of this batch (shared, one Arc per batch).
                 if shared.tracer.is_some() && batch.iter().any(|r| r.trace.is_some()) {
+                    // audit: external — per-frame stage attribution runs only for traced streaming batches
+                    // audit: allow(alloc): one shared Arc of stage spans per traced batch, amortized over its requests
                     let stages = std::sync::Arc::new(stats.stage_busy_per_frame());
-                    for r in &mut batch {
+                    for r in batch.iter_mut() {
                         if let Some(t) = r.trace.as_mut() {
-                            t.set_stage_ns(stages.clone());
+                            t.set_stage_ns(std::sync::Arc::clone(&stages));
                         }
                     }
                 }
+                // audit: allow(block): streaming-stats aggregation, taken only when a streaming batch completes
                 let mut agg = shared.stream_stats.lock();
                 match &mut *agg {
+                    // audit: external — stats merging is accounting, not serving work
                     Some(a) => a.merge(&stats),
                     None => *agg = Some(stats),
                 }
             }
             let now = Instant::now();
-            for (mut req, class) in batch.into_iter().zip(classes) {
+            for (mut req, class) in batch.drain(..).zip(classes) {
                 if req.deadline.is_some_and(|d| now >= d) {
                     // Result exists but arrived too late to honor the
                     // deadline contract: a success is only delivered
@@ -825,6 +963,7 @@ fn serve_batch<R: Replica>(
                     } else if let Some(m) = shared.m() {
                         m.abandoned.inc();
                     }
+                    shared.release_slot(req.slot);
                     continue;
                 }
                 let latency = now.duration_since(req.enqueued);
@@ -838,9 +977,10 @@ fn serve_batch<R: Replica>(
                 } else if let Some(m) = shared.m() {
                     m.abandoned.inc();
                 }
+                shared.release_slot(req.slot);
             }
-            if let Some(m) = shared.m() {
-                m.worker_batches[w].inc();
+            if let Some(c) = shared.m().and_then(|m| m.worker_batches.get(w)) {
+                c.inc();
             }
         }
         // Panicked mid-inference, or the replica broke its length

@@ -34,6 +34,7 @@
 //! tests model-free. [`loadgen`] provides the closed-loop harness used by
 //! `bcp serve-bench` and the stress suite.
 
+#![forbid(unsafe_code)]
 #![warn(clippy::arithmetic_side_effects)]
 
 // Under `--cfg bcp_model` only the two model-checked structures are

@@ -49,10 +49,23 @@ impl<T> Slot<T> {
         }
     }
 
+    /// Return a retired slot to `Pending` so it can serve another
+    /// request. Sound only on a *uniquely owned* slot (the engine's pool
+    /// checks `Arc::strong_count == 1` before calling): once no other
+    /// thread can hold a reference, no stale completion or wait can race
+    /// the reuse.
+    // bcp:hot-path — slot-pool recycling runs once per served request
+    pub fn reset(&self) {
+        // audit: allow(block): uncontended by the uniqueness precondition; a few-instruction critical section
+        *self.state.lock() = State::Pending;
+    }
+
     /// Deliver the value. Returns `true` iff this call won — `false` means
     /// the slot was already completed or the waiter abandoned it, and the
     /// value was dropped.
+    // bcp:hot-path — response delivery into the per-request slot
     pub fn complete(&self, value: T) -> bool {
+        // audit: allow(block): slot mutex guards a four-state enum; held for a store + notify, never across compute
         let mut st = self.state.lock();
         match *st {
             State::Pending => {
@@ -67,7 +80,9 @@ impl<T> Slot<T> {
     /// Block until the value arrives or `deadline` passes. On timeout the
     /// slot is marked abandoned so the producer's eventual `complete`
     /// returns `false` instead of delivering twice.
+    // bcp:hot-path — client-side response pickup (Ticket::wait)
     pub fn wait(&self, deadline: Option<Instant>) -> Result<T, Expired> {
+        // audit: allow(block): waiting is this function's contract — the client parks here until delivery
         let mut st = self.state.lock();
         loop {
             match std::mem::replace(&mut *st, State::Taken) {
@@ -75,10 +90,12 @@ impl<T> Slot<T> {
                 State::Pending => *st = State::Pending,
                 // A unique waiter can only observe these after its own
                 // take/abandon, i.e. on a second `wait` call — refuse.
+                // audit: allow(panic): double-wait is a caller contract violation; Ticket::wait consumes the ticket, so this is unreachable through the public API
                 State::Taken | State::Abandoned => panic!("slot waited on twice"),
             }
             match deadline {
                 None => {
+                    // audit: allow(block): condvar park awaiting delivery — the whole point of wait()
                     st = self.cv.wait(st);
                 }
                 Some(d) => {
@@ -87,6 +104,7 @@ impl<T> Slot<T> {
                         *st = State::Abandoned;
                         return Err(Expired);
                     }
+                    // audit: allow(block): deadline-bounded condvar park awaiting delivery
                     let (guard, _) = self.cv.wait_timeout(st, d.saturating_duration_since(now));
                     st = guard;
                 }

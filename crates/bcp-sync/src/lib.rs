@@ -26,6 +26,7 @@
 //! is either already fatal or, in the model, aborts the execution), and
 //! `Condvar::wait_timeout` returns `(guard, timed_out)`.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::arithmetic_side_effects)]
 
@@ -214,6 +215,9 @@ pub use std_locks::{Condvar, Mutex, MutexGuard};
 
 #[cfg(test)]
 mod tests {
+    // The shim tests exercise `with`/`with_mut` the way loom-ported code
+    // does, which requires dereferencing the raw pointers they hand out.
+    #![allow(unsafe_code)]
     use super::atomic::{AtomicUsize, Ordering};
     use super::cell::UnsafeCell;
     use super::{Arc, Condvar, Mutex};

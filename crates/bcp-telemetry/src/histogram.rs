@@ -67,10 +67,12 @@ impl LogHistogram {
 
     /// Record one sample. Values at or beyond `2^63` land in the top
     /// bucket and are additionally counted as overflow.
+    // bcp:hot-path — one bucket bump per recorded sample
     pub fn record(&mut self, v: u64) {
         if (u64::BITS.saturating_sub(v.leading_zeros())) as usize > TOP_BUCKET {
             self.overflow = self.overflow.saturating_add(1);
         }
+        // audit: allow(index): bucket_of clamps to TOP_BUCKET, which is counts.len() - 1
         let bucket = &mut self.counts[bucket_of(v)];
         *bucket = bucket.saturating_add(1);
         self.count = self.count.saturating_add(1);

@@ -32,6 +32,7 @@
 //! `predict.class.correct` (counter). Keep cardinality bounded — names are
 //! map keys, not label sets.
 
+#![forbid(unsafe_code)]
 #![warn(clippy::arithmetic_side_effects)]
 
 mod histogram;

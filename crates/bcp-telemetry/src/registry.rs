@@ -248,6 +248,7 @@ pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
     /// Add 1.
+    // bcp:hot-path — counters are bumped at every request milestone
     pub fn inc(&self) {
         self.add(1);
     }
@@ -272,7 +273,9 @@ pub struct Gauge(Arc<Mutex<f64>>);
 
 impl Gauge {
     /// Overwrite the value.
+    // bcp:hot-path — the queue-depth gauge is written on every submit
     pub fn set(&self, v: f64) {
+        // audit: allow(block): parking_lot mutex around a single f64 store — a few instructions, uncontended by design
         *self.0.lock() = v;
     }
 
@@ -288,7 +291,9 @@ pub struct Histogram(Arc<Mutex<LogHistogram>>);
 
 impl Histogram {
     /// Record one sample.
+    // bcp:hot-path — latency/batch-size samples land here once per request/batch
     pub fn record(&self, v: u64) {
+        // audit: allow(block): parking_lot mutex around a fixed-size bucket bump — a few instructions, never held across compute
         self.0.lock().record(v);
     }
 
@@ -313,6 +318,7 @@ pub struct Span {
 
 impl Span {
     /// End the span now and return its duration.
+    // audit: cold — spans time CLI phases, never the serving path (shares its name with Tracer::finish)
     pub fn finish(self) -> Duration {
         let d = self.start.elapsed();
         drop(self);

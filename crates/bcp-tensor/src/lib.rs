@@ -18,6 +18,8 @@
 //!
 //! Everything is deterministic given a seed; no global state.
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod im2col;
 pub mod init;

@@ -15,6 +15,21 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+/// The default tensor is an allocation-free rank-0 placeholder, meant
+/// only to be swapped out of a slot (`std::mem::take`) and overwritten.
+/// It violates the `numel() == data.len()` invariant of real tensors
+/// (an empty `Shape` has `numel() == 1` by the empty product), so it
+/// must never be fed into kernels — the serving engine uses it solely
+/// to move frames out of requests without cloning.
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor {
+            shape: Shape(Vec::new()),
+            data: Vec::new(),
+        }
+    }
+}
+
 impl Tensor {
     /// Tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {

@@ -30,6 +30,7 @@
 //! queue-wait / batch-wait / dispatch / compute / delivery and prices
 //! the engine against raw `classify_batch`.
 
+#![deny(unsafe_code)]
 #![warn(clippy::arithmetic_side_effects)]
 #![warn(missing_docs)]
 
@@ -43,6 +44,9 @@ pub mod collect;
 pub mod record;
 #[cfg(not(bcp_model))]
 pub mod report;
+// The lock-free ring is the audited `unsafe` allowlist exception
+// (BCP101): SAFETY-commented, model-checked and Miri-checked.
+#[allow(unsafe_code)]
 pub mod ring;
 #[cfg(not(bcp_model))]
 pub mod sampler;

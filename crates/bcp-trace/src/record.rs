@@ -184,6 +184,7 @@ impl TraceRecord {
     }
 
     /// Timestamp of `event`, or `None` when the lifecycle never got there.
+    // audit: cold — record readback feeds the profile CLI, never the serving path (shares its name with ActiveTrace::stamp)
     pub fn stamp(&self, event: TraceEvent) -> Option<u64> {
         let v = self.stamps[event as usize];
         (v != 0).then_some(v)

@@ -72,11 +72,13 @@ impl<T> Ring<T> {
 
     /// Push without blocking. On a full ring the value is dropped and the
     /// drop counter incremented; returns whether the value was stored.
+    // bcp:hot-path — lock-free trace-record store, once per finished trace
     pub fn push(&self, value: T) -> bool {
         // ordering: Relaxed — position hint only; staleness is repaired by
         // the seq Acquire check and the CAS below.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
+            // audit: allow(index): pos & mask is always < cells.len() (power-of-two capacity)
             let cell = &self.cells[pos & self.mask];
             // ordering: Acquire — pairs with the consumer's Release store
             // of seq; seeing `seq == pos` proves the previous lap's value

@@ -102,6 +102,7 @@ impl Tracer {
     /// Head-sampling decision for one admitted request: every
     /// `sample_rate`-th admission gets a live trace, already stamped with
     /// [`TraceEvent::Enqueue`].
+    // bcp:hot-path — sampling decision runs once per admitted request
     pub fn sample(&self) -> Option<Box<ActiveTrace>> {
         // ordering: Relaxed — admission counter used only for the 1-in-N
         // sampling decision; no data is published through it.
@@ -116,7 +117,9 @@ impl Tracer {
         // atomicity), not ordering.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut record = TraceRecord::new(id);
+        // audit: allow(index): stamps is an EVENTS-sized array indexed by enum discriminant — in bounds by construction
         record.stamps[TraceEvent::Enqueue as usize] = self.now_ns();
+        // audit: allow(alloc): one boxed live trace per *sampled* request — the 1-in-N slow lane, already past the early return
         Some(Box::new(ActiveTrace { record }))
     }
 
@@ -143,12 +146,17 @@ impl Tracer {
     // Takes the Box callers already hold (`Option<Box<ActiveTrace>>` in
     // each Request) so finishing moves a pointer, not the record.
     #[allow(clippy::boxed_local)]
+    // bcp:hot-path — trace completion runs once per sampled request
     pub fn finish(&self, mut trace: Box<ActiveTrace>, outcome: TraceOutcome, ring: usize) {
         trace.record.outcome = outcome;
+        // audit: allow(index): stamps is an EVENTS-sized array indexed by enum discriminant — in bounds by construction
         if trace.record.stamps[TraceEvent::Deliver as usize] == 0 {
+            // audit: allow(index): same EVENTS-sized array, same in-bounds discriminant
             trace.record.stamps[TraceEvent::Deliver as usize] = self.now_ns();
         }
         let idx = ring.min(self.rings.len().saturating_sub(1));
+        // audit: allow(index): idx is clamped to rings.len()-1 on the previous line
+        // audit: allow(alloc): Ring::push stores into preallocated cells — no heap traffic
         let stored = self.rings[idx].push(trace.record);
         if let Some(m) = &self.metrics {
             if stored {
@@ -193,7 +201,9 @@ impl ActiveTrace {
     /// event: the first stamp wins (re-stamps would break monotonicity
     /// audits).
     #[inline]
+    // bcp:hot-path — event stamping runs at every pipeline hand-off of a sampled request
     pub fn stamp(&mut self, tracer: &Tracer, event: TraceEvent) {
+        // audit: allow(index): stamps is an EVENTS-sized array indexed by enum discriminant — in bounds by construction
         let slot = &mut self.record.stamps[event as usize];
         if *slot == 0 {
             *slot = tracer.now_ns();

@@ -31,6 +31,8 @@
 //! `<dir>/events.jsonl` + `<dir>/summary.json` (see the bcp-telemetry
 //! crate for the schema), with a human summary printed to stderr.
 
+#![forbid(unsafe_code)]
+
 use bcp_dataset::ppm::{decode_ppm, resize_to};
 use binarycop::arch::{Arch, ArchKind};
 use binarycop::model::build_bnn;
@@ -830,6 +832,28 @@ fn cmd_lint(args: &Args) {
     }
 }
 
+fn cmd_audit(args: &Args) {
+    // Same root defaulting as `lint`: the workspace the binary was built
+    // from, unless CI passes `--root .`.
+    let root = args
+        .flags
+        .get("root")
+        .cloned()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let report = bcp_check::audit::audit_workspace(std::path::Path::new(&root));
+    if args.flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        exit(1);
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_default();
@@ -845,9 +869,10 @@ fn main() {
         "profile" => cmd_profile(&args),
         "scrub-bench" => cmd_scrub_bench(&args),
         "lint" => cmd_lint(&args),
+        "audit" => cmd_audit(&args),
         _ => {
             eprintln!(
-                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench|lint> [flags]"
+                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench|lint|audit> [flags]"
             );
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \

@@ -20,6 +20,8 @@
 //!   (Table I, Table II, Fig. 2 confusion matrix, Figs. 3–9 Grad-CAM,
 //!   throughput/power claims, the Sec. IV-A dataset pipeline).
 
+#![forbid(unsafe_code)]
+
 pub mod arch;
 pub mod deploy;
 pub mod eval;

@@ -283,6 +283,74 @@ pub mod channel {
     }
 }
 
+pub mod queue {
+    //! Non-blocking bounded queues in the `crossbeam::queue` shape.
+    //!
+    //! Real crossbeam backs `ArrayQueue` with a lock-free ring; this
+    //! offline stand-in uses a short mutexed critical section (pop-front /
+    //! push-back on a preallocated `VecDeque`), which preserves the API
+    //! and the never-blocks-on-full semantics the workspace relies on.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Bounded MPMC queue; `push` fails (handing the value back) instead
+    /// of blocking when full.
+    pub struct ArrayQueue<T> {
+        buf: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Create a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `cap` is zero, matching crossbeam.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                buf: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        /// Append `value`, or hand it back when the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+            if buf.len() >= self.cap {
+                Err(value)
+            } else {
+                buf.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Remove and return the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.buf
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Elements currently queued.
+        pub fn len(&self) -> usize {
+            self.buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
 pub mod thread {
     //! Scoped threads in the crossbeam `scope(|s| …)` shape.
 
