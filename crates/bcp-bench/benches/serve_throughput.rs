@@ -64,6 +64,79 @@ fn bench_serving(c: &mut Criterion) {
         e.shutdown();
     }
 
+    // Crowd-mode load: each client submits its whole burst of face crops
+    // before waiting (pipelined tickets, depth = crops per camera frame).
+    // The admission queue stays deep enough that the batcher seals full
+    // batches without waiting out `max_wait`, and one client wake collects
+    // a burst of completions — this is the engine's intended operating
+    // point, and the entry `scripts/bench_gate.py` holds to the
+    // sequential baseline.
+    {
+        let e = engine(&p, 1, ServeConfig::default());
+        group.bench_function("engine_1w_8clients_pipelined", |b| {
+            b.iter(|| {
+                let report = bcp_serve::run_closed_loop_pipelined(
+                    &e,
+                    &imgs,
+                    CLIENTS,
+                    FRAMES / CLIENTS,
+                    FRAMES / CLIENTS,
+                );
+                assert!(report.accounted() && report.ok == FRAMES);
+                std::hint::black_box(report.throughput_fps)
+            })
+        });
+
+        // Paired measurement for the engine-vs-sequential gate. On a
+        // shared single-core host, absolute timings drift ±25% between
+        // bench entries measured minutes apart, which makes a ratio of two
+        // independently timed entries meaningless. Here both sides run
+        // alternately inside one loop, so drift cancels out of the ratio;
+        // the pairwise spread observed this way is ±4%. The medians land
+        // as `paired_sequential` / `paired_engine_1w_pipelined`, which
+        // `scripts/bench_gate.py` gates with the canary tax (exactly
+        // 1/max_batch extra inferences per batch) and the single-core
+        // client-wake budget accounted explicitly.
+        const ROUNDS: usize = 24;
+        let run_seq = |p: &BinaryCoP| {
+            for f in &imgs {
+                std::hint::black_box(p.classify(f));
+            }
+        };
+        let run_eng = |e: &bcp_serve::Engine| {
+            let report = bcp_serve::run_closed_loop_pipelined(
+                e,
+                &imgs,
+                CLIENTS,
+                FRAMES / CLIENTS,
+                FRAMES / CLIENTS,
+            );
+            assert!(report.accounted() && report.ok == FRAMES);
+        };
+        for _ in 0..3 {
+            run_seq(&p);
+            run_eng(&e);
+        }
+        let mut seq_ns = Vec::with_capacity(ROUNDS);
+        let mut eng_ns = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            let t = std::time::Instant::now();
+            run_seq(&p);
+            seq_ns.push(t.elapsed().as_nanos() as f64);
+            let t = std::time::Instant::now();
+            run_eng(&e);
+            eng_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[v.len() / 2]
+        };
+        group
+            .record_ns("paired_sequential", median(&mut seq_ns))
+            .record_ns("paired_engine_1w_pipelined", median(&mut eng_ns));
+        e.shutdown();
+    }
+
     // The price of observability: the same 2-worker pool with lifecycle
     // tracing at the production sampling rate (1 in 64 admissions). CI
     // gates this entry against `engine_2w_8clients` — head sampling plus

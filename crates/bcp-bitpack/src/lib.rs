@@ -10,7 +10,11 @@
 //! - [`BitMatrix`]: row-major packed matrix, one padded word row each.
 //! - [`xnor`]: rayon-parallel XNOR-popcount GEMM returning integer ±1 dot
 //!   products — the simulator's MVTU arithmetic and the fast inference path.
-//! - [`pack`]: `sign()` packing of float tensors (ties at 0 → +1, Eq. 1).
+//! - [`gemm`]: register-blocked multi-frame GEMM over [`BitPlaneBlock`]
+//!   layouts — each weight row streamed once while `BLOCK_LANES` popcount
+//!   accumulators advance, with an optional fused threshold compare.
+//! - [`pack`]: `sign()` packing of float tensors (ties at 0 → +1, Eq. 1),
+//!   plus the [`BitPlaneBlock`] interleaved multi-frame layout.
 //! - [`threshold`]: per-channel integer threshold units, the hardware form
 //!   of batch-norm + sign (Sec. III-A).
 //! - [`serialize`]: compact bitstream framing via `bytes` for checkpointing
@@ -24,6 +28,7 @@
 pub mod bitmatrix;
 pub mod bitvec64;
 pub mod checksum;
+pub mod gemm;
 pub mod pack;
 pub mod serialize;
 pub mod threshold;
@@ -31,4 +36,6 @@ pub mod xnor;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec64::BitVec64;
-pub use threshold::{ThresholdChannel, ThresholdUnit};
+pub use gemm::{xnor_gemm_block, xnor_gemm_block_thresholded};
+pub use pack::{BitPlaneBlock, BLOCK_LANES};
+pub use threshold::{ThresholdChannel, ThresholdUnit, ThresholdWindows};

@@ -4,9 +4,15 @@
 //! exactly 0 maps to +1; every packer here implements that convention, and
 //! `bcp-nn`'s float binarization uses the same rule, so both inference paths
 //! agree bit-for-bit.
+//!
+//! This module also owns [`BitPlaneBlock`], the register-blocked bit-plane
+//! layout the multi-frame GEMM ([`crate::gemm`]) consumes: B frames' packed
+//! activations interleaved in groups of [`BLOCK_LANES`] so the kernel loads
+//! one weight word and XNORs it against `BLOCK_LANES` contiguous activation
+//! words — the software analogue of FINN's SIMD×PE weight reuse.
 
 use crate::bitmatrix::BitMatrix;
-use crate::bitvec64::BitVec64;
+use crate::bitvec64::{words_for, BitVec64};
 
 /// The paper's sign convention as a bit: `x ≥ 0 → true (+1)`.
 #[inline]
@@ -62,6 +68,139 @@ pub fn unpack_signs(v: &BitVec64) -> Vec<f32> {
     v.to_signs()
 }
 
+/// Register-block width of the multi-frame GEMM: how many frames' words are
+/// interleaved contiguously, and how many independent popcount accumulators
+/// the inner loop carries. Four `u64` lanes fill one 256-bit vector
+/// register, which is what lets LLVM autovectorize the `count_ones` chain.
+pub const BLOCK_LANES: usize = 4;
+
+/// B frames' activation bit-planes in a register-blocked interleaved
+/// layout.
+///
+/// Frames are grouped into blocks of [`BLOCK_LANES`]; within block `g`, the
+/// storage is word-index-major: the `BLOCK_LANES` lane words for word index
+/// `i` sit contiguously at `(g·words_per_frame + i)·BLOCK_LANES + lane`.
+/// A weight row is therefore streamed exactly once per block while the
+/// kernel accumulates `BLOCK_LANES` popcounts side by side.
+///
+/// Ragged tails are padded with zeros and never leak into results:
+/// when `frames` is not a multiple of [`BLOCK_LANES`] the missing lanes
+/// hold all-zero planes (their popcounts are computed and discarded), and
+/// the trailing bits of each frame's last word beyond `bits` are zero —
+/// the same padding invariant [`BitVec64`] maintains, so masked tail
+/// popcounts stay exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitPlaneBlock {
+    frames: usize,
+    bits: usize,
+    words_per_frame: usize,
+    words: Vec<u64>,
+}
+
+impl BitPlaneBlock {
+    /// Pack owned frames; all must share one bit length.
+    pub fn pack(frames: &[BitVec64]) -> Self {
+        // audit: allow(alloc): one slim reference vector per pack — the bulk buffer is allocated once in pack_refs
+        let refs: Vec<&BitVec64> = frames.iter().collect();
+        Self::pack_refs(&refs)
+    }
+
+    /// Pack borrowed frames; all must share one bit length.
+    // Block/lane products are bounded by frames·words_per_frame, both far
+    // below overflow for any representable batch; plain ops keep the
+    // interleaving loop tight.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — bit-plane interleave feeding every blocked MVTU pass
+    pub fn pack_refs(frames: &[&BitVec64]) -> Self {
+        let bits = frames.first().map_or(0, |f| f.len());
+        for f in frames {
+            // audit: allow(panic): mixed frame widths are a wiring error, caught on the first block of a run
+            assert_eq!(
+                f.len(),
+                bits,
+                "all frames in a block must share a bit length"
+            );
+        }
+        let words_per_frame = words_for(bits);
+        let blocks = frames.len().div_ceil(BLOCK_LANES);
+        // audit: allow(alloc): one interleaved buffer per block pack — layer-level buffer reuse is ROADMAP item 2
+        let mut words = Vec::with_capacity(blocks * words_per_frame * BLOCK_LANES);
+        for g in 0..blocks {
+            for i in 0..words_per_frame {
+                for lane in 0..BLOCK_LANES {
+                    let w = frames
+                        .get(g * BLOCK_LANES + lane)
+                        .and_then(|f| f.words().get(i))
+                        .copied()
+                        .unwrap_or(0);
+                    // audit: allow(alloc): push into the capacity reserved above — never reallocates
+                    words.push(w);
+                }
+            }
+        }
+        BitPlaneBlock {
+            frames: frames.len(),
+            bits,
+            words_per_frame,
+            words,
+        }
+    }
+
+    /// Number of frames packed (may be 0).
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Bits per frame.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words per frame (`⌈bits/64⌉`).
+    pub fn words_per_frame(&self) -> usize {
+        self.words_per_frame
+    }
+
+    /// Number of register blocks (`⌈frames/BLOCK_LANES⌉`).
+    pub fn blocks(&self) -> usize {
+        self.frames.div_ceil(BLOCK_LANES)
+    }
+
+    /// The interleaved words of register block `g`:
+    /// `words_per_frame · BLOCK_LANES` words, word-index-major.
+    #[inline]
+    // Block offsets are bounded by the buffer length established at pack
+    // time; plain ops keep the accessor branch-free.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — per-block operand fetch of the blocked GEMM (rooted explicitly: also used by cold unpack paths)
+    pub fn block_words(&self, g: usize) -> &[u64] {
+        let span = self.words_per_frame * BLOCK_LANES;
+        // audit: allow(index): g < blocks() by the caller's loop bound, so the span window lies inside the buffer
+        &self.words[g * span..(g + 1) * span]
+    }
+
+    /// De-interleave back to one [`BitVec64`] per frame (test/debug path —
+    /// the inverse of [`BitPlaneBlock::pack`]).
+    #[allow(clippy::arithmetic_side_effects)] // cold path; offsets bounded as in pack_refs
+    pub fn unpack(&self) -> Vec<BitVec64> {
+        (0..self.frames)
+            .map(|f| {
+                let g = f / BLOCK_LANES;
+                let lane = f % BLOCK_LANES;
+                let words: Vec<u64> = (0..self.words_per_frame)
+                    .map(|i| {
+                        self.words
+                            .get((g * self.words_per_frame + i) * BLOCK_LANES + lane)
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                BitVec64::from_words(self.bits, words)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,8 +227,75 @@ mod tests {
         assert!(!m.get(1, 0) && m.get(1, 1) && !m.get(1, 2));
     }
 
+    #[test]
+    fn bitplane_block_layout_is_lane_interleaved() {
+        // Two 65-bit frames: frame 0 all ones, frame 1 all zeros. Words are
+        // interleaved lane-wise, missing lanes padded with zero.
+        let f0 = BitVec64::ones(65);
+        let f1 = BitVec64::zeros(65);
+        let b = BitPlaneBlock::pack(&[f0.clone(), f1.clone()]);
+        assert_eq!(b.frames(), 2);
+        assert_eq!(b.bits(), 65);
+        assert_eq!(b.words_per_frame(), 2);
+        assert_eq!(b.blocks(), 1);
+        let w = b.block_words(0);
+        assert_eq!(w.len(), 2 * BLOCK_LANES);
+        // Word index 0: lane 0 = frame 0's first word (all ones), lane 1 =
+        // frame 1 (zero), lanes 2-3 = padding.
+        assert_eq!(w[0], u64::MAX);
+        assert_eq!(&w[1..4], &[0, 0, 0]);
+        // Word index 1: frame 0's single valid tail bit.
+        assert_eq!(w[4], 1);
+        assert_eq!(&w[5..8], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn bitplane_block_roundtrips() {
+        let frames: Vec<BitVec64> = (0..7)
+            .map(|i| {
+                let bools: Vec<bool> = (0..130).map(|j| (i * 37 + j * 11) % 3 == 0).collect();
+                BitVec64::from_bools(&bools)
+            })
+            .collect();
+        let b = BitPlaneBlock::pack(&frames);
+        assert_eq!(b.blocks(), 2); // 7 frames over 4 lanes
+        assert_eq!(b.unpack(), frames);
+    }
+
+    #[test]
+    fn bitplane_block_empty_is_fine() {
+        let b = BitPlaneBlock::pack(&[]);
+        assert_eq!(b.frames(), 0);
+        assert_eq!(b.blocks(), 0);
+        assert!(b.unpack().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a bit length")]
+    fn bitplane_block_rejects_mixed_widths() {
+        BitPlaneBlock::pack(&[BitVec64::zeros(10), BitVec64::zeros(11)]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_bitplane_pack_unpack_roundtrip(
+            n in 0usize..10,
+            bits in 1usize..200,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let frames: Vec<BitVec64> = (0..n)
+                .map(|i| {
+                    let bools: Vec<bool> = (0..bits)
+                        .map(|j| (seed >> (i.wrapping_mul(7).wrapping_add(j) % 64)) & 1 == 1)
+                        .collect();
+                    BitVec64::from_bools(&bools)
+                })
+                .collect();
+            let b = BitPlaneBlock::pack(&frames);
+            prop_assert_eq!(b.unpack(), frames);
+        }
+
         #[test]
         fn prop_roundtrip_is_sign(xs in proptest::collection::vec(-100.0f32..100.0, 0..300)) {
             let packed = pack_signs(&xs);

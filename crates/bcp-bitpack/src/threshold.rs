@@ -128,6 +128,57 @@ impl ThresholdUnit {
             .map(|(&a, t)| t.apply(a))
             .collect()
     }
+
+    /// Lower the bank to its branchless compare-window form (one `[lo, hi]`
+    /// interval per channel). Built once per layer pass and amortized over
+    /// every frame in a block, so the fused GEMM's inner loop runs two
+    /// integer compares per neuron instead of an enum dispatch.
+    pub fn windows(&self) -> ThresholdWindows {
+        let (lo, hi) = self
+            .channels
+            .iter()
+            .map(|t| match *t {
+                ThresholdChannel::Ge(t) => (t, i64::MAX),
+                ThresholdChannel::Le(t) => (i64::MIN, t),
+                ThresholdChannel::Const(true) => (i64::MIN, i64::MAX),
+                // The empty interval: no accumulator satisfies 1 ≤ a ≤ 0.
+                ThresholdChannel::Const(false) => (1, 0),
+            })
+            .unzip();
+        ThresholdWindows { lo, hi }
+    }
+}
+
+/// A threshold bank lowered to per-channel compare windows: channel `c`
+/// fires iff `lo[c] ≤ acc ≤ hi[c]`. This is the software analogue of FINN's
+/// precomputed threshold memories — the enum dispatch of
+/// [`ThresholdChannel::apply`] is paid once at [`ThresholdUnit::windows`]
+/// time, and the hot loop is two branch-free integer compares. Equivalent to
+/// the enum form for every representable accumulator (pinned by proptest).
+#[derive(Clone, Debug)]
+pub struct ThresholdWindows {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+impl ThresholdWindows {
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// True when the bank has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Whether channel `c` fires on `acc` — branch-free compare pair.
+    #[inline]
+    // bcp:hot-path — fused-threshold compare inside the blocked GEMM loop
+    pub fn fires(&self, c: usize, acc: i64) -> bool {
+        // audit: allow(index): callers iterate 0..len() (bank size validated against neuron count by the fused kernel)
+        (self.lo[c] <= acc) & (acc <= self.hi[c])
+    }
 }
 
 /// Reference float evaluation of batch-norm + sign, in f64 — the semantic
@@ -225,5 +276,46 @@ mod tests {
                 "γ={} β={} μ={} var={} a={} → {:?}", gamma, beta, mean, var, acc, t
             );
         }
+
+        #[test]
+        fn prop_windows_equal_enum_dispatch(
+            tau in -300i64..300,
+            acc in -600i64..600,
+        ) {
+            // Every channel form, compared at and around its own boundary.
+            let bank = ThresholdUnit::new(vec![
+                ThresholdChannel::Ge(tau),
+                ThresholdChannel::Le(tau),
+                ThresholdChannel::Const(true),
+                ThresholdChannel::Const(false),
+            ]);
+            let w = bank.windows();
+            prop_assert_eq!(w.len(), 4);
+            for c in 0..4 {
+                for a in [
+                    acc,
+                    tau,
+                    tau.saturating_sub(1),
+                    tau.saturating_add(1),
+                    i64::MIN,
+                    i64::MAX,
+                ] {
+                    prop_assert_eq!(
+                        w.fires(c, a),
+                        bank.apply(c, a),
+                        "channel {} acc {}", c, a
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windows_boundaries_are_inclusive() {
+        let bank = ThresholdUnit::new(vec![ThresholdChannel::Ge(5), ThresholdChannel::Le(-5)]);
+        let w = bank.windows();
+        assert!(w.fires(0, 5) && !w.fires(0, 4));
+        assert!(w.fires(1, -5) && !w.fires(1, -4));
+        assert!(!w.is_empty());
     }
 }

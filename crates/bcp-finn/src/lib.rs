@@ -53,4 +53,6 @@ pub use digest::{GoldenDigest, IntegrityFault, StageDigest};
 pub use fault::{FaultError, FaultRecord};
 pub use folding::{Folding, FoldingError};
 pub use pipeline::{Pipeline, Stage};
-pub use stream::{correlation_report, run_streaming, CorrelationReport, StreamStats};
+pub use stream::{
+    correlation_report, run_streaming, run_streaming_blocked, CorrelationReport, StreamStats,
+};

@@ -8,7 +8,9 @@
 //! XNOR — as FINN's first layer does.
 
 use bcp_bitpack::xnor::xnor_dot_words;
-use bcp_bitpack::{BitMatrix, BitVec64, ThresholdUnit};
+use bcp_bitpack::{
+    xnor_gemm_block, xnor_gemm_block_thresholded, BitMatrix, BitPlaneBlock, BitVec64, ThresholdUnit,
+};
 
 use crate::folding::Folding;
 use serde::{Deserialize, Serialize};
@@ -108,6 +110,93 @@ impl BinaryMvtu {
             .map(|r| xnor_dot_words(self.weights.row_words(r), input.words(), input.len()) as i64)
             // audit: allow(alloc): one accumulator vector per layer pass — layer-level buffer reuse is ROADMAP item 2
             .collect()
+    }
+
+    /// Raw signed accumulators for a pre-packed block of input vectors,
+    /// one `Vec<i64>` per frame in block order. Runs the register-blocked
+    /// multi-frame kernel — each weight row is streamed once for the whole
+    /// block — and is bit-identical to [`BinaryMvtu::accumulate`] per frame.
+    // Reshape indices are bounded by rows·frames, the size of the kernel's
+    // output buffer; plain ops keep the de-interleave loop tight.
+    #[allow(clippy::arithmetic_side_effects)]
+    // bcp:hot-path — blocked MVTU accumulation, once per layer per micro-batch
+    pub fn accumulate_block(&self, block: &BitPlaneBlock) -> Vec<Vec<i64>> {
+        if block.frames() == 0 {
+            // audit: allow(alloc): Vec::new is capacity-0 (no heap) — the empty-batch early return
+            return Vec::new();
+        }
+        let accs = xnor_gemm_block(&self.weights, block);
+        let (rows, frames) = (self.weights.rows(), block.frames());
+        (0..frames)
+            .map(|f| {
+                (0..rows)
+                    // audit: allow(index): r < rows and f < frames bound r·frames+f inside the kernel's rows·frames buffer
+                    .map(|r| i64::from(accs[r * frames + f]))
+                    // audit: allow(alloc): one accumulator vector per frame per layer pass — layer-level buffer reuse is ROADMAP item 2
+                    .collect()
+            })
+            // audit: allow(alloc): one frame-indexed vector per layer pass
+            .collect()
+    }
+
+    /// [`accumulate_block`](BinaryMvtu::accumulate_block) over unpacked
+    /// frames: packs the [`BitPlaneBlock`] and runs the blocked kernel.
+    // bcp:hot-path — batched accumulate entry of the logits layer
+    pub fn accumulate_batch(&self, inputs: &[BitVec64]) -> Vec<Vec<i64>> {
+        if inputs.is_empty() {
+            // audit: allow(alloc): Vec::new is capacity-0 (no heap) — the empty-batch early return
+            return Vec::new();
+        }
+        let block = BitPlaneBlock::pack(inputs);
+        // audit: allow(panic): fan-in mismatch is a programming error, checked once per layer pass
+        assert_eq!(
+            block.bits(),
+            self.weights.cols(),
+            "input length {} vs fan-in {}",
+            block.bits(),
+            self.weights.cols()
+        );
+        self.accumulate_block(&block)
+    }
+
+    /// Thresholded output bits for a pre-packed block of input vectors,
+    /// one packed vector per frame. The folded-threshold compare is fused
+    /// into the blocked accumulator loop; results are bit-identical to
+    /// [`BinaryMvtu::threshold_bits`] per frame. Panics when built without
+    /// thresholds.
+    // bcp:hot-path — blocked threshold stage, once per layer per micro-batch
+    pub fn threshold_bits_block(&self, block: &BitPlaneBlock) -> Vec<BitVec64> {
+        let t = self
+            .thresholds
+            .as_ref()
+            // audit: allow(panic): calling the threshold stage on a logits-mode unit is a wiring error caught at the first frame
+            .expect("threshold_bits_block() on a logits-mode MVTU");
+        if block.frames() == 0 {
+            // audit: allow(alloc): Vec::new is capacity-0 (no heap) — the empty-batch early return
+            return Vec::new();
+        }
+        xnor_gemm_block_thresholded(&self.weights, block, t)
+    }
+
+    /// [`threshold_bits_block`](BinaryMvtu::threshold_bits_block) over
+    /// unpacked frames: packs the [`BitPlaneBlock`] and runs the fused
+    /// kernel.
+    // bcp:hot-path — batched threshold entry of every hidden layer
+    pub fn threshold_bits_batch(&self, inputs: &[BitVec64]) -> Vec<BitVec64> {
+        if inputs.is_empty() {
+            // audit: allow(alloc): Vec::new is capacity-0 (no heap) — the empty-batch early return
+            return Vec::new();
+        }
+        let block = BitPlaneBlock::pack(inputs);
+        // audit: allow(panic): fan-in mismatch is a programming error, checked once per layer pass
+        assert_eq!(
+            block.bits(),
+            self.weights.cols(),
+            "input length {} vs fan-in {}",
+            block.bits(),
+            self.weights.cols()
+        );
+        self.threshold_bits_block(&block)
     }
 
     /// Thresholded output bits for one input vector. Panics when built
@@ -303,5 +392,50 @@ mod tests {
     fn logits_mode_has_no_threshold_bits() {
         let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
         m.threshold_bits(&BitVec64::zeros(4));
+    }
+
+    fn lcg_frames(n: usize, bits: usize, seed: u64) -> Vec<BitVec64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                let bools: Vec<bool> = (0..bits)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        state >> 33 & 1 == 1
+                    })
+                    .collect();
+                BitVec64::from_bools(&bools)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_accumulate_matches_per_frame() {
+        let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
+        for b in [0usize, 1, 3, 4, 5, 9] {
+            let frames = lcg_frames(b, 4, 77);
+            let batched = m.accumulate_batch(&frames);
+            let single: Vec<Vec<i64>> = frames.iter().map(|f| m.accumulate(f)).collect();
+            assert_eq!(batched, single, "B={b}");
+        }
+    }
+
+    #[test]
+    fn batched_threshold_matches_per_frame() {
+        let t = ThresholdUnit::new(vec![ThresholdChannel::Ge(0), ThresholdChannel::Le(-2)]);
+        let m = BinaryMvtu::new(weights_2x4(), Some(t), Folding::sequential());
+        for b in [0usize, 1, 2, 6, 7] {
+            let frames = lcg_frames(b, 4, 123);
+            let batched = m.threshold_bits_batch(&frames);
+            let single: Vec<BitVec64> = frames.iter().map(|f| m.threshold_bits(f)).collect();
+            assert_eq!(batched, single, "B={b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "logits-mode")]
+    fn logits_mode_has_no_batched_threshold_bits() {
+        let m = BinaryMvtu::new(weights_2x4(), None, Folding::sequential());
+        m.threshold_bits_batch(&[BitVec64::zeros(4)]);
     }
 }

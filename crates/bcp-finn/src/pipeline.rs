@@ -235,8 +235,11 @@ impl Stage {
                 );
                 let (oh, ow) = (out_dim(b.h, *k), out_dim(b.w, *k));
                 let mut out = BinMap::zeros(mvtu.rows(), oh, ow);
-                for (p, window) in windows_binary(&b, *k).iter().enumerate() {
-                    let bits = mvtu.threshold_bits(window);
+                // The SWU's window vectors are the natural frame batch for
+                // the register-blocked kernel: every weight row is streamed
+                // once for the whole output map instead of once per pixel.
+                let windows = windows_binary(&b, *k);
+                for (p, bits) in mvtu.threshold_bits_batch(&windows).iter().enumerate() {
                     // ow ≥ 1 whenever a window exists, so the divisor is never zero.
                     let (oy, ox) = (
                         p.checked_div(ow).unwrap_or(0),
@@ -268,6 +271,55 @@ impl Stage {
             Stage::DenseLogits { name, mvtu } => {
                 let b = input.expect_bits(name);
                 StageData::Logits(mvtu.accumulate(b.as_bits()))
+            }
+        }
+    }
+
+    /// Process a group of tokens as one micro-batch. Dense stages run the
+    /// register-blocked multi-frame kernel (one weight-row stream for the
+    /// whole group); conv and pool stages process per token — conv stages
+    /// already block over their SWU windows inside [`Stage::process`].
+    /// Results are bit-identical to calling [`Stage::process`] per token,
+    /// in order, which the tests assert.
+    pub fn process_batch(&self, inputs: Vec<StageData>) -> Vec<StageData> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            Stage::DenseBinary { name, mvtu } => {
+                let maps: Vec<BinMap> = inputs.into_iter().map(|t| t.expect_bits(name)).collect();
+                let flats: Vec<&BitVec64> = maps.iter().map(BinMap::as_bits).collect();
+                let block = bcp_bitpack::BitPlaneBlock::pack_refs(&flats);
+                assert_eq!(
+                    block.bits(),
+                    mvtu.cols(),
+                    "stage '{name}' input length {} vs fan-in {}",
+                    block.bits(),
+                    mvtu.cols()
+                );
+                mvtu.threshold_bits_block(&block)
+                    .into_iter()
+                    .map(|bits| StageData::Bits(BinMap::from_bits(mvtu.rows(), 1, 1, bits)))
+                    .collect()
+            }
+            Stage::DenseLogits { name, mvtu } => {
+                let maps: Vec<BinMap> = inputs.into_iter().map(|t| t.expect_bits(name)).collect();
+                let flats: Vec<&BitVec64> = maps.iter().map(BinMap::as_bits).collect();
+                let block = bcp_bitpack::BitPlaneBlock::pack_refs(&flats);
+                assert_eq!(
+                    block.bits(),
+                    mvtu.cols(),
+                    "stage '{name}' input length {} vs fan-in {}",
+                    block.bits(),
+                    mvtu.cols()
+                );
+                mvtu.accumulate_block(&block)
+                    .into_iter()
+                    .map(StageData::Logits)
+                    .collect()
+            }
+            Stage::ConvFixed { .. } | Stage::ConvBinary { .. } | Stage::PoolOr { .. } => {
+                inputs.into_iter().map(|t| self.process(t)).collect()
             }
         }
     }
@@ -346,6 +398,22 @@ impl Pipeline {
             token = stage.process(token);
         }
         token.expect_logits("pipeline output")
+    }
+
+    /// Run a group of frames through every stage as one micro-batch via
+    /// [`Stage::process_batch`]: dense stages stream each weight row once
+    /// for the whole group. Returns per-frame logits in input order,
+    /// bit-identical to [`Pipeline::forward`] per frame.
+    pub fn forward_batch(&self, inputs: &[QuantMap]) -> Vec<Vec<i64>> {
+        let mut tokens: Vec<StageData> =
+            inputs.iter().map(|q| StageData::Quant(q.clone())).collect();
+        for stage in &self.stages {
+            tokens = stage.process_batch(tokens);
+        }
+        tokens
+            .into_iter()
+            .map(|t| t.expect_logits("pipeline output"))
+            .collect()
     }
 
     /// Run one frame and keep every intermediate token (equivalence tests).
@@ -453,6 +521,57 @@ mod tests {
         // all bits 1; pool keeps 1; fc1 accs = 8 ≥ 0 → all 1; logits all 5.
         assert_eq!(logits, vec![5, 5, 5, 5]);
         assert_eq!(p.classify(&white_input()), 0); // tie → first
+    }
+
+    #[test]
+    fn forward_batch_matches_per_frame_forward() {
+        let p = tiny_pipeline();
+        // Frames with varied content, counts spanning empty, single, a full
+        // register block, and ragged tails.
+        for n in [0usize, 1, 3, 4, 5, 9] {
+            let frames: Vec<QuantMap> = (0..n)
+                .map(|i| {
+                    let px: Vec<f32> = (0..3 * 36)
+                        .map(|j| (((i * 53 + j * 17) % 256) as f32) / 255.0)
+                        .collect();
+                    QuantMap::from_unit_floats(3, 6, 6, &px)
+                })
+                .collect();
+            let batched = p.forward_batch(&frames);
+            let single: Vec<Vec<i64>> = frames.iter().map(|f| p.forward(f)).collect();
+            assert_eq!(batched, single, "n={n}");
+        }
+    }
+
+    #[test]
+    fn process_batch_matches_process_per_stage() {
+        // Drive every stage kind with its own batched tokens and pin the
+        // outputs to the per-token path.
+        let p = tiny_pipeline();
+        let frames: Vec<QuantMap> = (0..6)
+            .map(|i| {
+                let px: Vec<f32> = (0..3 * 36)
+                    .map(|j| (((i * 29 + j * 13) % 256) as f32) / 255.0)
+                    .collect();
+                QuantMap::from_unit_floats(3, 6, 6, &px)
+            })
+            .collect();
+        let mut batched: Vec<StageData> =
+            frames.iter().map(|q| StageData::Quant(q.clone())).collect();
+        let mut single: Vec<StageData> =
+            frames.iter().map(|q| StageData::Quant(q.clone())).collect();
+        for stage in p.stages() {
+            batched = stage.process_batch(batched);
+            single = single.into_iter().map(|t| stage.process(t)).collect();
+            assert_eq!(batched.len(), single.len());
+            for (b, s) in batched.iter().zip(&single) {
+                match (b, s) {
+                    (StageData::Bits(x), StageData::Bits(y)) => assert_eq!(x, y),
+                    (StageData::Logits(x), StageData::Logits(y)) => assert_eq!(x, y),
+                    other => panic!("token kind mismatch at {}: {other:?}", stage.name()),
+                }
+            }
+        }
     }
 
     #[test]

@@ -189,29 +189,52 @@ impl StreamStats {
 
 /// Stream `frames` through the pipeline with one thread per stage and
 /// `channel_depth`-deep FIFOs between stages. Returns the per-frame logits
-/// in input order plus run statistics.
+/// in input order plus run statistics. Each channel token carries one
+/// frame; see [`run_streaming_blocked`] for multi-frame tokens.
 pub fn run_streaming(
     pipeline: &Pipeline,
     frames: &[QuantMap],
     channel_depth: usize,
 ) -> (Vec<Vec<i64>>, StreamStats) {
+    run_streaming_blocked(pipeline, frames, channel_depth, 1)
+}
+
+/// [`run_streaming`] with multi-frame channel tokens: frames are grouped
+/// into blocks of up to `block_frames` (the last token is ragged when the
+/// frame count is not a multiple), and every stage processes a whole block
+/// per token via [`crate::pipeline::Stage::process_batch`] — dense stages
+/// stream each weight row once per block through the register-blocked
+/// GEMM. Results are bit-identical to [`Pipeline::forward`] per frame and
+/// arrive in input order.
+///
+/// Accounting: `per_stage_processed` counts *frames* (so it still sums to
+/// the frame count), while occupancy is sampled once per channel token —
+/// `occupancy_samples` therefore counts blocks, not frames, when
+/// `block_frames > 1`.
+pub fn run_streaming_blocked(
+    pipeline: &Pipeline,
+    frames: &[QuantMap],
+    channel_depth: usize,
+    block_frames: usize,
+) -> (Vec<Vec<i64>>, StreamStats) {
     assert!(channel_depth > 0, "channel depth must be positive");
+    assert!(block_frames > 0, "block width must be positive");
     let n_stages = pipeline.stages().len();
     let processed = Mutex::new(vec![0u64; n_stages]);
     let timings = Mutex::new(vec![StageTimings::default(); n_stages]);
     let start = Instant::now();
 
     // Build the channel chain: input → s0 → s1 → … → output. Stage i
-    // receives from rxs[i] and sends into txs[i].
-    let (input_tx, first_rx) = bounded::<StageData>(channel_depth);
+    // receives from rxs[i] and sends into txs[i]. Tokens are frame groups.
+    let (input_tx, first_rx) = bounded::<Vec<StageData>>(channel_depth);
     let mut rxs = vec![first_rx];
     let mut txs = Vec::with_capacity(n_stages);
     for _ in 0..n_stages.saturating_sub(1) {
-        let (tx, rx) = bounded::<StageData>(channel_depth);
+        let (tx, rx) = bounded::<Vec<StageData>>(channel_depth);
         txs.push(tx);
         rxs.push(rx);
     }
-    let (last_tx, output_rx) = bounded::<StageData>(channel_depth);
+    let (last_tx, output_rx) = bounded::<Vec<StageData>>(channel_depth);
     txs.push(last_tx);
 
     let mut results = Vec::with_capacity(frames.len());
@@ -243,14 +266,15 @@ pub fn run_streaming(
                     local.occupancy_sum = local.occupancy_sum.saturating_add(rx.len() as u64);
                     local.occupancy_samples = local.occupancy_samples.saturating_add(1);
 
+                    let group = token.len() as u64;
                     let t_busy = Instant::now();
-                    let out = stage.process(token);
+                    let out = stage.process_batch(token);
                     local.busy_ns = local
                         .busy_ns
                         .saturating_add(t_busy.elapsed().as_nanos() as u64);
                     {
                         let mut done = processed.lock();
-                        done[i] = done[i].saturating_add(1);
+                        done[i] = done[i].saturating_add(group);
                     }
 
                     let t_send = Instant::now();
@@ -269,8 +293,12 @@ pub fn run_streaming(
 
         // Feeder.
         scope.spawn(move |_| {
-            for frame in frames {
-                if input_tx.send(StageData::Quant(frame.clone())).is_err() {
+            for chunk in frames.chunks(block_frames) {
+                let token: Vec<StageData> = chunk
+                    .iter()
+                    .map(|frame| StageData::Quant(frame.clone()))
+                    .collect();
+                if input_tx.send(token).is_err() {
                     break;
                 }
             }
@@ -279,7 +307,9 @@ pub fn run_streaming(
 
         // Collector (this thread).
         while let Ok(token) = output_rx.recv() {
-            results.push(token.expect_logits("stream output"));
+            for t in token {
+                results.push(t.expect_logits("stream output"));
+            }
         }
     })
     .expect("stage thread panicked");
@@ -454,6 +484,36 @@ mod tests {
         }
         assert_eq!(stats.per_stage_processed, vec![24; 4]);
         assert_eq!(stats.frames, 24);
+    }
+
+    #[test]
+    fn blocked_streaming_matches_sequential_forward() {
+        let p = pipeline();
+        let fs = frames(21); // ragged: 21 frames over blocks of 8 → 8+8+5
+        for block in [1usize, 3, 8, 32] {
+            let (streamed, stats) = run_streaming_blocked(&p, &fs, 4, block);
+            assert_eq!(streamed.len(), 21, "block={block}");
+            for (frame, got) in fs.iter().zip(&streamed) {
+                assert_eq!(got, &p.forward(frame), "block={block} must be bit-exact");
+            }
+            // per_stage_processed counts frames regardless of blocking.
+            assert_eq!(stats.per_stage_processed, vec![21; 4], "block={block}");
+            assert_eq!(stats.frames, 21);
+        }
+    }
+
+    #[test]
+    fn blocked_streaming_samples_occupancy_per_token() {
+        let p = pipeline();
+        let fs = frames(16);
+        let (_, stats) = run_streaming_blocked(&p, &fs, 4, 8);
+        for t in &stats.stages {
+            assert_eq!(
+                t.occupancy_samples, 2,
+                "{}: 16 frames / blocks of 8",
+                t.name
+            );
+        }
     }
 
     #[test]

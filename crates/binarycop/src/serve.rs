@@ -22,8 +22,12 @@ use bcp_serve::{canary_frame, Engine, Replica, ServeConfig};
 use bcp_tensor::Tensor;
 
 impl Replica for BinaryCoP {
+    /// Micro-batch dispatch: one in-thread pass through the
+    /// register-blocked multi-frame kernel, so a batch of B frames streams
+    /// each dense weight row once instead of B times. Bit-identical to
+    /// per-frame [`BinaryCoP::classify`].
     fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass> {
-        frames.iter().map(|f| self.classify(f)).collect()
+        self.classify_block(frames)
     }
 
     fn infer_batch_streaming(

@@ -11,13 +11,22 @@
 //! 2. The folded integer thresholds (`from_batchnorm`) against the
 //!    float batch-norm + sign reference they were folded from, over the
 //!    accumulator's entire legal range (paper Eq. 1 / Sec. III-B).
+//! 3. The register-blocked multi-frame GEMM (`xnor_gemm_block`) against
+//!    *both* the float reference and the single-frame kernel, over random
+//!    shapes and batch sizes spanning 1..=2·BLOCK_LANES — the interleaved
+//!    bit-plane layout, the 4-wide unroll, and both ragged tails (frames
+//!    off the register-block grid, fan-ins off the 64-lane grid) must
+//!    never change a single accumulator bit. The fused-threshold variant
+//!    is additionally pinned to the unfused compare over the accumulator's
+//!    full legal range.
 //!
 //! Case count honors `PROPTEST_CASES` (CI sets 64); seeds are fixed per
 //! test name, so failures replay deterministically.
 
 use bcp_bitpack::pack::pack_matrix;
 use bcp_bitpack::threshold::{batchnorm_sign_reference, ThresholdChannel, ThresholdUnit};
-use bcp_bitpack::xnor::xnor_gemm;
+use bcp_bitpack::xnor::{xnor_gemm, xnor_matvec};
+use bcp_bitpack::{xnor_gemm_block, xnor_gemm_block_thresholded, BitPlaneBlock, BLOCK_LANES};
 use bcp_tensor::{matmul::matmul_tb, Shape, Tensor};
 use proptest::prelude::*;
 
@@ -75,6 +84,91 @@ proptest! {
         for acc in xnor_gemm(&a, &b) {
             prop_assert!(acc.unsigned_abs() as usize <= k);
             prop_assert_eq!((acc - k as i32).rem_euclid(2), 0);
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_float_reference_and_single_frame_kernel(
+        rows in 1usize..9,
+        k in 1usize..260,
+        b in 1usize..2 * BLOCK_LANES + 1,
+        seed in any::<u64>(),
+    ) {
+        let w_raw = signs(rows, k, seed);
+        let f_raw = signs(b, k, seed ^ 0x9E3779B97F4A7C15);
+        let weights = pack_matrix(rows, k, &w_raw);
+        let frame_mat = pack_matrix(b, k, &f_raw);
+        let frames: Vec<_> = (0..b).map(|f| frame_mat.row(f)).collect();
+
+        // Blocked kernel, out[r·b + f].
+        let blocked = xnor_gemm_block(&weights, &BitPlaneBlock::pack(&frames));
+        prop_assert_eq!(blocked.len(), rows * b);
+
+        // Reference 1: the float matmul W·Fᵀ (same layout: [r·b + f]).
+        let floats = matmul_tb(
+            &Tensor::from_vec(Shape::d2(rows, k), w_raw),
+            &Tensor::from_vec(Shape::d2(b, k), f_raw),
+        );
+        for (i, (&got, &want)) in blocked.iter().zip(floats.as_slice()).enumerate() {
+            prop_assert_eq!(got as f32, want, "accumulator {} of {}x{} @ B={}", i, rows, k, b);
+        }
+
+        // Reference 2: the single-frame kernel, one matvec per frame.
+        for (f, frame) in frames.iter().enumerate() {
+            let single = xnor_matvec(&weights, frame);
+            for (r, &want) in single.iter().enumerate() {
+                prop_assert_eq!(blocked[r * b + f], want, "frame {} row {}", f, r);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_fused_threshold_matches_unfused_over_full_accumulator_range(
+        rows in 1usize..8,
+        k in 1usize..200,
+        b in 1usize..2 * BLOCK_LANES + 1,
+        seed in any::<u64>(),
+        gamma in -4.0f64..4.0,
+        beta in -4.0f64..4.0,
+        mean in -40.0f64..40.0,
+        var in 0.0f64..9.0,
+    ) {
+        let eps = 1e-5f64;
+        // A mixed bank: batch-norm-folded channels interleaved with raw
+        // Ge/Le/Const channels whose τ sweeps the accumulator's full legal
+        // range [-k, k] (including both boundaries), so every comparison
+        // direction is exercised at and around equality.
+        let channels: Vec<ThresholdChannel> = (0..rows)
+            .map(|r| match r % 4 {
+                0 => ThresholdChannel::from_batchnorm(gamma, beta, mean, var, eps),
+                1 => ThresholdChannel::Ge(-(k as i64) + (r as i64 * 2) % (2 * k as i64 + 1)),
+                2 => ThresholdChannel::Le((k as i64) - (r as i64 * 3) % (2 * k as i64 + 1)),
+                _ => ThresholdChannel::Const(r % 8 < 4),
+            })
+            .collect();
+        let bank = ThresholdUnit::new(channels);
+
+        let weights = pack_matrix(rows, k, &signs(rows, k, seed));
+        let frame_mat = pack_matrix(b, k, &signs(b, k, seed ^ 0xD1B54A32D192ED03));
+        let frames: Vec<_> = (0..b).map(|f| frame_mat.row(f)).collect();
+        let block = BitPlaneBlock::pack(&frames);
+
+        let fused = xnor_gemm_block_thresholded(&weights, &block, &bank);
+        let accs = xnor_gemm_block(&weights, &block);
+        prop_assert_eq!(fused.len(), b);
+        for (f, out) in fused.iter().enumerate() {
+            prop_assert_eq!(out.len(), rows);
+            for r in 0..rows {
+                let acc = accs[r * b + f] as i64;
+                // The accumulator must be legal...
+                prop_assert!(acc.unsigned_abs() as usize <= k);
+                // ...and the fused bit must equal the unfused compare.
+                prop_assert_eq!(
+                    out.get(r),
+                    bank.apply(r, acc),
+                    "frame {} row {} acc {}", f, r, acc
+                );
+            }
         }
     }
 
@@ -140,4 +234,27 @@ fn gemm_differential_has_a_known_answer_anchor() {
     let a = pack_matrix(1, 3, &[1.0, -1.0, 1.0]);
     let b = pack_matrix(1, 3, &[1.0, 1.0, 1.0]);
     assert_eq!(xnor_gemm(&a, &b), vec![1]);
+}
+
+#[test]
+fn blocked_gemm_has_a_known_answer_anchor() {
+    // Hand-checked multi-frame case: weight row [+1 -1 +1] against frames
+    // [+1 +1 +1] → +1, [-1 -1 -1] → -1, [+1 -1 +1] → +3 (self), and
+    // [-1 +1 -1] → -3 (complement). Five frames force a ragged second
+    // register block.
+    let w = pack_matrix(1, 3, &[1.0, -1.0, 1.0]);
+    let f = pack_matrix(
+        5,
+        3,
+        &[
+            1.0, 1.0, 1.0, //
+            -1.0, -1.0, -1.0, //
+            1.0, -1.0, 1.0, //
+            -1.0, 1.0, -1.0, //
+            1.0, 1.0, -1.0,
+        ],
+    );
+    let frames: Vec<_> = (0..5).map(|i| f.row(i)).collect();
+    let got = xnor_gemm_block(&w, &BitPlaneBlock::pack(&frames));
+    assert_eq!(got, vec![1, -1, 3, -3, -1]);
 }

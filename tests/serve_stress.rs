@@ -65,6 +65,49 @@ fn engine_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn batched_kernel_engine_is_byte_identical_to_classify_batch() {
+    // Same shape as the determinism test above, but tuned so worker
+    // dispatch actually forms large micro-batches: max_batch 16 spans four
+    // register blocks of the blocked GEMM, and a non-zero max_wait lets the
+    // queue coalesce. The register-blocked kernel inside `infer_batch` must
+    // be byte-identical to the threaded streaming `classify_batch` — and to
+    // the in-thread `classify_block` it is built from — at every worker
+    // count.
+    let p = predictor();
+    let frames = images(96);
+    let reference = p.classify_batch(&frames);
+    assert_eq!(
+        p.classify_block(&frames),
+        reference,
+        "blocked in-thread path diverged from streaming classify_batch"
+    );
+    for workers in [1usize, 2, 8] {
+        let e = engine(
+            &p,
+            workers,
+            ServeConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(500),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<_> = frames
+            .iter()
+            .map(|f| e.submit(f).expect("Block policy never refuses"))
+            .collect();
+        let served: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("lossless config: every request succeeds"))
+            .collect();
+        assert_eq!(
+            served, reference,
+            "batched-kernel engine with {workers} workers diverged from classify_batch"
+        );
+        e.shutdown();
+    }
+}
+
+#[test]
 fn reject_saturation_never_deadlocks_or_loses_responses() {
     let p = predictor().with_telemetry(Registry::new());
     let e = engine(

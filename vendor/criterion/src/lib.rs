@@ -200,6 +200,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Record an externally measured median, in nanoseconds per iteration.
+    ///
+    /// For measurements [`Bencher::iter`] cannot express — e.g. paired
+    /// interleaved timing of two competing implementations, where both
+    /// sides must alternate inside one loop so slow frequency/neighbor
+    /// drift on a shared host cancels out of their ratio. The caller owns
+    /// warmup and median selection; the record lands in the summary like
+    /// any other entry (throughput annotation applies as usual).
+    pub fn record_ns(&mut self, id: impl Into<BenchmarkId>, ns: f64) -> &mut Self {
+        let id = id.into();
+        self.record(&id.id, ns);
+        self
+    }
+
     /// End the group (records are flushed by `criterion_main!`).
     pub fn finish(self) {}
 
@@ -321,6 +335,22 @@ mod tests {
         };
         b.iter(|| (0..1000u64).sum::<u64>());
         assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn record_ns_lands_like_a_measured_entry() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("paired");
+            g.throughput(Throughput::Elements(32));
+            g.record_ns("engine", 4_000_000.0)
+                .record_ns(BenchmarkId::new("seq", "B8"), 3_200_000.0);
+        }
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].name, "paired/engine");
+        assert_eq!(c.records[1].name, "paired/seq/B8");
+        let t = c.records[0].throughput_per_sec.unwrap();
+        assert!((t - 32.0 * 1e9 / 4_000_000.0).abs() < 1e-6);
     }
 
     #[test]
