@@ -1,0 +1,204 @@
+//! A small blocking client for the gateway protocol, plus the outcome
+//! [`Tally`] the benches and fault tests reconcile against server-side
+//! counters.
+
+use crate::protocol::{
+    decode_response, encode_metrics_request, encode_request, DecodeError, RequestFrame,
+    ResponseFrame, Status, RESPONSE_LEN,
+};
+use bcp_tensor::Tensor;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure talking to the gateway.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes the codec rejects.
+    Decode(DecodeError),
+    /// The server closed the connection mid-response.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Decode(e) => write!(f, "decode: {e}"),
+            WireError::Closed => write!(f, "connection closed mid-response"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Closed
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// One connection speaking the gateway protocol.
+pub struct GatewayClient {
+    stream: TcpStream,
+}
+
+impl GatewayClient {
+    /// Connect with a generous response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<GatewayClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(GatewayClient { stream })
+    }
+
+    /// Classify one frame; blocks for the response.
+    pub fn classify(
+        &mut self,
+        tenant: u32,
+        request_id: u64,
+        deadline_ms: u32,
+        frame: &Tensor,
+    ) -> Result<ResponseFrame, WireError> {
+        let req = RequestFrame::from_tensor(tenant, request_id, deadline_ms, frame);
+        self.stream.write_all(&encode_request(&req))?;
+        self.read_response()
+    }
+
+    /// Fetch the server's `Registry::render_text` dump.
+    pub fn metrics(&mut self) -> Result<String, WireError> {
+        self.stream.write_all(&encode_metrics_request())?;
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        let mut text = vec![0u8; len.min(16 * 1024 * 1024)];
+        self.stream.read_exact(&mut text)?;
+        Ok(String::from_utf8_lossy(&text).into_owned())
+    }
+
+    /// Write raw bytes (chaos: garbage, partial frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Read one response frame off the wire.
+    pub fn read_response(&mut self) -> Result<ResponseFrame, WireError> {
+        let mut buf = [0u8; RESPONSE_LEN];
+        self.stream.read_exact(&mut buf)?;
+        decode_response(&buf).map_err(WireError::Decode)
+    }
+}
+
+/// Outcome counts by wire status, plus correctness accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Responses seen, indexed by `Status as u8`.
+    pub by_status: [u64; 10],
+    /// `Ok` responses whose class disagreed with the expected label.
+    pub wrong: u64,
+    /// Requests that died on the wire (I/O error, closed connection).
+    pub wire_errors: u64,
+}
+
+impl Tally {
+    /// Record one response, checking `Ok` answers against `expect` when
+    /// given.
+    pub fn record(&mut self, resp: &ResponseFrame, expect: Option<u8>) {
+        let i = (resp.status.to_u8() as usize).min(self.by_status.len().saturating_sub(1));
+        self.by_status[i] = self.by_status[i].saturating_add(1);
+        if resp.status == Status::Ok {
+            if let Some(want) = expect {
+                if resp.class != want {
+                    self.wrong = self.wrong.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Record a request that never produced a response frame.
+    pub fn record_wire_error(&mut self) {
+        self.wire_errors = self.wire_errors.saturating_add(1);
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        for (a, b) in self.by_status.iter_mut().zip(other.by_status.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.wrong = self.wrong.saturating_add(other.wrong);
+        self.wire_errors = self.wire_errors.saturating_add(other.wire_errors);
+    }
+
+    /// Count for one status.
+    pub fn count(&self, status: Status) -> u64 {
+        self.by_status[(status.to_u8() as usize).min(self.by_status.len().saturating_sub(1))]
+    }
+
+    /// Responses observed (any status).
+    pub fn responses(&self) -> u64 {
+        self.by_status
+            .iter()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Render as a stable JSON object keyed by status name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for status in Status::ALL {
+            out.push_str(&format!("\"{}\":{},", status.name(), self.count(status)));
+        }
+        out.push_str(&format!(
+            "\"wrong\":{},\"wire_errors\":{}}}",
+            self.wrong, self.wire_errors
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::arithmetic_side_effects)]
+    use super::*;
+
+    #[test]
+    fn tally_merge_and_json_are_consistent() {
+        let mut a = Tally::default();
+        let ok = ResponseFrame {
+            request_id: 1,
+            status: Status::Ok,
+            class: 2,
+            shard: 0,
+        };
+        a.record(&ok, Some(2));
+        a.record(&ok, Some(3)); // wrong answer
+        let mut b = Tally::default();
+        b.record(
+            &ResponseFrame {
+                request_id: 2,
+                status: Status::Throttled,
+                class: 0,
+                shard: 0,
+            },
+            None,
+        );
+        b.record_wire_error();
+        a.merge(&b);
+        assert_eq!(a.count(Status::Ok), 2);
+        assert_eq!(a.count(Status::Throttled), 1);
+        assert_eq!(a.wrong, 1);
+        assert_eq!(a.wire_errors, 1);
+        assert_eq!(a.responses(), 3);
+        let json = a.to_json();
+        assert!(json.contains("\"ok\":2"));
+        assert!(json.contains("\"throttled\":1"));
+        assert!(json.contains("\"wrong\":1"));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based wall around the wire codec: random frames round-trip
+//! bit-exactly, and no byte stream an attacker can construct — truncated,
+//! mutated, garbage, or length-lying — ever panics the decoder or talks
+//! it into an unbounded allocation.
+
+#![allow(clippy::arithmetic_side_effects)]
+
+use bcp_gateway::protocol::{
+    decode_message, decode_response, encode_request, encode_response, DecodeError, Message,
+    RequestFrame, ResponseFrame, Status, MAX_PAYLOAD, REQUEST_HEADER_LEN,
+};
+use proptest::prelude::*;
+
+fn frame(
+    tenant: u32,
+    request_id: u64,
+    deadline_ms: u32,
+    c: usize,
+    h: usize,
+    w: usize,
+    raw: Vec<f32>,
+) -> RequestFrame {
+    let n = c * h * w;
+    let mut pixels = raw;
+    pixels.resize(n, 0.5);
+    pixels.truncate(n);
+    RequestFrame {
+        tenant,
+        request_id,
+        deadline_ms,
+        channels: c as u8,
+        height: h as u16,
+        width: w as u16,
+        pixels,
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_frames_round_trip(
+        tenant in any::<u32>(),
+        request_id in any::<u64>(),
+        deadline_ms in any::<u32>(),
+        c in 1usize..5,
+        h in 1usize..17,
+        w in 1usize..17,
+        raw in collection::vec(0.0f32..1.0, 0usize..512),
+    ) {
+        let req = frame(tenant, request_id, deadline_ms, c, h, w, raw);
+        let bytes = encode_request(&req);
+        let (msg, used) = decode_message(&bytes).expect("valid encoding must decode");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(msg, Message::Request(req));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_truncated_error(
+        c in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        cut_seed in any::<u64>(),
+    ) {
+        let req = frame(3, 9, 100, c, h, w, Vec::new());
+        let bytes = encode_request(&req);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match decode_message(&bytes[..cut]) {
+            Err(DecodeError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > cut);
+                // The bound a buffered reader may trust: `needed` can
+                // never demand more than one max-size frame.
+                prop_assert!(needed <= REQUEST_HEADER_LEN + MAX_PAYLOAD as usize);
+            }
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_and_never_demands_unbounded_memory(
+        bytes in collection::vec(any::<u8>(), 0usize..256),
+    ) {
+        match decode_message(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(DecodeError::Truncated { needed, .. }) => {
+                prop_assert!(needed <= REQUEST_HEADER_LEN + MAX_PAYLOAD as usize);
+            }
+            Err(_) => {} // typed rejection is exactly the contract
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(
+        c in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        at_seed in any::<u64>(),
+        val in any::<u8>(),
+    ) {
+        let req = frame(1, 2, 3, c, h, w, Vec::new());
+        let mut bytes = encode_request(&req);
+        let at = (at_seed % bytes.len() as u64) as usize;
+        bytes[at] = val;
+        // Any outcome is fine except a panic or an absurd length demand.
+        if let Err(DecodeError::Truncated { needed, .. }) = decode_message(&bytes) {
+            prop_assert!(needed <= REQUEST_HEADER_LEN + MAX_PAYLOAD as usize);
+        }
+    }
+
+    #[test]
+    fn lying_length_prefixes_are_rejected_before_payload(
+        c in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        lie in any::<u32>(),
+    ) {
+        let req = frame(1, 2, 3, c, h, w, Vec::new());
+        let honest = req.payload_len() as u32;
+        prop_assume!(lie != honest);
+        let mut bytes = encode_request(&req);
+        bytes[26..30].copy_from_slice(&lie.to_le_bytes());
+        match decode_message(&bytes) {
+            Err(DecodeError::Oversize { len, max }) => {
+                prop_assert_eq!(len, lie);
+                prop_assert_eq!(max, MAX_PAYLOAD);
+                prop_assert!(lie > MAX_PAYLOAD);
+            }
+            Err(DecodeError::LengthMismatch { expect, got }) => {
+                prop_assert_eq!(got, lie);
+                prop_assert_eq!(expect, honest as u64);
+            }
+            other => prop_assert!(false, "lie {} gave {:?}", lie, other),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_reject_unknown_statuses(
+        request_id in any::<u64>(),
+        status_byte in 0u8..10,
+        class in any::<u8>(),
+        shard in any::<u8>(),
+        bad_byte in 10u8..255,
+    ) {
+        let resp = ResponseFrame {
+            request_id,
+            status: Status::from_u8(status_byte).unwrap(),
+            class,
+            shard,
+        };
+        let mut bytes = encode_response(&resp);
+        prop_assert_eq!(decode_response(&bytes), Ok(resp));
+        bytes[13] = bad_byte;
+        prop_assert_eq!(
+            decode_response(&bytes),
+            Err(DecodeError::BadStatus { got: bad_byte })
+        );
+    }
+}

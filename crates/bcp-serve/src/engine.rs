@@ -406,8 +406,29 @@ impl Engine {
     /// Enqueue one frame for classification. Returns a [`Ticket`] to wait
     /// on, or an immediate error when the backpressure policy refuses
     /// admission ([`ServeError::Rejected`]) or the engine is draining.
+    /// The deadline, if any, comes from [`ServeConfig::deadline`].
     // bcp:hot-path — request admission and policy enforcement
     pub fn submit(&self, frame: &Tensor) -> Result<Ticket, ServeError> {
+        let deadline = self
+            .shared
+            .cfg
+            .deadline
+            .and_then(|d| Instant::now().checked_add(d));
+        self.submit_with_deadline(frame, deadline)
+    }
+
+    /// [`submit`](Engine::submit) with an explicit absolute deadline,
+    /// overriding the engine-wide [`ServeConfig::deadline`]. This is how a
+    /// network front door propagates each client's remaining deadline
+    /// budget end-to-end: the budget is computed once at the wire and
+    /// enforced at every hand-off inside the engine, so a retried request
+    /// can never outlive what the client asked for.
+    // bcp:hot-path — request admission and policy enforcement
+    pub fn submit_with_deadline(
+        &self,
+        frame: &Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
         // audit: allow(block): shutdown-gate RwLock; read-acquired, contended only at teardown
         let guard = self.shared.submit_tx.read();
         let Some(tx) = guard.as_ref() else {
@@ -417,7 +438,6 @@ impl Engine {
             m.requests.inc();
         }
         let now = Instant::now();
-        let deadline = self.shared.cfg.deadline.and_then(|d| now.checked_add(d));
         let slot = self.shared.acquire_slot();
         // Head-sampling decision; a sampled trace is already stamped with
         // `Enqueue` and rides inside the request from here on.
@@ -558,6 +578,24 @@ impl Engine {
     /// a [`bcp_trace::TraceSet`] for flamegraphs and attribution reports.
     pub fn tracer(&self) -> Option<Arc<Tracer>> {
         self.shared.tracer.clone()
+    }
+
+    /// Drain hook for shard orchestration: stop accepting new requests
+    /// *without* joining the pipeline threads. Everything already admitted
+    /// still flows through the workers and resolves normally; subsequent
+    /// [`submit`](Engine::submit) calls fail fast with
+    /// [`ServeError::ShuttingDown`], which is what lets a gateway fail
+    /// over new traffic to another shard while this one finishes its
+    /// in-flight work. Idempotent; [`shutdown`](Engine::shutdown) later
+    /// completes the join.
+    pub fn begin_drain(&self) {
+        drop(self.shared.submit_tx.write().take());
+    }
+
+    /// Whether the engine has stopped accepting new requests (a drain or
+    /// shutdown has begun).
+    pub fn is_draining(&self) -> bool {
+        self.shared.submit_tx.read().is_none()
     }
 
     /// Graceful shutdown: stop accepting, drain every queued request
@@ -1310,6 +1348,67 @@ mod tests {
         assert_eq!(snap.counters["serve.worker.repaired"], 3);
         assert_eq!(snap.counters["serve.worker.reinstated"], 3);
         assert_eq!(snap.counters["serve.worker_fault"], 3);
+    }
+
+    #[test]
+    fn begin_drain_refuses_new_work_but_resolves_in_flight() {
+        let e = engine(2, ServeConfig::default());
+        let fs = frames(12);
+        let tickets: Vec<Ticket> = fs.iter().map(|f| e.submit(f).unwrap()).collect();
+        e.begin_drain();
+        assert!(e.is_draining());
+        assert!(matches!(e.submit(&fs[0]), Err(ServeError::ShuttingDown)));
+        for t in tickets {
+            assert!(t.wait().is_ok(), "drained request must still resolve");
+        }
+        // Idempotent, and shutdown still joins cleanly afterwards.
+        e.begin_drain();
+        e.shutdown();
+    }
+
+    #[test]
+    fn per_request_deadline_overrides_engine_config() {
+        // Engine has NO configured deadline; the per-request one must
+        // still be enforced end-to-end.
+        let replicas = vec![SyntheticReplica::with_delay(Duration::from_millis(20))];
+        let e = Engine::start(
+            replicas,
+            ServeConfig {
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+            Some(Registry::new()),
+        );
+        let fs = frames(5);
+        let deadline = Instant::now() + Duration::from_millis(25);
+        let tickets: Vec<Ticket> = fs
+            .iter()
+            .map(|f| e.submit_with_deadline(f, Some(deadline)).unwrap())
+            .collect();
+        let outcomes: Vec<Completion> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(
+            outcomes.contains(&Err(ServeError::DeadlineExpired)),
+            "5 × 20ms of work against a 25ms budget must expire some: {outcomes:?}"
+        );
+        for o in &outcomes {
+            assert!(matches!(o, Ok(_) | Err(ServeError::DeadlineExpired)));
+        }
+    }
+
+    #[test]
+    fn boxed_replicas_serve_like_concrete_ones() {
+        let replicas: Vec<Box<dyn crate::Replica>> = vec![
+            Box::new(SyntheticReplica::new()),
+            Box::new(SyntheticReplica::new()),
+        ];
+        let e = Engine::start(replicas, ServeConfig::default(), None);
+        let mut reference = SyntheticReplica::new();
+        for f in frames(8) {
+            assert_eq!(
+                e.classify(&f),
+                Ok(reference.infer_batch(std::slice::from_ref(&f))[0])
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,38 @@ pub trait Replica: Send + 'static {
     }
 }
 
+/// Boxed replicas are replicas too: shard pools (`bcp-gateway`) build
+/// engines from `Vec<Box<dyn Replica>>` factories so one factory type can
+/// stand up heterogeneous pools and rebuild an engine after a shard kill.
+impl Replica for Box<dyn Replica> {
+    fn infer_batch(&mut self, frames: &[Tensor]) -> Vec<MaskClass> {
+        (**self).infer_batch(frames)
+    }
+
+    fn infer_batch_streaming(
+        &mut self,
+        frames: &[Tensor],
+    ) -> Option<(Vec<MaskClass>, StreamStats)> {
+        (**self).infer_batch_streaming(frames)
+    }
+
+    fn canary(&self, frame: &Tensor) -> Vec<i64> {
+        (**self).canary(frame)
+    }
+
+    fn inject_faults(&mut self, n: usize, seed: u64) {
+        (**self).inject_faults(n, seed)
+    }
+
+    fn repair(&mut self) -> bool {
+        (**self).repair()
+    }
+
+    fn scrub_tick(&mut self, units: usize) {
+        (**self).scrub_tick(units)
+    }
+}
+
 /// A trivial deterministic "model" for engine tests: classifies by a hash
 /// of the frame contents, costs an optional fixed delay per frame, and
 /// supports fault injection by corrupting its (single) weight.

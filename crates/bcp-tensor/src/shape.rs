@@ -22,6 +22,9 @@ impl Shape {
 
     /// Rank-3 shape.
     pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        // audit: allow(alloc): a three-element dims vector is the cost of
+        // constructing a shape at all; callers on hot paths build one per
+        // request, not per element.
         Shape(vec![a, b, c])
     }
 

@@ -57,6 +57,9 @@ impl Tensor {
     /// Build from an existing buffer. Panics when the length disagrees with
     /// the shape.
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        // audit: allow(panic): documented construction contract; hot-path
+        // callers (the gateway codec) validate len == shape product before
+        // building the buffer, so this cannot fire on wire input.
         assert_eq!(
             shape.numel(),
             data.len(),

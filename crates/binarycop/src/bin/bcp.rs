@@ -370,13 +370,7 @@ fn bench_predictor(args: &Args) -> BinaryCoP {
 
 /// Deterministic synthetic camera frames at the predictor's input size.
 fn bench_frames(predictor: &BinaryCoP, n_frames: usize, seed: u64) -> Vec<bcp_tensor::Tensor> {
-    use bcp_dataset::{Dataset, GeneratorConfig};
-    let gen = GeneratorConfig {
-        img_size: predictor.arch().input_size,
-        supersample: 2,
-    };
-    let ds = Dataset::generate_balanced(&gen, n_frames.div_ceil(4), seed);
-    (0..n_frames.min(ds.len())).map(|i| ds.image(i)).collect()
+    gateway_bench_frames(predictor.arch().input_size, n_frames, seed)
 }
 
 /// Drain an engine's tracer into trace artifacts under `dir`
@@ -656,6 +650,90 @@ fn cmd_profile(args: &Args) {
     }
 }
 
+/// Shared flag parsing for `gateway` / `gateway-bench`: shard specs from
+/// the bench predictor plus the gateway configuration.
+fn gateway_setup(
+    args: &Args,
+) -> (
+    BinaryCoP,
+    Vec<bcp_gateway::ShardSpec>,
+    bcp_gateway::GatewayConfig,
+) {
+    use bcp_serve::{BackpressurePolicy, ServeConfig};
+    use std::time::Duration;
+
+    let get = |flag: &str, default: usize| -> usize { int_flag(args, flag, default) };
+    let shards = get("shards", 3).max(1);
+    let workers = get("workers", 1).max(1);
+
+    let mut cfg = ServeConfig::default();
+    cfg.queue_cap = get("queue-cap", cfg.queue_cap).max(1);
+    cfg.max_batch = get("max-batch", cfg.max_batch).max(1);
+    cfg.max_wait = Duration::from_micros(get("max-wait-us", 200) as u64);
+    if let Some(p) = args.flags.get("policy") {
+        cfg.policy = match p.to_ascii_lowercase().as_str() {
+            "block" => BackpressurePolicy::Block,
+            "reject" => BackpressurePolicy::Reject,
+            "shed" => BackpressurePolicy::ShedOldest,
+            other => {
+                eprintln!("unknown policy '{other}' (use block | reject | shed)");
+                exit(2);
+            }
+        };
+    }
+
+    let predictor = bench_predictor(args);
+    let specs = binarycop::gateway::shard_specs(&predictor, shards, workers, cfg);
+
+    let mut gw_cfg = bcp_gateway::GatewayConfig::default();
+    if let Some(addr) = args.flags.get("addr") {
+        gw_cfg.addr = addr.clone();
+    }
+    gw_cfg.default_deadline = Duration::from_millis(get("deadline-ms", 2_000) as u64);
+    gw_cfg.read_timeout = Duration::from_millis(get("read-timeout-ms", 100) as u64);
+    gw_cfg.probe_interval = Duration::from_millis(get("probe-interval-ms", 50) as u64);
+    gw_cfg.tenant_policy = bcp_gateway::TenantPolicy {
+        rate_per_s: get("tenant-rate", 100_000) as u64,
+        burst: get("tenant-burst", 10_000) as u64,
+        quota: args.flags.get("tenant-quota").map(|q| {
+            q.parse().unwrap_or_else(|_| {
+                eprintln!("--tenant-quota needs an integer, got '{q}'");
+                exit(2);
+            })
+        }),
+    };
+    let s = predictor.arch().input_size;
+    gw_cfg.probe_frame = Some(bcp_serve::canary_frame(3, s, s));
+    (predictor, specs, gw_cfg)
+}
+
+/// `bcp gateway`: stand up the TCP front door and serve until
+/// `--duration-s` elapses (0 = forever).
+fn cmd_gateway(args: &Args) {
+    let (predictor, specs, gw_cfg) = gateway_setup(args);
+    let shards = specs.len();
+    let registry = bcp_telemetry::Registry::new();
+    let gateway = bcp_gateway::Gateway::start(specs, gw_cfg, Some(registry)).unwrap_or_else(|e| {
+        eprintln!("cannot bind gateway: {e}");
+        exit(1);
+    });
+    let s = predictor.arch().input_size;
+    println!(
+        "gateway listening on {} ({} shards, {s}×{s} input frames)",
+        gateway.local_addr(),
+        shards,
+    );
+    let duration_s = int_flag(args, "duration-s", 0);
+    if duration_s == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration_s as u64));
+    gateway.shutdown();
+    println!("gateway drained after {duration_s}s");
+}
+
 /// `bcp scrub-bench`: measure the guard layer end to end — inject a known
 /// fault population, report detection and repair rates against it, and
 /// time scrub-interleaved inference against an undefended baseline.
@@ -854,6 +932,449 @@ fn cmd_audit(args: &Args) {
     }
 }
 
+/// Deterministic bench frames regenerable in a child process from
+/// `(img_size, n, seed)` alone — the parent ships expected labels, the
+/// child rebuilds the identical frames.
+fn gateway_bench_frames(img_size: usize, n: usize, seed: u64) -> Vec<bcp_tensor::Tensor> {
+    use bcp_dataset::{Dataset, GeneratorConfig};
+    let gen = GeneratorConfig {
+        img_size,
+        supersample: 2,
+    };
+    let ds = Dataset::generate_balanced(&gen, n.div_ceil(4), seed);
+    (0..n.min(ds.len())).map(|i| ds.image(i)).collect()
+}
+
+/// Child (loadgen) mode of `gateway-bench`: closed-loop requests against
+/// `--connect <addr>`, one `TALLY,…` CSV line on stdout at the end.
+fn gateway_bench_client(args: &Args) {
+    use bcp_gateway::GatewayClient;
+
+    let addr = required(args, "connect").to_string();
+    let get = |flag: &str, default: usize| -> usize { int_flag(args, flag, default) };
+    let tenant = get("tenant", 1) as u32;
+    let client_id = get("client-id", 0) as u64;
+    let requests = get("requests", 50).max(1);
+    let img_size = get("img-size", 16).max(4);
+    let n_frames = get("frames", 16).max(1);
+    let seed = get("seed", 0x6A7E) as u64;
+    let spacing = std::time::Duration::from_micros(get("spacing-us", 2_000) as u64);
+    let deadline_ms = get("deadline-ms", 2_000) as u32;
+    let expect: Vec<u8> = args
+        .flags
+        .get("expect")
+        .map(|csv| {
+            csv.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        eprintln!("--expect wants a CSV of class labels, got '{s}'");
+                        exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let frames = gateway_bench_frames(img_size, n_frames, seed);
+    let mut client = GatewayClient::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("client {client_id}: cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let mut tally = bcp_gateway::Tally::default();
+    for r in 0..requests {
+        let k = r % frames.len();
+        let id = (client_id << 32) | r as u64;
+        match client.classify(tenant, id, deadline_ms, &frames[k]) {
+            Ok(resp) => {
+                if resp.request_id != id {
+                    eprintln!("client {client_id}: response id mismatch");
+                    exit(1);
+                }
+                tally.record(&resp, expect.get(k).copied());
+            }
+            Err(_) => tally.record_wire_error(),
+        }
+        if !spacing.is_zero() {
+            std::thread::sleep(spacing);
+        }
+    }
+    let counts: Vec<String> = tally.by_status.iter().map(u64::to_string).collect();
+    println!(
+        "TALLY,{},{},{}",
+        counts.join(","),
+        tally.wrong,
+        tally.wire_errors
+    );
+}
+
+/// `bcp gateway-bench`: multi-process closed-loop load against a live
+/// gateway, with an optional deterministic chaos plan injected mid-run.
+/// Asserts (exit 1 on violation): exactly one response per request, zero
+/// wrong answers, exact client↔server counter reconciliation, and — after
+/// the chaos window — full recovery (a verification burst must come back
+/// all-Ok with correct classes).
+fn cmd_gateway_bench(args: &Args) {
+    if args.flags.contains_key("connect") {
+        return gateway_bench_client(args);
+    }
+    use bcp_gateway::{chaos, ChaosEvent, ChaosPlan, GatewayClient, Status, Tally};
+    use std::time::Instant;
+
+    let get = |flag: &str, default: usize| -> usize { int_flag(args, flag, default) };
+    let clients = get("clients", 4).max(1);
+    let requests = get("requests", 80).max(1);
+    let n_frames = get("frames", 16).max(1);
+    let seed = get("seed", 0x6A7E) as u64;
+    let spacing_us = get("spacing-us", 2_000);
+    let deadline_ms = get("deadline-ms", 2_000);
+    let plan = match args.flags.get("chaos") {
+        Some(s) => ChaosPlan::parse(s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => ChaosPlan::default(),
+    };
+
+    let (predictor, specs, gw_cfg) = gateway_setup(args);
+    let shards = specs.len();
+    let img_size = predictor.arch().input_size;
+    let registry = bcp_telemetry::Registry::new();
+    let gateway = bcp_gateway::Gateway::start(specs, gw_cfg.clone(), Some(registry.clone()))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind gateway: {e}");
+            exit(1);
+        });
+    let addr = gateway.local_addr().to_string();
+
+    // Expected labels for the deterministic frame set, computed from the
+    // same predictor the shards replicate — the zero-wrong-answers oracle.
+    let frames = gateway_bench_frames(img_size, n_frames, seed);
+    let expect: Vec<String> = frames
+        .iter()
+        .map(|f| predictor.classify(f).label().to_string())
+        .collect();
+    let expect_csv = expect.join(",");
+
+    // Give client i a tenant whose affinity shard is i % shards, so every
+    // shard (in particular any chaos-kill target) carries client load.
+    let tenant_of: Vec<u32> = (0..clients)
+        .map(|i| {
+            (0u32..100_000)
+                .find(|&t| gateway.router().preference(t).first() == Some(&(i % shards)))
+                .unwrap_or(i as u32)
+        })
+        .collect();
+
+    println!(
+        "gateway-bench: {clients} client processes × {requests} requests, {shards} shards on {addr}"
+    );
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own executable: {e}");
+        exit(1);
+    });
+    let t0 = Instant::now();
+    let children: Vec<std::process::Child> = (0..clients)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .args([
+                    "gateway-bench",
+                    "--connect",
+                    &addr,
+                    "--client-id",
+                    &i.to_string(),
+                    "--tenant",
+                    &tenant_of[i].to_string(),
+                    "--requests",
+                    &requests.to_string(),
+                    "--img-size",
+                    &img_size.to_string(),
+                    "--frames",
+                    &n_frames.to_string(),
+                    "--seed",
+                    &seed.to_string(),
+                    "--spacing-us",
+                    &spacing_us.to_string(),
+                    "--deadline-ms",
+                    &deadline_ms.to_string(),
+                    "--expect",
+                    &expect_csv,
+                ])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot spawn loadgen child {i}: {e}");
+                    exit(1);
+                })
+        })
+        .collect();
+
+    // Start the chaos clock only once every loadgen child is connected,
+    // so plan times land inside the load window regardless of process
+    // spawn latency.
+    let barrier = Instant::now();
+    loop {
+        let active = registry
+            .snapshot()
+            .gauges
+            .get("gateway.active_connections")
+            .copied()
+            .unwrap_or(0.0);
+        if active as usize >= clients || barrier.elapsed() > std::time::Duration::from_secs(10) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Chaos runs on this thread while the children hammer the door.
+    let report = chaos::run(&plan, &gateway);
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut merged = Tally::default();
+    for (i, child) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().unwrap_or_else(|e| {
+            eprintln!("loadgen child {i} failed: {e}");
+            exit(1);
+        });
+        if !out.status.success() {
+            violations.push(format!("client {i} exited with {}", out.status));
+            continue;
+        }
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let Some(tally) = stdout.lines().find_map(parse_tally_line) else {
+            violations.push(format!("client {i} printed no TALLY line"));
+            continue;
+        };
+        if tally.responses().saturating_add(tally.wire_errors) != requests as u64 {
+            violations.push(format!(
+                "client {i}: {} responses + {} wire errors != {requests} requests",
+                tally.responses(),
+                tally.wire_errors
+            ));
+        }
+        merged.merge(&tally);
+    }
+    let wall = t0.elapsed();
+
+    // Recovery: give the prober time to re-admit revived shards, then a
+    // verification burst must come back entirely Ok and correct. The
+    // burst runs as a tenant whose affinity is the kill target, so where
+    // its responses come from proves the rebalance both ways: a revived
+    // shard must rejoin the rotation, a still-dead one must stay out.
+    let killed_shards: Vec<usize> = plan
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ChaosEvent::Kill { shard, .. } => Some(*shard),
+            _ => None,
+        })
+        .collect();
+    let revived_shards: Vec<usize> = plan
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ChaosEvent::Revive { shard, .. } => Some(*shard),
+            _ => None,
+        })
+        .collect();
+    std::thread::sleep(gw_cfg.probe_interval.saturating_mul(4));
+    let burst_tenant = match killed_shards.first() {
+        Some(&k) => (0u32..100_000)
+            .find(|&t| gateway.router().preference(t).first() == Some(&k))
+            .unwrap_or(990_001),
+        None => 990_001,
+    };
+    let mut burst = Tally::default();
+    let mut burst_shards: Vec<usize> = Vec::new();
+    match GatewayClient::connect(&addr) {
+        Ok(mut client) => {
+            for (k, frame) in frames.iter().enumerate() {
+                let id = 0xB00_0000u64 + k as u64;
+                match client.classify(burst_tenant, id, deadline_ms as u32, frame) {
+                    Ok(resp) => {
+                        if resp.status == Status::Ok {
+                            burst_shards.push(resp.shard as usize);
+                        }
+                        burst.record(&resp, expect[k].parse().ok());
+                    }
+                    Err(_) => burst.record_wire_error(),
+                }
+            }
+        }
+        Err(e) => violations.push(format!("verification burst cannot connect: {e}")),
+    }
+    if burst.count(Status::Ok) != frames.len() as u64 || burst.wrong != 0 {
+        violations.push(format!(
+            "recovery burst not clean: {} of {} Ok, {} wrong, {} wire errors",
+            burst.count(Status::Ok),
+            frames.len(),
+            burst.wrong,
+            burst.wire_errors
+        ));
+    }
+    if let Some(&k) = killed_shards.first() {
+        let rejoined = burst_shards.contains(&k);
+        if revived_shards.contains(&k) && !rejoined {
+            violations.push(format!(
+                "shard {k} was revived but did not rejoin the rotation \
+                 (burst answered by shards {burst_shards:?})"
+            ));
+        }
+        if !revived_shards.contains(&k) && rejoined {
+            violations.push(format!("shard {k} is dead but answered burst requests"));
+        }
+    }
+
+    // Client-side invariants.
+    if merged.wrong != 0 {
+        violations.push(format!("{} wrong answers", merged.wrong));
+    }
+    if merged.wire_errors != 0 {
+        violations.push(format!("{} client wire errors", merged.wire_errors));
+    }
+    if !report.clean() {
+        violations.push(format!("chaos report not clean: {}", report.to_json()));
+    }
+
+    // Quiesce before auditing the books: engine workers bump serve.*
+    // counters after completing a slot, so a snapshot racing the prober's
+    // last ticket.wait() would lag shard-side accounting by one.
+    gateway.shutdown();
+
+    // Server-side reconciliation against gateway.* / serve.* telemetry.
+    let snap = registry.snapshot();
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let sent_total = (clients * requests) as u64 + report.flood_sent + frames.len() as u64;
+    if count("gateway.frames") != sent_total {
+        violations.push(format!(
+            "gateway.frames = {} but {sent_total} requests were sent",
+            count("gateway.frames")
+        ));
+    }
+    if count("gateway.frames") != count("gateway.responses") {
+        violations.push(format!(
+            "exactly-one-response broken: {} frames vs {} responses",
+            count("gateway.frames"),
+            count("gateway.responses")
+        ));
+    }
+    let client_ok = merged
+        .count(Status::Ok)
+        .saturating_add(report.flood.count(Status::Ok))
+        .saturating_add(burst.count(Status::Ok));
+    if count("gateway.status.ok") != client_ok {
+        violations.push(format!(
+            "status ledger mismatch: gateway.status.ok = {} vs {client_ok} client Oks",
+            count("gateway.status.ok")
+        ));
+    }
+    let shard_ok: u64 = (0..shards)
+        .map(|i| count(&format!("gateway.shard.{i}.ok")))
+        .sum();
+    if count("serve.ok") != shard_ok {
+        violations.push(format!(
+            "serve ledger mismatch: serve.ok = {} vs {} shard oks",
+            count("serve.ok"),
+            shard_ok
+        ));
+    }
+    for &k in &killed_shards {
+        if count(&format!("gateway.shard.{k}.killed")) == 0 {
+            violations.push(format!(
+                "chaos plan killed shard {k} but gateway.shard.{k}.killed is 0"
+            ));
+        }
+    }
+
+    let (p50, p95, p99, samples) = snap
+        .histograms
+        .get("gateway.latency_ns")
+        .map(|h| (h.p50, h.p95, h.p99, h.count))
+        .unwrap_or((0, 0, 0, 0));
+    let fps = client_ok as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "throughput: {fps:.1} ok-responses/s over {:.2}s wall",
+        wall.as_secs_f64()
+    );
+    println!(
+        "gateway latency: p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms ({samples} samples)",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+    println!(
+        "outcomes: ok {} throttled {} rejected {} shed {} expired {} no-healthy {} (failovers {}, retries {})",
+        count("gateway.status.ok"),
+        count("gateway.status.throttled"),
+        count("gateway.status.rejected"),
+        count("gateway.status.shed"),
+        count("gateway.status.deadline_expired"),
+        count("gateway.status.no_healthy_shard"),
+        count("gateway.failovers"),
+        count("gateway.retries"),
+    );
+    if !killed_shards.is_empty() {
+        println!(
+            "chaos: {} kills / {} revives, recovery burst {}/{} Ok (answered by shards {:?})",
+            report.kills,
+            report.revives,
+            burst.count(Status::Ok),
+            frames.len(),
+            burst_shards,
+        );
+    }
+
+    if let Some(path) = args.flags.get("json-out") {
+        let json = format!(
+            "{{\"clients\":{clients},\"requests\":{requests},\"shards\":{shards},\
+             \"wall_s\":{:.4},\"ok_per_s\":{fps:.2},\
+             \"latency_ns\":{{\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"count\":{samples}}},\
+             \"tally\":{},\"burst\":{},\"chaos\":{},\
+             \"failovers\":{},\"retries\":{},\"frames\":{},\"responses\":{},\
+             \"violations\":{}}}",
+            wall.as_secs_f64(),
+            merged.to_json(),
+            burst.to_json(),
+            report.to_json(),
+            count("gateway.failovers"),
+            count("gateway.retries"),
+            count("gateway.frames"),
+            count("gateway.responses"),
+            violations.len(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("bench artifact: {path}");
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        exit(1);
+    }
+    println!("all gateway-bench assertions held");
+}
+
+/// Parse a child's `TALLY,…` CSV line back into a [`bcp_gateway::Tally`].
+fn parse_tally_line(line: &str) -> Option<bcp_gateway::Tally> {
+    let rest = line.strip_prefix("TALLY,")?;
+    let fields: Vec<u64> = rest
+        .split(',')
+        .map(|f| f.parse().ok())
+        .collect::<Option<_>>()?;
+    if fields.len() != 12 {
+        return None;
+    }
+    let mut tally = bcp_gateway::Tally::default();
+    tally.by_status.copy_from_slice(&fields[0..10]);
+    tally.wrong = fields[10];
+    tally.wire_errors = fields[11];
+    Some(tally)
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_default();
@@ -866,13 +1387,15 @@ fn main() {
         "info" => cmd_info(&args),
         "demo" => cmd_demo(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "gateway" => cmd_gateway(&args),
+        "gateway-bench" => cmd_gateway_bench(&args),
         "profile" => cmd_profile(&args),
         "scrub-bench" => cmd_scrub_bench(&args),
         "lint" => cmd_lint(&args),
         "audit" => cmd_audit(&args),
         _ => {
             eprintln!(
-                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|profile|scrub-bench|lint|audit> [flags]"
+                "usage: bcp <check|train|deploy|classify|info|demo|serve-bench|gateway|gateway-bench|profile|scrub-bench|lint|audit> [flags]"
             );
             eprintln!(
                 "  bcp check    --arch ncnv | --all-arches [--device z7020|z7010] \
@@ -889,6 +1412,16 @@ fn main() {
                  [--max-wait-us 500] [--queue-cap 64] [--policy block|reject|shed] \
                  [--deadline-ms N] [--streaming-min-batch N] [--trace <dir>] \
                  [--sample-rate 64] [--dump-metrics]"
+            );
+            eprintln!(
+                "  bcp gateway  [--arch tiny|…] [--shards 3] [--workers 1] [--addr 127.0.0.1:0] \
+                 [--deadline-ms 2000] [--read-timeout-ms 100] [--probe-interval-ms 50] \
+                 [--tenant-rate N] [--tenant-burst N] [--tenant-quota N] [--duration-s 0]"
+            );
+            eprintln!(
+                "  bcp gateway-bench [--shards 3] [--workers 1] [--clients 4] [--requests 80] \
+                 [--frames 16] [--seed N] [--spacing-us 2000] [--deadline-ms 2000] \
+                 [--chaos \"kill:1@150;revive:1@600\"] [--json-out bench.json]"
             );
             eprintln!(
                 "  bcp profile  [--arch tiny|cnv|ncnv|ucnv] [--workers 2] [--clients 8] \

@@ -26,6 +26,7 @@ pub mod arch;
 pub mod deploy;
 pub mod eval;
 pub mod experiments;
+pub mod gateway;
 pub mod guard;
 pub mod model;
 pub mod predictor;
